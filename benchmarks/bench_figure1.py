@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 1 — the Lemma 4.4 delta-split ratio.
+
+Paper's figure: the ratio ``f(ln 2/d) g(ln 1/d) / (f(ln 1/d) g(ln 2/d))``
+stays close to 1 for Lambda_2 = 100 across delta and Lambda_1(S*),
+justifying the fixed ``delta_1 = delta_2 = delta / 2`` split.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import figure1
+from repro.experiments.reporting import format_series
+
+
+def bench_figure1(benchmark, record_output):
+    result = run_once(benchmark, figure1)
+
+    # Shape: every ratio is in (0.9, 1] on the paper's grid — the split
+    # is near-optimal everywhere.
+    for series in result.series.values():
+        assert min(series.y) > 0.9
+        assert max(series.y) <= 1.0 + 1e-9
+    # Shape: the penalty shrinks as Lambda_1 grows (curves approach 1).
+    for series in result.series.values():
+        assert series.y[-1] >= series.y[0] - 1e-9
+
+    record_output("figure1", format_series(result, x_format=".3g"))

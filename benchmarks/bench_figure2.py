@@ -1,0 +1,50 @@
+"""Benchmark regenerating Figure 2 — online guarantees vs. #RR sets
+under the LT model (k = 50) across all four dataset stand-ins.
+
+Paper's shape (Section 8.2):
+* Borgs et al.'s reported guarantee is ~0 everywhere;
+* OPIM+ >= OPIM' and OPIM+ >= OPIM0 at every checkpoint;
+* all OPIM variants dominate the OPIM-adoptions of IMM / SSA-Fix /
+  D-SSA-Fix, which never exceed 1 - 1/e;
+* OPIM guarantees grow with the budget and can exceed 1 - 1/e.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_once
+
+from repro.experiments.figures import figure2
+from repro.experiments.harness import checkpoint_grid
+from repro.experiments.reporting import format_result
+
+
+def bench_figure2(benchmark, record_output, bench_settings):
+    def run():
+        return figure2(
+            checkpoints=checkpoint_grid(1000, bench_settings["online_checkpoints"]),
+            k=50,
+            repetitions=bench_settings["online_repetitions"],
+            scale=bench_settings["online_scale"],
+            seed=bench_settings["seed"],
+        )
+
+    panels = run_once(benchmark, run)
+    assert len(panels) == 4
+
+    ceiling = 1 - 1 / math.e
+    for name, panel in panels.items():
+        plus = panel.series["OPIM+"].y
+        vanilla = panel.series["OPIM0"].y
+        leskovec = panel.series["OPIM'"].y
+        assert all(p >= v - 1e-9 for p, v in zip(plus, vanilla)), name
+        assert all(p >= l - 1e-9 for p, l in zip(plus, leskovec)), name
+        assert max(panel.series["Borgs"].y) < 1e-3, name
+        for adopted in ("IMM", "SSA-Fix", "D-SSA-Fix"):
+            assert max(panel.series[adopted].y) <= ceiling + 1e-9, name
+            assert plus[-1] > panel.series[adopted].y[-1], name
+        # Guarantees grow with the RR budget.
+        assert plus[-1] > plus[0], name
+
+    record_output("figure2", format_result(panels))

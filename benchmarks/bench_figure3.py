@@ -1,0 +1,42 @@
+"""Benchmark regenerating Figure 3 — online guarantees on the
+Twitter stand-in under LT for varying seed-set sizes k.
+
+Paper's shape: OPIM+ consistently dominates OPIM0 and the adoptions at
+every k; OPIM' beats OPIM0 for k >= 10 but *can* trail it at k = 1
+(the paper's observed anomaly — instance-dependent, so not asserted
+as an inequality here; the k = 1 panel is recorded for inspection).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import figure3
+from repro.experiments.harness import checkpoint_grid
+from repro.experiments.reporting import format_result
+
+
+def bench_figure3(benchmark, record_output, bench_settings):
+    def run():
+        return figure3(
+            checkpoints=checkpoint_grid(1000, bench_settings["online_checkpoints"]),
+            ks=(1, 10, 100),
+            repetitions=bench_settings["online_repetitions"],
+            scale=bench_settings["online_scale"],
+            seed=bench_settings["seed"],
+        )
+
+    panels = run_once(benchmark, run)
+    assert set(panels) == {"twitter-sim:k=1", "twitter-sim:k=10", "twitter-sim:k=100"}
+
+    for name, panel in panels.items():
+        plus = panel.series["OPIM+"].y
+        assert all(
+            p >= v - 1e-9 for p, v in zip(plus, panel.series["OPIM0"].y)
+        ), name
+        assert all(
+            p >= l - 1e-9 for p, l in zip(plus, panel.series["OPIM'"].y)
+        ), name
+        assert plus[-1] > panel.series["IMM"].y[-1], name
+
+    record_output("figure3", format_result(panels))

@@ -1,0 +1,38 @@
+"""Benchmark regenerating Figure 4 — the Figure 2 experiment under the
+IC model (robustness across diffusion models, Section 8.3)."""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_once
+
+from repro.experiments.figures import figure4
+from repro.experiments.harness import checkpoint_grid
+from repro.experiments.reporting import format_result
+
+
+def bench_figure4(benchmark, record_output, bench_settings):
+    def run():
+        return figure4(
+            checkpoints=checkpoint_grid(1000, bench_settings["online_checkpoints"]),
+            k=50,
+            repetitions=bench_settings["online_repetitions"],
+            scale=bench_settings["online_scale"],
+            seed=bench_settings["seed"],
+        )
+
+    panels = run_once(benchmark, run)
+    assert len(panels) == 4
+
+    ceiling = 1 - 1 / math.e
+    for name, panel in panels.items():
+        plus = panel.series["OPIM+"].y
+        assert all(
+            p >= v - 1e-9 for p, v in zip(plus, panel.series["OPIM0"].y)
+        ), name
+        assert max(panel.series["Borgs"].y) < 1e-3, name
+        for adopted in ("IMM", "SSA-Fix", "D-SSA-Fix"):
+            assert max(panel.series[adopted].y) <= ceiling + 1e-9, name
+
+    record_output("figure4", format_result(panels))

@@ -1,0 +1,35 @@
+"""Benchmark regenerating Figure 5 — the Figure 3 experiment (varying
+k on the Twitter stand-in) under the IC model."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import figure5
+from repro.experiments.harness import checkpoint_grid
+from repro.experiments.reporting import format_result
+
+
+def bench_figure5(benchmark, record_output, bench_settings):
+    def run():
+        return figure5(
+            checkpoints=checkpoint_grid(1000, bench_settings["online_checkpoints"]),
+            ks=(1, 10, 100),
+            repetitions=bench_settings["online_repetitions"],
+            scale=bench_settings["online_scale"],
+            seed=bench_settings["seed"],
+        )
+
+    panels = run_once(benchmark, run)
+
+    for name, panel in panels.items():
+        plus = panel.series["OPIM+"].y
+        assert all(
+            p >= v - 1e-9 for p, v in zip(plus, panel.series["OPIM0"].y)
+        ), name
+        assert all(
+            p >= l - 1e-9 for p, l in zip(plus, panel.series["OPIM'"].y)
+        ), name
+        assert max(panel.series["Borgs"].y) < 1e-3, name
+
+    record_output("figure5", format_result(panels))

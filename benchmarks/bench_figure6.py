@@ -1,0 +1,52 @@
+"""Benchmark regenerating Figure 6 — conventional influence
+maximization on the Twitter stand-in under LT.
+
+Paper's shape (Section 8.4):
+* panel (a): all algorithms yield similar expected spreads;
+* panel (b): OPIM-C+ needs (far) fewer samples than IMM / SSA-Fix for
+  the same guarantee, with the gap widening as epsilon shrinks;
+  OPIM-C+ never trails OPIM-C0.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import figure6
+from repro.experiments.reporting import format_result
+
+
+def bench_figure6(benchmark, record_output, bench_settings):
+    def run():
+        return figure6(
+            epsilons=bench_settings["conventional_epsilons"],
+            k=50,
+            repetitions=bench_settings["conventional_repetitions"],
+            scale=bench_settings["conventional_scale"],
+            seed=bench_settings["seed"],
+            spread_samples=bench_settings["spread_samples"],
+        )
+
+    panels = run_once(benchmark, run)
+
+    spread = panels["spread"]
+    rr = panels["rr_sets"]
+
+    # (a) similar spreads: within 35% of each other at every epsilon.
+    for idx in range(len(bench_settings["conventional_epsilons"])):
+        values = [spread.series[a].y[idx] for a in spread.labels()]
+        assert max(values) <= 1.35 * min(values)
+
+    # (b) OPIM-C+ is the most sample-efficient; gap biggest at small eps.
+    for idx in range(len(bench_settings["conventional_epsilons"])):
+        plus = rr.series["OPIM-C+"].y[idx]
+        assert plus <= rr.series["OPIM-C0"].y[idx] + 1e-9
+        assert plus <= rr.series["IMM"].y[idx]
+        assert plus <= rr.series["SSA-Fix"].y[idx]
+    tightest = 0  # smallest epsilon is first in the grid
+    assert (
+        rr.series["IMM"].y[tightest] / rr.series["OPIM-C+"].y[tightest]
+        >= rr.series["IMM"].y[-1] / rr.series["OPIM-C+"].y[-1] * 0.5
+    )
+
+    record_output("figure6", format_result(panels))

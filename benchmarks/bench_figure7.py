@@ -1,0 +1,35 @@
+"""Benchmark regenerating Figure 7 — the Figure 6 experiment under the
+IC model."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import figure7
+from repro.experiments.reporting import format_result
+
+
+def bench_figure7(benchmark, record_output, bench_settings):
+    def run():
+        return figure7(
+            epsilons=bench_settings["conventional_epsilons"],
+            k=50,
+            repetitions=bench_settings["conventional_repetitions"],
+            scale=bench_settings["conventional_scale"],
+            seed=bench_settings["seed"],
+            spread_samples=bench_settings["spread_samples"],
+        )
+
+    panels = run_once(benchmark, run)
+
+    spread = panels["spread"]
+    rr = panels["rr_sets"]
+
+    for idx in range(len(bench_settings["conventional_epsilons"])):
+        values = [spread.series[a].y[idx] for a in spread.labels()]
+        assert max(values) <= 1.35 * min(values)
+        plus = rr.series["OPIM-C+"].y[idx]
+        assert plus <= rr.series["OPIM-C0"].y[idx] + 1e-9
+        assert plus <= rr.series["IMM"].y[idx]
+
+    record_output("figure7", format_result(panels))

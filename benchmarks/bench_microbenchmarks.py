@@ -1,0 +1,87 @@
+"""Microbenchmarks of the substrate hot paths.
+
+Not a paper figure — these track the cost model underlying the paper's
+complexity analysis: RR-set generation under IC vs. LT (Appendix A)
+and the greedy max-coverage pass (Table 1's ``sum |R|`` term).
+pytest-benchmark's regular multi-round timing applies here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.maxcover.greedy import greedy_max_coverage
+from repro.sampling.generator import RRSampler
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("pokec-sim", scale=0.25)
+
+
+def bench_rr_generation_ic(benchmark, graph):
+    sampler = RRSampler(graph, "IC", seed=1)
+    benchmark(lambda: sampler.fill(sampler.new_collection(), 200))
+
+
+def bench_rr_generation_lt(benchmark, graph):
+    sampler = RRSampler(graph, "LT", seed=1)
+    benchmark(lambda: sampler.fill(sampler.new_collection(), 200))
+
+
+def bench_greedy_max_coverage(benchmark, graph):
+    sampler = RRSampler(graph, "IC", seed=2)
+    collection = sampler.new_collection(5000)
+    collection.build()
+    benchmark(lambda: greedy_max_coverage(collection, 50))
+
+
+def bench_rr_generation_ic_batched(benchmark, graph):
+    from repro.sampling.batch import BatchRRSampler
+
+    sampler = BatchRRSampler(graph, "IC", seed=1)
+    benchmark(lambda: sampler.fill(sampler.new_collection(), 200))
+
+
+def bench_rr_generation_lt_batched(benchmark, graph):
+    from repro.sampling.batch import BatchRRSampler
+
+    sampler = BatchRRSampler(graph, "LT", seed=1)
+    benchmark(lambda: sampler.fill(sampler.new_collection(), 200))
+
+
+def bench_rr_generation_ic_uniform_shortcut(benchmark, graph):
+    from repro.sampling.rrset_ic_uniform import UniformICSampler
+
+    sampler = UniformICSampler(graph, seed=1)
+    benchmark(lambda: sampler.fill(sampler.new_collection(), 200))
+
+
+def bench_forward_simulation_ic_batched(benchmark, graph):
+    from repro.diffusion.batch_sim import batched_monte_carlo_spread
+
+    seeds = list(range(10))
+    benchmark(
+        lambda: batched_monte_carlo_spread(graph, seeds, num_samples=20, seed=3)
+    )
+
+
+def bench_forward_simulation_ic(benchmark, graph):
+    from repro.diffusion.base import get_model
+    from repro.utils.rng import as_generator
+
+    model = get_model("IC", graph)
+    rng = as_generator(3)
+    seeds = list(range(10))
+    benchmark(lambda: [model.simulate(seeds, rng) for _ in range(20)])
+
+
+def bench_forward_simulation_lt(benchmark, graph):
+    from repro.diffusion.base import get_model
+    from repro.utils.rng import as_generator
+
+    model = get_model("LT", graph)
+    rng = as_generator(3)
+    seeds = list(range(10))
+    benchmark(lambda: [model.simulate(seeds, rng) for _ in range(20)])

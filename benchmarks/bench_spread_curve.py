@@ -1,0 +1,46 @@
+"""Benchmark: the spread-vs-k extension experiment.
+
+Regenerates the classic "expected spread as the seed budget grows"
+curve on the Pokec stand-in, comparing OPIM's greedy prefixes against
+MaxDegree and Random under common random numbers.  Asserted shapes:
+monotone growth, diminishing returns (submodularity), and OPIM's
+dominance over the heuristics.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.reporting import format_series
+from repro.experiments.spread_curve import spread_vs_k_experiment
+
+
+def bench_spread_vs_k(benchmark, record_output, bench_settings):
+    graph = load_dataset("pokec-sim", scale=bench_settings["online_scale"] * 2)
+
+    def run():
+        return spread_vs_k_experiment(
+            graph,
+            "IC",
+            ks=(1, 2, 5, 10, 20, 50),
+            rr_sets=10_000,
+            eval_samples=bench_settings["spread_samples"],
+            seed=bench_settings["seed"],
+        )
+
+    result = run_once(benchmark, run)
+
+    opim = result.series["OPIM+"].y
+    # Monotone and concave.
+    assert all(b >= a for a, b in zip(opim, opim[1:]))
+    ks = result.series["OPIM+"].x
+    rates = [
+        (opim[i + 1] - opim[i]) / (ks[i + 1] - ks[i]) for i in range(len(ks) - 1)
+    ]
+    assert rates[-1] <= rates[0]
+    # OPIM dominates the heuristics at the full budget.
+    assert opim[-1] >= result.series["MaxDegree"].y[-1] * 0.98
+    assert opim[-1] > result.series["Random"].y[-1]
+
+    record_output("spread_vs_k", format_series(result))

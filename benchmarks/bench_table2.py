@@ -1,0 +1,43 @@
+"""Benchmark regenerating Table 2 — dataset statistics.
+
+Builds all four synthetic stand-ins and checks that each preserves the
+properties the substitution relies on (DESIGN.md Section 4): type,
+relative size ordering, and average degree targets.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.datasets.registry import DATASETS
+from repro.experiments.figures import table2
+from repro.experiments.reporting import format_table
+
+
+def bench_table2(benchmark, record_output):
+    rows = run_once(benchmark, table2)
+    by_name = {r["Dataset"]: r for r in rows}
+
+    assert list(by_name) == [
+        "pokec-sim",
+        "orkut-sim",
+        "livejournal-sim",
+        "twitter-sim",
+    ]
+    # Type preserved.
+    assert by_name["orkut-sim"]["Type"] == "undirected"
+    for directed in ("pokec-sim", "livejournal-sim", "twitter-sim"):
+        assert by_name[directed]["Type"] == "directed"
+    # Node-count ordering matches the paper's.
+    assert (
+        by_name["twitter-sim"]["n"]
+        > by_name["livejournal-sim"]["n"]
+        > by_name["orkut-sim"]["n"]
+        > by_name["pokec-sim"]["n"]
+    )
+    # Average degree within 25% of the registry target.
+    for name, spec in DATASETS.items():
+        measured = by_name[name]["Avg. degree"]
+        assert abs(measured - spec.avg_degree) <= 0.25 * spec.avg_degree
+
+    record_output("table2", format_table(rows))

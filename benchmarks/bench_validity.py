@@ -1,0 +1,49 @@
+"""Benchmark: empirical soundness of OPIM's reported guarantees.
+
+Not a figure in the paper — it is the paper's *theorem* (Lemmas 4.2 +
+4.3 composed) checked head-on: on an exactly-solvable instance, the
+frequency of ``sigma(S*) < alpha * OPT`` must not exceed delta (up to
+binomial noise), for every delta in the sweep.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.reporting import format_series
+from repro.experiments.validity import guarantee_validity_experiment
+from repro.graph.build import from_edge_list
+
+
+def bench_guarantee_validity(benchmark, record_output, bench_settings):
+    graph = from_edge_list(
+        [
+            (0, 1, 0.5),
+            (0, 2, 0.5),
+            (1, 3, 0.4),
+            (2, 3, 0.4),
+            (3, 4, 0.9),
+            (4, 5, 0.3),
+        ],
+        name="tiny-exact",
+    )
+
+    def run():
+        return guarantee_validity_experiment(
+            graph,
+            k=2,
+            deltas=(0.1, 0.2, 0.4),
+            trials=120,
+            rr_sets=400,
+            seed=bench_settings["seed"],
+        )
+
+    result = run_once(benchmark, run)
+    observed = result.series["observed"]
+    # Soundness: observed failure frequency <= delta + 4-sigma binomial
+    # slack at every delta.
+    for delta, freq in zip(observed.x, observed.y):
+        slack = 4.0 * (delta * (1 - delta) / 120) ** 0.5
+        assert freq <= delta + slack, (delta, freq)
+
+    record_output("guarantee_validity", format_series(result))

@@ -1,0 +1,59 @@
+"""Shared infrastructure for the figure/table regeneration benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+pure-Python-friendly scale, times the regeneration via
+pytest-benchmark, asserts the paper's qualitative *shape* (who wins, by
+roughly what factor), and writes the regenerated series to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote real
+runs.
+
+Scale knobs are centralized in :data:`BENCH_SETTINGS`; raising them
+approaches the paper's full grids (see DESIGN.md Section 4 for the
+substitutions).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Central knobs; the paper's full grid uses scale=1.0, 11 checkpoints
+#: starting at 1000, 50 repetitions, and epsilon down to 0.01.
+BENCH_SETTINGS = {
+    "online_scale": 0.12,
+    "online_checkpoints": 5,  # 1000 * 2^i, i = 0..4
+    "online_repetitions": 1,
+    "conventional_scale": 0.06,
+    "conventional_epsilons": (0.15, 0.3, 0.5),
+    "conventional_repetitions": 1,
+    "spread_samples": 500,
+    "seed": 2018,
+}
+
+
+@pytest.fixture(scope="session")
+def bench_settings():
+    return dict(BENCH_SETTINGS)
+
+
+@pytest.fixture(scope="session")
+def record_output():
+    """Writer fixture: ``record_output(name, text)`` persists a run."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return write
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing.
+
+    The figure regenerations take seconds to minutes, so the default
+    multi-round calibration is disabled.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,80 @@
+"""Scenario: bring your own network.
+
+Shows the full substrate API on a user-supplied graph instead of a
+registry stand-in: build a DiGraph from raw edges, attach a weighting
+scheme, validate it for the LT model, estimate spreads (Monte Carlo vs.
+RR-set vs. exact enumeration on a tiny fixture), and run OPIM on it.
+
+Run:  python examples/custom_graph.py
+"""
+
+import numpy as np
+
+from repro import (
+    OnlineOPIM,
+    assign_wc_weights,
+    from_edge_list,
+    monte_carlo_spread,
+)
+from repro.diffusion import exact_spread_ic
+from repro.graph import summarize
+from repro.sampling import RRSampler
+
+
+def tiny_fixture() -> None:
+    """Exact vs. estimated spread on a 5-node weighted graph."""
+    edges = [
+        (0, 1, 0.5),
+        (0, 2, 0.5),
+        (1, 3, 0.4),
+        (2, 3, 0.4),
+        (3, 4, 0.9),
+    ]
+    graph = from_edge_list(edges, name="tiny")
+    exact = exact_spread_ic(graph, [0])
+    mc = monte_carlo_spread(graph, [0], "IC", num_samples=20000, seed=3)
+    sampler = RRSampler(graph, "IC", seed=4)
+    collection = sampler.new_collection(20000)
+    rr_estimate = collection.estimate_spread([0])
+    print("Tiny 5-node fixture, seed {0}:")
+    print(f"  exact sigma(S)       = {exact:.4f}")
+    print(f"  Monte-Carlo estimate = {mc.mean:.4f} (+- {1.96 * mc.std_error:.4f})")
+    print(f"  RR-set estimate      = {rr_estimate:.4f}  (Lemma 3.1)\n")
+
+
+def custom_network() -> None:
+    """OPIM on a hand-rolled collaboration-style network."""
+    rng = np.random.default_rng(11)
+    # Communities of 60 nodes with dense intra- and sparse inter-links.
+    edges = []
+    communities = 8
+    size = 60
+    for c in range(communities):
+        base = c * size
+        for _ in range(size * 6):
+            u, v = rng.integers(0, size, size=2)
+            if u != v:
+                edges.append((base + int(u), base + int(v)))
+        for _ in range(12):  # bridges to the next community
+            u = base + int(rng.integers(0, size))
+            v = ((c + 1) % communities) * size + int(rng.integers(0, size))
+            edges.append((u, v))
+    graph = assign_wc_weights(
+        from_edge_list(set(edges), n=communities * size, name="communities")
+    )
+    print(f"Custom network: {summarize(graph)}")
+
+    algo = OnlineOPIM(graph, model="LT", k=communities, seed=5)
+    algo.extend(20000)
+    snap = algo.query()
+    picked_communities = sorted({s // size for s in snap.seeds})
+    print(f"  OPIM picked seeds {snap.seeds}")
+    print(f"  communities covered: {picked_communities}")
+    print(f"  guarantee alpha = {snap.alpha:.3f}")
+    spread = monte_carlo_spread(graph, snap.seeds, "LT", num_samples=2000, seed=6)
+    print(f"  estimated spread: {spread.mean:.1f} / {graph.n}")
+
+
+if __name__ == "__main__":
+    tiny_fixture()
+    custom_network()

@@ -1,0 +1,48 @@
+"""Quickstart: online influence maximization in ten lines.
+
+Runs the paper's main algorithm (OPIM) on a synthetic stand-in of the
+Pokec social network: stream reverse-reachable sets, pause at any time,
+and read off a seed set with an instance-specific approximation
+guarantee.  Then solves the same instance *conventionally* with OPIM-C
+for a fixed (1 - 1/e - epsilon) target.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import OnlineOPIM, load_dataset, monte_carlo_spread, opim_c
+
+
+def main() -> None:
+    graph = load_dataset("pokec-sim", scale=0.5)
+    print(f"Graph: {graph.name} with n={graph.n} nodes, m={graph.m} edges\n")
+
+    # ------------------------------------------------------------------
+    # Online processing: pause anytime, resume anytime.
+    # ------------------------------------------------------------------
+    algo = OnlineOPIM(graph, model="IC", k=10, seed=42)
+    print("Online OPIM (pause-anytime guarantees):")
+    for budget in (1000, 4000, 16000):
+        algo.extend_to(budget)  # "resume": give the algorithm more time
+        snap = algo.query()  # "pause": ask for the current answer
+        print(
+            f"  after {budget:>6d} RR sets: alpha = {snap.alpha:.3f} "
+            f"(seeds cover {snap.coverage_r2}/{snap.theta2} judge sets)"
+        )
+    seeds = snap.seeds
+    spread = monte_carlo_spread(graph, seeds, "IC", num_samples=2000, seed=7)
+    print(f"  final seed set {seeds}")
+    print(f"  estimated spread: {spread.mean:.1f} of {graph.n} nodes\n")
+
+    # ------------------------------------------------------------------
+    # Conventional influence maximization with OPIM-C.
+    # ------------------------------------------------------------------
+    result = opim_c(graph, "IC", k=10, epsilon=0.1, delta=1 / graph.n, seed=42)
+    print("OPIM-C (fixed (1 - 1/e - 0.1)-approximation):")
+    print(f"  RR sets used : {result.num_rr_sets}")
+    print(f"  iterations   : {result.iterations}")
+    print(f"  achieved alpha {result.alpha_achieved:.3f} "
+          f">= target {result.extra['target_alpha']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

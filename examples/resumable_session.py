@@ -1,0 +1,72 @@
+"""Scenario: a long-running OPIM session that survives restarts.
+
+Online processing means a session may span hours or days of wall-clock
+time with the analyst checking in occasionally.  This example shows the
+operational side the library adds around the paper's algorithm:
+
+1. an :class:`~repro.core.session.OPIMSession` whose queries share one
+   joint failure budget (the delta / 2^i schedule from Section 4's
+   "Discussions"), so every guarantee ever reported holds
+   simultaneously;
+2. checkpointing the underlying algorithm to disk and restoring it in
+   a "new process", continuing the exact same randomness stream.
+
+Run:  python examples/resumable_session.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import OnlineOPIM, load_dataset, load_opim, save_opim
+from repro.core.session import OPIMSession
+
+
+def joint_guarantee_session() -> None:
+    graph = load_dataset("livejournal-sim", scale=0.2)
+    session = OPIMSession(graph, "LT", k=15, delta=0.05, seed=99)
+    print(f"Session on {graph.name} (n={graph.n}); joint delta = {session.delta}")
+
+    for round_no in range(1, 5):
+        session.extend(3000)
+        budget = session.next_query_delta()
+        snap = session.query()
+        print(
+            f"  query #{round_no}: alpha = {snap.alpha:.4f} "
+            f"(this query's failure budget: {budget:.4g})"
+        )
+    print(
+        "  all four guarantees above hold *simultaneously* w.p. >= "
+        f"{1 - session.delta:.3f}\n"
+    )
+
+
+def checkpoint_and_resume() -> None:
+    graph = load_dataset("pokec-sim", scale=0.3)
+    workdir = Path(tempfile.mkdtemp(prefix="opim-ckpt-"))
+
+    print(f"Process A: runs OPIM on {graph.name}, checkpoints to {workdir}")
+    process_a = OnlineOPIM(graph, "IC", k=10, delta=0.02, seed=7)
+    process_a.extend(4000)
+    before = process_a.query()
+    save_opim(process_a, workdir)
+    print(f"  alpha at checkpoint: {before.alpha:.4f} "
+          f"({before.num_rr_sets} RR sets)")
+
+    print("Process B: restores the checkpoint and keeps going")
+    process_b = load_opim(graph, workdir)
+    process_b.extend(8000)
+    after = process_b.query()
+    print(f"  alpha after resuming: {after.alpha:.4f} "
+          f"({after.num_rr_sets} RR sets)")
+
+    # Evidence the stream really continued: process A extended by the
+    # same amount produces the identical future.
+    process_a.extend(8000)
+    twin = process_a.query()
+    assert twin.seeds == after.seeds and abs(twin.alpha - after.alpha) < 1e-12
+    print("  verified: the restored run is bit-identical to the original")
+
+
+if __name__ == "__main__":
+    joint_guarantee_session()
+    checkpoint_and_resume()

@@ -1,0 +1,75 @@
+"""Scenario: node-weighted (targeted) influence maximization.
+
+A retailer only profits from reaching *customers* — a subset of the
+network with per-user value — not from reach in general.  This is the
+node-weighted variant the paper lists under future work ("other
+variants of influence maximization"); the library supports it by
+swapping the uniform RR-root distribution for a value-weighted one
+(``repro.weighted``), after which OPIM's machinery and guarantees
+carry over with ``n`` replaced by the total value ``W``.
+
+The script builds a network where value concentrates in one region,
+then contrasts:
+
+* unweighted OPIM (maximizes raw reach), and
+* weighted OPIM (maximizes expected *value* reached),
+
+evaluating both on expected value via weighted Monte Carlo.
+
+Run:  python examples/targeted_marketing.py
+"""
+
+import numpy as np
+
+from repro import OnlineOPIM, load_dataset
+from repro.weighted import WeightedRRSampler, monte_carlo_weighted_spread
+
+K = 10
+
+
+def main() -> None:
+    graph = load_dataset("pokec-sim", scale=0.4)
+    rng = np.random.default_rng(42)
+
+    # Customer values: 20% of users are customers; value is heavy-tailed
+    # and *anti-correlated* with degree (high-degree hubs are media
+    # accounts, not buyers), which is what makes targeting non-trivial.
+    values = np.zeros(graph.n)
+    customers = rng.choice(graph.n, size=graph.n // 5, replace=False)
+    values[customers] = rng.pareto(2.0, size=customers.size) + 1.0
+    degree_rank = np.argsort(np.argsort(-graph.out_degree()))
+    values *= np.where(degree_rank < graph.n // 20, 0.1, 1.0)  # dampen hubs
+    total_value = values.sum()
+    print(
+        f"Network: {graph.name} (n={graph.n}); customers: {customers.size}, "
+        f"total value W = {total_value:.0f}\n"
+    )
+
+    # --- Unweighted OPIM: chases raw reach -----------------------------
+    plain = OnlineOPIM(graph, "IC", k=K, delta=0.01, seed=7)
+    plain.extend(20000)
+    plain_snap = plain.query()
+
+    # --- Weighted OPIM: chases value ------------------------------------
+    sampler = WeightedRRSampler(graph, "IC", values, seed=7)
+    targeted = OnlineOPIM(graph, "IC", k=K, delta=0.01, sampler=sampler)
+    targeted.extend(20000)
+    targeted_snap = targeted.query()
+
+    for label, snap in (("Unweighted", plain_snap), ("Value-weighted", targeted_snap)):
+        value = monte_carlo_weighted_spread(
+            graph, snap.seeds, values, "IC", num_samples=2000, seed=11
+        )
+        print(f"{label} OPIM (alpha = {snap.alpha:.3f}):")
+        print(f"  seeds              : {snap.seeds}")
+        print(f"  expected value     : {value.mean:.1f} of {total_value:.0f}")
+        print(f"  value share        : {100 * value.mean / total_value:.1f}%\n")
+
+    print(
+        "The weighted variant reports its alpha against the *weighted*\n"
+        "optimum — the guarantee's scale factor is W, not n."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""State-of-the-art RIS baselines the paper compares against, plus the
+classic Monte-Carlo greedy used as ground truth on tiny graphs."""
+
+from repro.baselines.celf import celf_greedy
+from repro.baselines.celfpp import celf_plus_plus
+from repro.baselines.dssa import dssa_fix
+from repro.baselines.heuristics import (
+    degree_discount_ic,
+    k_core_seeds,
+    max_degree,
+    random_seeds,
+    single_discount,
+)
+from repro.baselines.imm import imm
+from repro.baselines.irie import irie
+from repro.baselines.ssa import ssa_fix
+from repro.baselines.tim import tim_plus
+
+__all__ = [
+    "imm",
+    "tim_plus",
+    "ssa_fix",
+    "dssa_fix",
+    "celf_greedy",
+    "celf_plus_plus",
+    "irie",
+    "random_seeds",
+    "max_degree",
+    "single_discount",
+    "degree_discount_ic",
+    "k_core_seeds",
+]

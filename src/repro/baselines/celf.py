@@ -1,0 +1,88 @@
+"""CELF — lazy greedy over Monte-Carlo spread (Kempe et al. 2003 greedy
+with the Leskovec et al. 2007 lazy-evaluation optimization).
+
+This is the classic simulation-based algorithm.  It is far too slow for
+the paper's graphs (which is the point of RIS methods) but serves as a
+near-ground-truth reference on small graphs for validating the RIS
+algorithms' seed quality in tests and examples.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from repro.core.results import IMResult
+from repro.diffusion.base import get_model
+from repro.diffusion.spread import monte_carlo_spread
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import SeedLike, as_generator, spawn_generators
+from repro.utils.timer import Timer
+from repro.utils.validation import check_k
+
+
+def celf_greedy(
+    graph: DiGraph,
+    model: str,
+    k: int,
+    num_samples: int = 1000,
+    seed: SeedLike = None,
+    candidates: Optional[List[int]] = None,
+) -> IMResult:
+    """Lazy greedy seed selection with Monte-Carlo marginal gains.
+
+    Parameters
+    ----------
+    num_samples:
+        Cascades per spread estimate.  Estimates are re-drawn for each
+        marginal evaluation, making the lazy bound heuristic (standard
+        practice for CELF).
+    candidates:
+        Restrict the candidate pool (defaults to all nodes), useful to
+        keep runtime bounded on medium graphs.
+    """
+    check_k(k, graph.n)
+    diffusion = get_model(model, graph)
+    rng = as_generator(seed)
+
+    timer = Timer()
+    with timer:
+        pool = list(range(graph.n)) if candidates is None else list(candidates)
+        # Max-heap of (-gain, node, round_evaluated).
+        heap = []
+        base_rng = spawn_generators(rng, len(pool))
+        for node, node_rng in zip(pool, base_rng):
+            est = monte_carlo_spread(
+                diffusion, [node], num_samples=num_samples, seed=node_rng
+            )
+            heapq.heappush(heap, (-est.mean, node, 0))
+
+        seeds: List[int] = []
+        current_spread = 0.0
+        simulations = len(pool) * num_samples
+        while len(seeds) < k and heap:
+            neg_gain, node, evaluated_round = heapq.heappop(heap)
+            if evaluated_round == len(seeds):
+                # Gain is fresh for the current seed set: take it.
+                seeds.append(node)
+                current_spread += -neg_gain
+            else:
+                # Stale: re-evaluate the marginal gain lazily.
+                est = monte_carlo_spread(
+                    diffusion, seeds + [node], num_samples=num_samples, seed=rng
+                )
+                simulations += num_samples
+                gain = est.mean - current_spread
+                heapq.heappush(heap, (-gain, node, len(seeds)))
+
+    return IMResult(
+        algorithm="CELF",
+        seeds=seeds,
+        k=k,
+        epsilon=float("nan"),
+        delta=float("nan"),
+        num_rr_sets=0,
+        elapsed=timer.elapsed,
+        iterations=k,
+        extra={"simulations": simulations, "estimated_spread": current_spread},
+    )

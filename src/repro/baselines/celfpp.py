@@ -1,0 +1,153 @@
+"""CELF++ — optimized lazy greedy (Goyal, Lu, Lakshmanan 2011).
+
+The paper's related work [14].  CELF++ refines CELF by also tracking,
+for each heap entry, the node's marginal gain *with respect to the
+current best candidate* (``mg2``): when the previous round's best
+candidate actually gets selected, the runner-up's cached ``mg2``
+becomes a valid fresh gain and one spread evaluation is saved.  On
+graphs where the top candidates are stable this removes 35-55% of the
+evaluations (the original paper's headline).
+
+As with CELF, Monte-Carlo gain estimates make the lazy bound heuristic
+rather than exact; the implementation is a near-ground-truth reference
+for small graphs, not a competitor to the RIS algorithms.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from repro.core.results import IMResult
+from repro.diffusion.base import get_model
+from repro.diffusion.spread import monte_carlo_spread
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import SeedLike, as_generator, spawn_generators
+from repro.utils.timer import Timer
+from repro.utils.validation import check_k
+
+
+class _Entry:
+    """Heap entry: node with cached gains.
+
+    ``mg1``: marginal gain w.r.t. the current seed set at the time of
+    evaluation (``flag`` records that time as |S|);
+    ``mg2``: marginal gain w.r.t. seed set + ``prev_best``.
+    """
+
+    __slots__ = ("node", "mg1", "mg2", "prev_best", "flag")
+
+    def __init__(self, node: int, mg1: float, mg2: float, prev_best: Optional[int]):
+        self.node = node
+        self.mg1 = mg1
+        self.mg2 = mg2
+        self.prev_best = prev_best
+        self.flag = 0
+
+    def __lt__(self, other: "_Entry") -> bool:  # max-heap via negation
+        return self.mg1 > other.mg1
+
+
+def celf_plus_plus(
+    graph: DiGraph,
+    model: str,
+    k: int,
+    num_samples: int = 1000,
+    seed: SeedLike = None,
+    candidates: Optional[List[int]] = None,
+) -> IMResult:
+    """CELF++ seed selection with Monte-Carlo gain estimates."""
+    check_k(k, graph.n)
+    diffusion = get_model(model, graph)
+    rng = as_generator(seed)
+
+    timer = Timer()
+    with timer:
+        pool = list(range(graph.n)) if candidates is None else list(candidates)
+        evaluations = 0
+
+        def estimate(seed_set: List[int]) -> float:
+            nonlocal evaluations
+            evaluations += 1
+            return monte_carlo_spread(
+                diffusion, seed_set, num_samples=num_samples, seed=rng
+            ).mean
+
+        # Initial pass: mg1 = sigma({v}); mg2 = sigma({v, cur_best}).
+        init_rngs = spawn_generators(rng, len(pool))
+        entries = []
+        cur_best: Optional[int] = None
+        cur_best_gain = -1.0
+        for node, node_rng in zip(pool, init_rngs):
+            mg1 = monte_carlo_spread(
+                diffusion, [node], num_samples=num_samples, seed=node_rng
+            ).mean
+            evaluations += 1
+            entries.append(_Entry(node, mg1, 0.0, None))
+            if mg1 > cur_best_gain:
+                cur_best_gain = mg1
+                cur_best = node
+        # Second-phase init of mg2 relative to the global best.
+        for entry in entries:
+            if entry.node == cur_best:
+                entry.mg2 = entry.mg1
+            else:
+                entry.mg2 = estimate([entry.node, cur_best]) - cur_best_gain
+            entry.prev_best = cur_best
+        heap = entries[:]
+        heapq.heapify(heap)
+
+        seeds: List[int] = []
+        current_spread = 0.0
+        last_seed: Optional[int] = None
+        cur_best = None
+        cur_best_gain = -1.0
+        saved = 0
+        while len(seeds) < k and heap:
+            entry = heap[0]
+            if entry.flag == len(seeds):
+                # Fresh: select it.
+                heapq.heappop(heap)
+                seeds.append(entry.node)
+                current_spread += entry.mg1
+                last_seed = entry.node
+                cur_best = None
+                cur_best_gain = -1.0
+                continue
+            if entry.prev_best == last_seed and entry.flag == len(seeds) - 1:
+                # CELF++ shortcut: mg2 was computed w.r.t. S + last_seed,
+                # which is exactly the current S.
+                entry.mg1 = entry.mg2
+                saved += 1
+            else:
+                entry.mg1 = estimate(seeds + [entry.node]) - current_spread
+                if cur_best is not None:
+                    entry.mg2 = (
+                        estimate(seeds + [cur_best, entry.node])
+                        - current_spread
+                        - cur_best_gain
+                    )
+                else:
+                    entry.mg2 = entry.mg1
+            entry.prev_best = cur_best
+            entry.flag = len(seeds)
+            if entry.mg1 > cur_best_gain:
+                cur_best_gain = entry.mg1
+                cur_best = entry.node
+            heapq.heapreplace(heap, entry)
+
+    return IMResult(
+        algorithm="CELF++",
+        seeds=seeds,
+        k=k,
+        epsilon=float("nan"),
+        delta=float("nan"),
+        num_rr_sets=0,
+        elapsed=timer.elapsed,
+        iterations=k,
+        extra={
+            "evaluations": evaluations,
+            "shortcut_hits": saved,
+            "estimated_spread": current_spread,
+        },
+    )

@@ -1,0 +1,153 @@
+"""Classic degree-based seed-selection heuristics.
+
+The paper's related work (Section 7) surveys a long line of heuristics
+that trade worst-case guarantees for speed [4-9, 11, 12, ...]; the
+benchmarking study of Arora et al. (SIGMOD 2017, the paper's [1]) uses
+exactly these as reference points.  They are included here for the
+same purpose: cheap, guarantee-free baselines against which the
+RIS algorithms' seed quality can be sanity-checked.
+
+* :func:`random_seeds` — uniform random nodes (the floor).
+* :func:`max_degree` — the k nodes of largest out-degree.
+* :func:`single_discount` — max degree with a 1-per-selected-neighbor
+  discount (Chen et al. 2009).
+* :func:`degree_discount_ic` — Chen et al.'s DegreeDiscountIC for the
+  uniform-probability IC model.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+import numpy as np
+
+from repro.core.results import IMResult
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.timer import Timer
+from repro.utils.validation import check_k, check_probability
+
+
+def _result(algorithm: str, seeds: List[int], k: int, timer: Timer) -> IMResult:
+    return IMResult(
+        algorithm=algorithm,
+        seeds=seeds,
+        k=k,
+        epsilon=float("nan"),
+        delta=float("nan"),
+        num_rr_sets=0,
+        elapsed=timer.elapsed,
+    )
+
+
+def random_seeds(graph: DiGraph, k: int, seed: SeedLike = None) -> IMResult:
+    """k nodes drawn uniformly without replacement."""
+    check_k(k, graph.n)
+    timer = Timer()
+    with timer:
+        rng = as_generator(seed)
+        seeds = [int(v) for v in rng.choice(graph.n, size=k, replace=False)]
+    return _result("Random", seeds, k, timer)
+
+
+def max_degree(graph: DiGraph, k: int) -> IMResult:
+    """The k nodes with the largest out-degree (ties by node id)."""
+    check_k(k, graph.n)
+    timer = Timer()
+    with timer:
+        degrees = graph.out_degree()
+        order = np.lexsort((np.arange(graph.n), -degrees))
+        seeds = [int(v) for v in order[:k]]
+    return _result("MaxDegree", seeds, k, timer)
+
+
+def single_discount(graph: DiGraph, k: int) -> IMResult:
+    """SingleDiscount (Chen et al. 2009): iteratively take the highest
+    degree node, discounting each remaining node's degree by one per
+    already-selected in-neighbor."""
+    check_k(k, graph.n)
+    timer = Timer()
+    with timer:
+        degrees = graph.out_degree().astype(np.int64).copy()
+        selected = np.zeros(graph.n, dtype=bool)
+        heap = [(-int(d), v) for v, d in enumerate(degrees)]
+        heapq.heapify(heap)
+        seeds: List[int] = []
+        while len(seeds) < k and heap:
+            neg_d, v = heapq.heappop(heap)
+            if selected[v]:
+                continue
+            if -neg_d != degrees[v]:
+                heapq.heappush(heap, (-int(degrees[v]), v))
+                continue
+            selected[v] = True
+            seeds.append(int(v))
+            targets, _ = graph.out_neighbors(v)
+            for w in targets:
+                if not selected[w]:
+                    degrees[w] -= 1
+                    heapq.heappush(heap, (-int(degrees[w]), int(w)))
+    return _result("SingleDiscount", seeds, k, timer)
+
+
+def k_core_seeds(graph: DiGraph, k: int) -> IMResult:
+    """Pick the k nodes of largest core number (Kitsak et al. 2010).
+
+    Core depth is a better spreader proxy than raw degree on graphs
+    with peripheral hubs; ties break toward higher out-degree, then
+    smaller node id.
+    """
+    check_k(k, graph.n)
+    timer = Timer()
+    with timer:
+        from repro.graph.kcore import core_numbers
+
+        cores = core_numbers(graph)
+        out_degrees = graph.out_degree()
+        order = np.lexsort((np.arange(graph.n), -out_degrees, -cores))
+        seeds = [int(v) for v in order[:k]]
+    return _result("KCore", seeds, k, timer)
+
+
+def degree_discount_ic(graph: DiGraph, k: int, p: float = 0.01) -> IMResult:
+    """DegreeDiscountIC (Chen et al. 2009) for uniform-probability IC.
+
+    The discounted degree of a node ``v`` with degree ``d_v`` and
+    ``t_v`` already-selected in-neighbors is
+
+        ``dd_v = d_v - 2 t_v - (d_v - t_v) t_v p``.
+    """
+    check_k(k, graph.n)
+    check_probability(p, "p")
+    timer = Timer()
+    with timer:
+        base_degrees = graph.out_degree().astype(np.float64)
+        t = np.zeros(graph.n, dtype=np.int64)
+        dd = base_degrees.copy()
+        selected = np.zeros(graph.n, dtype=bool)
+        heap = [(-dd[v], v) for v in range(graph.n)]
+        heapq.heapify(heap)
+        seeds: List[int] = []
+        while len(seeds) < k and heap:
+            neg, v = heapq.heappop(heap)
+            if selected[v]:
+                continue
+            if -neg != dd[v]:
+                heapq.heappush(heap, (-dd[v], v))
+                continue
+            selected[v] = True
+            seeds.append(int(v))
+            targets, _ = graph.out_neighbors(v)
+            for w in targets:
+                w = int(w)
+                if selected[w]:
+                    continue
+                t[w] += 1
+                dd[w] = (
+                    base_degrees[w]
+                    - 2.0 * t[w]
+                    - (base_degrees[w] - t[w]) * t[w] * p
+                )
+                heapq.heappush(heap, (-dd[w], w))
+    return _result("DegreeDiscountIC", seeds, k, timer)

@@ -1,0 +1,92 @@
+"""IRIE — Influence Ranking + Influence Estimation (Jung et al. 2012).
+
+IRIE is one of the scalable heuristics surveyed in the paper's related
+work ([19]).  It ranks nodes by the fixed point of the linear system
+
+    ``r(u) = (1 - AP_S(u)) * (1 + alpha * sum_v p(u, v) r(v))``
+
+where ``alpha`` is a damping factor and ``AP_S(u)`` estimates the
+probability that ``u`` is already activated by the current seed set
+``S``; ``k`` rounds of rank-then-pick produce the seed set.
+
+This implementation uses the common one-hop influence-estimation
+shortcut for ``AP``: ``AP_S(u) = 1`` for seeds and
+``1 - prod_{s in S} (1 - p(s, u))`` otherwise, i.e. only direct
+seed-to-node edges contribute.  (The original IE component propagates
+further; the one-hop variant keeps the heuristic's character — rank
+damping around already-claimed regions — at a fraction of the code and
+runtime, and is the variant most re-implementations ship.)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.results import IMResult
+from repro.exceptions import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.utils.timer import Timer
+from repro.utils.validation import check_k
+
+
+def irie(
+    graph: DiGraph,
+    k: int,
+    alpha: float = 0.7,
+    iterations: int = 20,
+) -> IMResult:
+    """Select ``k`` seeds by iterated influence ranking.
+
+    Parameters
+    ----------
+    alpha:
+        Damping factor of the ranking recursion (0.7 per the paper).
+    iterations:
+        Fixed-point iterations per ranking pass (20 suffices for
+        convergence on graphs with spectral radius < 1/alpha).
+    """
+    check_k(k, graph.n)
+    if not 0.0 < alpha < 1.0:
+        raise ParameterError(f"alpha must be in (0, 1), got {alpha}")
+    if iterations < 1:
+        raise ParameterError(f"iterations must be >= 1, got {iterations}")
+    if not graph.weighted:
+        raise ParameterError("IRIE requires edge probabilities")
+
+    timer = Timer()
+    with timer:
+        sources, targets, probs = graph.edge_array()
+        n = graph.n
+        ap = np.zeros(n, dtype=np.float64)  # activation probability by S
+        seeds: List[int] = []
+
+        for _ in range(k):
+            # Rank iteration: r <- (1 - ap) * (1 + alpha * A_p r).
+            rank = np.ones(n, dtype=np.float64)
+            for _ in range(iterations):
+                pushed = np.zeros(n, dtype=np.float64)
+                np.add.at(pushed, sources, probs * rank[targets])
+                rank = (1.0 - ap) * (1.0 + alpha * pushed)
+            rank[seeds] = -np.inf
+            pick = int(np.argmax(rank))
+            seeds.append(pick)
+
+            # One-hop AP update: the new seed claims itself and a
+            # p(s, u) share of each out-neighbor.
+            ap[pick] = 1.0
+            out_targets, out_probs = graph.out_neighbors(pick)
+            ap[out_targets] = 1.0 - (1.0 - ap[out_targets]) * (1.0 - out_probs)
+
+    return IMResult(
+        algorithm="IRIE",
+        seeds=seeds,
+        k=k,
+        epsilon=float("nan"),
+        delta=float("nan"),
+        num_rr_sets=0,
+        elapsed=timer.elapsed,
+        iterations=k,
+        extra={"alpha": alpha, "rank_iterations": iterations},
+    )

@@ -1,0 +1,17 @@
+"""Martingale concentration bounds for RR-set influence estimation."""
+
+from repro.bounds.concentration import (
+    delta_split_ratio,
+    lemma44_f,
+    lemma44_g,
+    sigma_lower_bound,
+    sigma_upper_bound,
+)
+
+__all__ = [
+    "sigma_lower_bound",
+    "sigma_upper_bound",
+    "lemma44_f",
+    "lemma44_g",
+    "delta_split_ratio",
+]

@@ -1,0 +1,143 @@
+"""Concentration-based spread bounds (paper Sections 4–5).
+
+All bounds derive from the martingale tail inequalities of Tang et al.
+2015 (paper, Lemma 4.1).  Given a coverage observation over ``theta``
+RR sets on an ``n``-node graph:
+
+* :func:`sigma_lower_bound` implements Eq. 5 — a ``1 - delta`` lower
+  bound on ``sigma(S*)`` from the *judge* collection ``R2``;
+* :func:`sigma_upper_bound` implements Eqs. 8 / 13 / 15 — a
+  ``1 - delta`` upper bound on ``sigma(S^o)`` from a coverage upper
+  bound ``Lambda_1^x(S^o)`` computed on the *nominator* collection
+  ``R1`` (the three OPIM variants pass different ``Lambda`` values);
+* :func:`lemma44_f` / :func:`lemma44_g` / :func:`delta_split_ratio`
+  implement the near-optimality analysis of the ``delta_1 = delta_2 =
+  delta / 2`` split (Lemma 4.4, visualized in Figure 1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ParameterError
+from repro.utils.validation import check_delta
+
+
+def sigma_lower_bound(
+    coverage: float, theta: int, n: int, delta: float, clamp: bool = True
+) -> float:
+    """Eq. 5: lower bound on ``sigma(S)`` holding w.p. >= ``1 - delta``.
+
+    Parameters
+    ----------
+    coverage:
+        ``Lambda_2(S*)`` — coverage of the seed set in the judge
+        collection ``R2``.
+    theta:
+        ``theta_2 = |R2|``.
+    n:
+        Number of graph nodes.
+    delta:
+        Failure probability ``delta_2``.
+    clamp:
+        Clamp the result at 0 (the raw formula can go negative when the
+        sample is tiny; a negative spread bound carries no information).
+    """
+    check_delta(delta)
+    if theta < 1:
+        raise ParameterError(f"theta must be >= 1, got {theta}")
+    if coverage < 0 or coverage > theta:
+        raise ParameterError(
+            f"coverage must be in [0, theta={theta}], got {coverage}"
+        )
+    a = math.log(1.0 / delta)
+    root = math.sqrt(coverage + 2.0 * a / 9.0) - math.sqrt(a / 2.0)
+    value = (root * root - a / 18.0) * n / theta
+    if clamp:
+        value = max(0.0, value)
+    return value
+
+
+def sigma_upper_bound(
+    coverage_upper: float, theta: int, n: int, delta: float
+) -> float:
+    """Eqs. 8/13/15: upper bound on ``sigma(S^o)`` w.p. >= ``1 - delta``.
+
+    Parameters
+    ----------
+    coverage_upper:
+        An upper bound on ``Lambda_1(S^o)`` — e.g.
+        ``Lambda_1(S*)/(1-1/e)`` (OPIM⁰, Eq. 8), ``Lambda_1^u(S^o)``
+        (OPIM⁺, Eq. 13), or ``Lambda_1^<>(S^o)`` (OPIM′, Eq. 15).
+    theta:
+        ``theta_1 = |R1|``.
+    """
+    check_delta(delta)
+    if theta < 1:
+        raise ParameterError(f"theta must be >= 1, got {theta}")
+    if coverage_upper < 0:
+        raise ParameterError(f"coverage_upper must be >= 0, got {coverage_upper}")
+    a = math.log(1.0 / delta)
+    root = math.sqrt(coverage_upper + a / 2.0) + math.sqrt(a / 2.0)
+    return root * root * n / theta
+
+
+def approximation_guarantee(
+    sigma_low: float, sigma_up: float, cap: float = 1.0
+) -> float:
+    """``alpha = sigma_l(S*) / sigma_u(S^o)``, clamped to ``[0, cap]``.
+
+    ``sigma_l <= sigma(S*) <= sigma(S^o) <= sigma_u`` holds w.h.p., so
+    the true ratio never exceeds 1; the cap only guards degenerate
+    numerics on tiny inputs.
+    """
+    if sigma_up <= 0.0:
+        return 0.0
+    return max(0.0, min(cap, sigma_low / sigma_up))
+
+
+# ----------------------------------------------------------------------
+# Lemma 4.4 — near-optimality of the delta/2 split (Figure 1)
+# ----------------------------------------------------------------------
+def lemma44_f(x: float, coverage_r2: float) -> float:
+    """``f(x) = (sqrt(Lambda_2 + 2x/9) - sqrt(x/2))^2 - x/18``.
+
+    Decreasing in ``x``; the numerator factor of the split ratio.
+    """
+    if x < 0:
+        raise ParameterError(f"x must be >= 0, got {x}")
+    root = math.sqrt(coverage_r2 + 2.0 * x / 9.0) - math.sqrt(x / 2.0)
+    return root * root - x / 18.0
+
+
+def lemma44_g(x: float, coverage_r1: float) -> float:
+    """``g(x) = (sqrt(Lambda_1/(1-1/e) + x/2) + sqrt(x/2))^2``.
+
+    Increasing in ``x``; the denominator factor of the split ratio.
+    """
+    if x < 0:
+        raise ParameterError(f"x must be >= 0, got {x}")
+    root = math.sqrt(coverage_r1 / (1.0 - 1.0 / math.e) + x / 2.0) + math.sqrt(
+        x / 2.0
+    )
+    return root * root
+
+
+def delta_split_ratio(delta: float, coverage_r1: float, coverage_r2: float) -> float:
+    """Lemma 4.4 ratio ``f(ln 2/d) g(ln 1/d) / (f(ln 1/d) g(ln 2/d))``.
+
+    Lower-bounds ``alpha / alpha'`` — how close the fixed split
+    ``delta_1 = delta_2 = delta / 2`` comes to the best possible split.
+    Values near 1 (Figure 1) justify the fixed split.
+    """
+    check_delta(delta)
+    ln1 = math.log(1.0 / delta)
+    ln2 = math.log(2.0 / delta)
+    numerator = lemma44_f(ln2, coverage_r2) * lemma44_g(ln1, coverage_r1)
+    denominator = lemma44_f(ln1, coverage_r2) * lemma44_g(ln2, coverage_r1)
+    if denominator <= 0.0:
+        raise ParameterError(
+            "split ratio undefined: f(ln 1/delta) is non-positive "
+            f"(coverage_r2={coverage_r2} too small for delta={delta})"
+        )
+    return numerator / denominator

@@ -1,0 +1,258 @@
+"""Command-line interface: ``repro-opim <command> [options]``.
+
+Commands
+--------
+``datasets``
+    Print Table 2 (the synthetic stand-ins vs. the paper's datasets).
+``online``
+    Run the online OPIM algorithm on a dataset and print guarantee
+    checkpoints (an interactive session in batch form).
+``solve``
+    Run one conventional IM algorithm (opim-c / imm / tim / ssa / dssa)
+    and print the seed set, sample count, and estimated spread.
+``figure``
+    Regenerate one of the paper's figures/tables (1-7, t1, t2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines import (
+    degree_discount_ic,
+    dssa_fix,
+    imm,
+    max_degree,
+    random_seeds,
+    single_discount,
+    ssa_fix,
+    tim_plus,
+)
+from repro.core import OnlineOPIM, opim_c
+from repro.core.session import OPIMSession
+from repro.datasets import dataset_names, load_dataset
+from repro.diffusion import monte_carlo_spread
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    format_result,
+    format_table,
+    table1,
+    table2,
+)
+from repro.experiments.ablations import (
+    collection_split_ablation,
+    delta_split_ablation,
+)
+from repro.experiments.reproduce import PRESETS, experiment_ids, run_all
+
+_SOLVERS = {
+    "opim-c": lambda g, m, k, e, d, s: opim_c(g, m, k, e, delta=d, seed=s),
+    "opim-c0": lambda g, m, k, e, d, s: opim_c(
+        g, m, k, e, delta=d, seed=s, bound="vanilla"
+    ),
+    "imm": lambda g, m, k, e, d, s: imm(g, m, k, e, delta=d, seed=s),
+    "tim": lambda g, m, k, e, d, s: tim_plus(g, m, k, e, delta=d, seed=s),
+    "ssa": lambda g, m, k, e, d, s: ssa_fix(g, m, k, e, delta=d, seed=s),
+    "dssa": lambda g, m, k, e, d, s: dssa_fix(g, m, k, e, delta=d, seed=s),
+    "degree": lambda g, m, k, e, d, s: max_degree(g, k),
+    "degree-discount": lambda g, m, k, e, d, s: degree_discount_ic(g, k),
+    "single-discount": lambda g, m, k, e, d, s: single_discount(g, k),
+    "random": lambda g, m, k, e, d, s: random_seeds(g, k, seed=s),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-opim",
+        description="OPIM (SIGMOD 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print the Table 2 dataset summary")
+
+    online = sub.add_parser("online", help="run the online OPIM algorithm")
+    online.add_argument("--dataset", default="pokec-sim", choices=dataset_names())
+    online.add_argument("--model", default="IC", choices=["IC", "LT"])
+    online.add_argument("--k", type=int, default=50)
+    online.add_argument("--scale", type=float, default=1.0)
+    online.add_argument("--seed", type=int, default=2018)
+    online.add_argument(
+        "--checkpoints",
+        type=int,
+        default=6,
+        help="number of doubling checkpoints starting at 1000 RR sets",
+    )
+
+    solve = sub.add_parser("solve", help="run one conventional IM algorithm")
+    solve.add_argument("--algorithm", default="opim-c", choices=sorted(_SOLVERS))
+    solve.add_argument("--dataset", default="pokec-sim", choices=dataset_names())
+    solve.add_argument("--model", default="IC", choices=["IC", "LT"])
+    solve.add_argument("--k", type=int, default=50)
+    solve.add_argument("--epsilon", type=float, default=0.3)
+    solve.add_argument("--delta", type=float, default=None)
+    solve.add_argument("--scale", type=float, default=1.0)
+    solve.add_argument("--seed", type=int, default=2018)
+    solve.add_argument("--spread-samples", type=int, default=2000)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure/table")
+    figure.add_argument(
+        "which",
+        choices=["1", "2", "3", "4", "5", "6", "7", "t1", "t2", "a1", "a2"],
+        help="1-7 = paper figures, t1/t2 = tables, a1/a2 = ablations",
+    )
+    figure.add_argument("--scale", type=float, default=0.25)
+    figure.add_argument("--repetitions", type=int, default=1)
+
+    session = sub.add_parser(
+        "session", help="run an interactive-style session to an alpha target"
+    )
+    session.add_argument("--dataset", default="pokec-sim", choices=dataset_names())
+    session.add_argument("--model", default="IC", choices=["IC", "LT"])
+    session.add_argument("--k", type=int, default=50)
+    session.add_argument("--scale", type=float, default=1.0)
+    session.add_argument("--seed", type=int, default=2018)
+    session.add_argument("--alpha-target", type=float, default=0.75)
+    session.add_argument("--rr-budget", type=int, default=500_000)
+    session.add_argument("--step", type=int, default=2000)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate every table/figure into a directory"
+    )
+    reproduce.add_argument("--out", default="reproduction", help="output directory")
+    reproduce.add_argument("--preset", default="smoke", choices=sorted(PRESETS))
+    reproduce.add_argument("--seed", type=int, default=2018)
+    reproduce.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        choices=experiment_ids(),
+        help="subset of experiments to run",
+    )
+
+    return parser
+
+
+def _cmd_datasets() -> int:
+    print(format_table(table2()))
+    return 0
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale)
+    algo = OnlineOPIM(graph, args.model, k=min(args.k, graph.n), seed=args.seed)
+    print(f"dataset={graph.name} n={graph.n} m={graph.m} model={args.model}")
+    budget = 1000
+    for _ in range(args.checkpoints):
+        algo.extend_to(budget)
+        snaps = algo.query_all()
+        line = "  ".join(
+            f"{label}={snaps[v].alpha:.4f}"
+            for v, label in (
+                ("vanilla", "OPIM0"),
+                ("greedy", "OPIM+"),
+                ("leskovec", "OPIM'"),
+            )
+        )
+        print(f"RR sets {budget:>8d}: {line}  (t={algo.timer.elapsed:.2f}s)")
+        budget *= 2
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale)
+    solver = _SOLVERS[args.algorithm]
+    result = solver(
+        graph, args.model, min(args.k, graph.n), args.epsilon, args.delta, args.seed
+    )
+    spread = monte_carlo_spread(
+        graph, result.seeds, args.model, num_samples=args.spread_samples, seed=1
+    )
+    print(f"algorithm   : {result.algorithm}")
+    print(f"dataset     : {graph.name} (n={graph.n}, m={graph.m})")
+    print(f"seeds       : {result.seeds}")
+    print(f"RR sets     : {result.num_rr_sets}")
+    print(f"iterations  : {result.iterations}")
+    print(f"time        : {result.elapsed:.2f}s")
+    print(f"est. spread : {spread.mean:.1f} (+- {1.96 * spread.std_error:.1f})")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    which = args.which
+    if which == "1":
+        print(format_result(figure1(), x_format=".3g"))
+    elif which == "t1":
+        print(format_table(table1(scale=args.scale)))
+    elif which == "t2":
+        print(format_table(table2()))
+    elif which in {"2", "3", "4", "5"}:
+        runner = {"2": figure2, "3": figure3, "4": figure4, "5": figure5}[which]
+        kwargs = dict(scale=args.scale, repetitions=args.repetitions)
+        if which in {"3", "5"}:
+            kwargs["ks"] = (1, 10, 100)
+        print(format_result(runner(**kwargs)))
+    elif which in {"a1", "a2"}:
+        graph = load_dataset("pokec-sim", scale=args.scale)
+        runner = {"a1": delta_split_ablation, "a2": collection_split_ablation}[which]
+        print(
+            format_result(
+                runner(graph, "IC", k=20, repetitions=args.repetitions, seed=2018)
+            )
+        )
+    else:
+        runner = {"6": figure6, "7": figure7}[which]
+        print(format_result(runner(scale=args.scale, repetitions=args.repetitions)))
+    return 0
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale)
+    session = OPIMSession(
+        graph, args.model, k=min(args.k, graph.n), seed=args.seed
+    )
+    result = session.run_until(
+        alpha_target=args.alpha_target,
+        rr_budget=args.rr_budget,
+        step=args.step,
+    )
+    for snap in result.history:
+        print(
+            f"query @ {snap.num_rr_sets:>8d} RR sets: alpha = {snap.alpha:.4f}"
+        )
+    print(f"stopped: {result.stop.kind} ({result.stop.detail})")
+    print(f"seeds  : {result.snapshot.seeds}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "online":
+        return _cmd_online(args)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "session":
+        return _cmd_session(args)
+    if args.command == "reproduce":
+        runtimes = run_all(
+            args.out, preset=args.preset, seed=args.seed, only=args.only
+        )
+        for name, seconds in runtimes.items():
+            print(f"{name:28s} {seconds:8.2f}s -> {args.out}/{name}.txt")
+        return 0
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

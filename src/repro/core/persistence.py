@@ -1,0 +1,98 @@
+"""Checkpoint/restore for online OPIM runs.
+
+An OPIM run's entire statistical state is (i) the two RR collections
+and (ii) the sampler's RNG state and cost counters.  Persisting those
+lets a pause-anytime session also be a *stop-and-restart-anytime*
+session: after :func:`load_opim`, queries pick up with exactly the
+guarantees (and the randomness stream) the original process would have
+produced.
+
+Format: a directory containing ``r1.npz`` / ``r2.npz`` (see
+:mod:`repro.sampling.serialize`) and ``meta.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.opim import OnlineOPIM
+from repro.exceptions import GraphFormatError, ParameterError
+from repro.graph.digraph import DiGraph
+from repro.sampling.serialize import load_collection, save_collection
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_opim(online: OnlineOPIM, directory: PathLike) -> None:
+    """Checkpoint *online* into *directory* (created if missing).
+
+    Only plain :class:`~repro.sampling.generator.RRSampler`-compatible
+    samplers with a numpy ``Generator`` are supported (custom
+    triggering samplers carry arbitrary closures we cannot serialize).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_collection(online.r1, directory / "r1.npz")
+    save_collection(online.r2, directory / "r2.npz")
+    try:
+        rng_state = online.sampler.rng.bit_generator.state
+    except AttributeError:
+        raise ParameterError(
+            "cannot checkpoint a session whose sampler has no numpy Generator"
+        )
+    meta = {
+        "version": _FORMAT_VERSION,
+        "n": online.graph.n,
+        "m": online.graph.m,
+        "model": online.sampler.model,
+        "k": online.k,
+        "delta": online.delta,
+        "bound": online.bound,
+        "edges_examined": int(online.sampler.edges_examined),
+        "sets_generated": int(online.sampler.sets_generated),
+        "elapsed": online.timer.elapsed,
+        "rng_state": rng_state,
+    }
+    (directory / "meta.json").write_text(json.dumps(meta), encoding="utf-8")
+
+
+def load_opim(graph: DiGraph, directory: PathLike) -> OnlineOPIM:
+    """Restore a checkpointed session onto *graph*.
+
+    The caller provides the graph (graphs are large and typically live
+    in their own files); its shape is validated against the
+    checkpoint's metadata.
+    """
+    directory = Path(directory)
+    meta_path = directory / "meta.json"
+    if not meta_path.exists():
+        raise GraphFormatError(f"{directory}: no meta.json checkpoint found")
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    if meta.get("version") != _FORMAT_VERSION:
+        raise GraphFormatError(
+            f"{directory}: unsupported checkpoint version {meta.get('version')}"
+        )
+    if meta["n"] != graph.n or meta["m"] != graph.m:
+        raise ParameterError(
+            f"checkpoint was taken on a graph with n={meta['n']}, m={meta['m']}; "
+            f"got n={graph.n}, m={graph.m}"
+        )
+
+    online = OnlineOPIM(
+        graph,
+        meta["model"],
+        k=meta["k"],
+        delta=meta["delta"],
+        bound=meta["bound"],
+    )
+    online.r1 = load_collection(directory / "r1.npz")
+    online.r2 = load_collection(directory / "r2.npz")
+    online.sampler.rng.bit_generator.state = meta["rng_state"]
+    online.sampler.edges_examined = meta["edges_examined"]
+    online.sampler.sets_generated = meta["sets_generated"]
+    online.timer._accumulated = float(meta["elapsed"])
+    return online

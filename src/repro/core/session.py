@@ -1,0 +1,189 @@
+"""High-level online-processing sessions on top of :class:`OnlineOPIM`.
+
+Two features the paper describes around its core algorithm:
+
+* **Simultaneous guarantees** (Section 4, "Discussions"): when the user
+  queries at multiple timestamps, each snapshot individually holds
+  w.p. >= 1 - delta, but not jointly.  The paper's fix is a failure
+  schedule: give the i-th query failure budget ``delta / 2^i`` so the
+  union over all queries stays within ``delta``.
+  :class:`OPIMSession` implements that schedule.
+
+* **Stopping conditions**: the OPIM use case is "run until the
+  guarantee is good enough or the budget runs out".
+  :meth:`OPIMSession.run_until` packages the extend/query loop with
+  alpha / RR-set / wall-clock budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.opim import OnlineOPIM
+from repro.core.results import OnlineSnapshot
+from repro.exceptions import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class StopReason:
+    """Why :meth:`OPIMSession.run_until` returned."""
+
+    kind: str  # "alpha" | "rr_budget" | "time_budget" | "max_queries"
+    detail: str
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Final snapshot plus the full query history and the stop cause."""
+
+    snapshot: OnlineSnapshot
+    history: List[OnlineSnapshot]
+    stop: StopReason
+
+
+class OPIMSession:
+    """An interactive OPIM session with a joint failure budget.
+
+    Parameters mirror :class:`OnlineOPIM`; ``delta`` is the *total*
+    failure probability across **all** queries of the session.  The
+    i-th query (1-based) runs with per-query failure budget
+    ``delta / 2^i``, so by the union bound every guarantee ever
+    reported holds simultaneously w.p. >= 1 - delta.
+
+    >>> from repro.graph import power_law_graph, assign_wc_weights
+    >>> g = assign_wc_weights(power_law_graph(200, 5, seed=3))
+    >>> session = OPIMSession(g, "IC", k=4, delta=0.1, seed=3)
+    >>> session.extend(1000)
+    >>> first = session.query()
+    >>> session.extend(1000)
+    >>> second = session.query()
+    >>> second.num_rr_sets > first.num_rr_sets
+    True
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        model: str,
+        k: int,
+        delta: Optional[float] = None,
+        bound: str = "greedy",
+        seed: SeedLike = None,
+    ) -> None:
+        self._online = OnlineOPIM(
+            graph, model, k=k, delta=delta if delta is not None else 1.0 / graph.n,
+            bound=bound, seed=seed,
+        )
+        self.queries_made = 0
+        self.history: List[OnlineSnapshot] = []
+
+    # Delegated streaming interface -----------------------------------
+    @property
+    def delta(self) -> float:
+        return self._online.delta
+
+    @property
+    def num_rr_sets(self) -> int:
+        return self._online.num_rr_sets
+
+    @property
+    def online(self) -> OnlineOPIM:
+        """The underlying single-query algorithm (advanced use)."""
+        return self._online
+
+    def extend(self, count: int) -> None:
+        self._online.extend(count)
+
+    def extend_to(self, total: int) -> None:
+        self._online.extend_to(total)
+
+    # Scheduled querying ----------------------------------------------
+    def next_query_delta(self) -> float:
+        """Failure budget the next query will use (``delta / 2^(i)``)."""
+        return self.delta / (2.0 ** (self.queries_made + 1))
+
+    def query(self, bound: Optional[str] = None) -> OnlineSnapshot:
+        """Query under the simultaneous-guarantee schedule.
+
+        The returned snapshot's alpha holds jointly with every previous
+        snapshot of this session w.p. >= 1 - delta.
+        """
+        query_delta = self.next_query_delta()
+        snapshot = self._online.query(
+            bound=bound, delta1=query_delta / 2.0, delta2=query_delta / 2.0
+        )
+        self.queries_made += 1
+        self.history.append(snapshot)
+        return snapshot
+
+    def run_until(
+        self,
+        alpha_target: Optional[float] = None,
+        rr_budget: Optional[int] = None,
+        time_budget: Optional[float] = None,
+        step: int = 2000,
+        max_queries: int = 64,
+    ) -> SessionResult:
+        """Extend-and-query until a stopping condition fires.
+
+        Parameters
+        ----------
+        alpha_target:
+            Stop once a snapshot's guarantee reaches this value.
+        rr_budget:
+            Stop before exceeding this many total RR sets.
+        time_budget:
+            Stop once the algorithm's own wall-clock time (sampling +
+            querying) exceeds this many seconds, checked per round.
+        step:
+            RR sets added between queries (doubled geometrically after
+            each unsatisfied query, mirroring the paper's checkpoints).
+        max_queries:
+            Hard cap on query rounds.
+
+        At least one of the three budgets/targets must be given.
+        """
+        if alpha_target is None and rr_budget is None and time_budget is None:
+            raise ParameterError(
+                "provide at least one of alpha_target, rr_budget, time_budget"
+            )
+        if alpha_target is not None and not 0.0 < alpha_target <= 1.0:
+            raise ParameterError(f"alpha_target must be in (0, 1], got {alpha_target}")
+        if step < 2:
+            raise ParameterError(f"step must be >= 2, got {step}")
+
+        snapshot = None
+        stop = StopReason("max_queries", f"{max_queries} queries exhausted")
+        grow = step
+        for _ in range(max_queries):
+            target_total = self.num_rr_sets + grow
+            if rr_budget is not None and target_total > rr_budget:
+                target_total = rr_budget
+            if target_total <= self.num_rr_sets:
+                stop = StopReason("rr_budget", f"budget {rr_budget} reached")
+                break
+            self.extend_to(target_total)
+            snapshot = self.query()
+            if alpha_target is not None and snapshot.alpha >= alpha_target:
+                stop = StopReason(
+                    "alpha", f"alpha {snapshot.alpha:.4f} >= {alpha_target}"
+                )
+                break
+            if time_budget is not None and self._online.timer.elapsed >= time_budget:
+                stop = StopReason(
+                    "time_budget",
+                    f"{self._online.timer.elapsed:.2f}s >= {time_budget}s",
+                )
+                break
+            if rr_budget is not None and self.num_rr_sets >= rr_budget:
+                stop = StopReason("rr_budget", f"budget {rr_budget} reached")
+                break
+            grow *= 2
+
+        if snapshot is None:
+            # No query ran (rr_budget below current stream size).
+            snapshot = self.query()
+        return SessionResult(snapshot=snapshot, history=list(self.history), stop=stop)

@@ -1,0 +1,58 @@
+"""Sample-size formulas for OPIM-C (paper, Eqs. 16–17).
+
+``theta_max`` upper-bounds the number of RR sets guaranteeing a
+``(1 - 1/e - epsilon)``-approximation w.p. ``1 - delta/3`` (Lemma 6.1
+instantiated with ``delta/3``); ``theta_0`` is the starting collection
+size; OPIM-C doubles from ``theta_0`` at most ``i_max`` times before it
+reaches ``theta_max``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ParameterError
+from repro.utils.validation import check_delta, check_epsilon, check_k
+
+
+def log_binomial(n: int, k: int) -> float:
+    """``ln C(n, k)`` via lgamma, stable for large ``n``."""
+    if k < 0 or k > n:
+        raise ParameterError(f"require 0 <= k <= n, got k={k}, n={n}")
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+def theta_max(n: int, k: int, epsilon: float, delta: float) -> float:
+    """Eq. 16: RR sets sufficient for ``(1-1/e-eps)`` w.p. ``1-delta/3``.
+
+    ``theta_max = 2n ((1-1/e) sqrt(ln 6/delta)
+    + sqrt((1-1/e)(ln C(n,k) + ln 6/delta)))^2 / (eps^2 k)``
+    """
+    check_k(k, n)
+    check_epsilon(epsilon)
+    check_delta(delta)
+    c = 1.0 - 1.0 / math.e
+    log_term = math.log(6.0 / delta)
+    numerator = (
+        c * math.sqrt(log_term)
+        + math.sqrt(c * (log_binomial(n, k) + log_term))
+    ) ** 2
+    return 2.0 * n * numerator / (epsilon * epsilon * k)
+
+
+def theta_0(n: int, k: int, epsilon: float, delta: float) -> float:
+    """Eq. 17: ``theta_0 = theta_max * eps^2 k / n``.
+
+    Algebraically this is the Eq. 16 numerator alone — a size
+    independent of ``n/eps^2 k`` that keeps the first iteration cheap.
+    """
+    return theta_max(n, k, epsilon, delta) * epsilon * epsilon * k / n
+
+
+def i_max_iterations(n: int, k: int, epsilon: float, delta: float) -> int:
+    """``i_max = ceil(log2(theta_max / theta_0)) = ceil(log2(n / (eps^2 k)))``."""
+    t_max = theta_max(n, k, epsilon, delta)
+    t_0 = theta_0(n, k, epsilon, delta)
+    return max(1, math.ceil(math.log2(t_max / t_0)))

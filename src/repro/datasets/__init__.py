@@ -1,0 +1,17 @@
+"""Dataset registry: synthetic stand-ins for the paper's SNAP graphs."""
+
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+    table2_rows,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "table2_rows",
+]

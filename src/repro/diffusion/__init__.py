@@ -1,0 +1,21 @@
+"""Influence diffusion models: IC, LT, and the triggering generalization."""
+
+from repro.diffusion.base import DiffusionModel, get_model
+from repro.diffusion.batch_sim import batched_monte_carlo_spread, compare_seed_sets
+from repro.diffusion.ic import IndependentCascade
+from repro.diffusion.lt import LinearThreshold
+from repro.diffusion.spread import exact_spread_ic, monte_carlo_spread
+from repro.diffusion.triggering import TriggeringModel, live_edge_spread
+
+__all__ = [
+    "DiffusionModel",
+    "get_model",
+    "IndependentCascade",
+    "LinearThreshold",
+    "TriggeringModel",
+    "live_edge_spread",
+    "monte_carlo_spread",
+    "batched_monte_carlo_spread",
+    "compare_seed_sets",
+    "exact_spread_ic",
+]

@@ -1,0 +1,169 @@
+"""Batched forward simulation and low-variance seed-set comparison.
+
+Two tools for the evaluation side (the paper estimates every reported
+spread from 10,000 Monte-Carlo cascades):
+
+* :func:`batched_monte_carlo_spread` — run many IC cascades in
+  lock-step with numpy (one Python iteration per cascade *level* for a
+  whole batch), typically 5-20x faster than the scalar simulator.
+* :func:`compare_seed_sets` — evaluate several seed sets under
+  *common random numbers*: every candidate is scored on the same
+  sampled live-edge graphs, so spread *differences* have far lower
+  variance than independent estimates (the right tool for Figure
+  6(a)-style "are these algorithms' seeds equally good?" questions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.diffusion.spread import SpreadEstimate
+from repro.diffusion.triggering import (
+    ic_triggering_mask,
+    live_edge_spread,
+    lt_triggering_mask,
+)
+from repro.exceptions import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import SeedLike, as_generator
+
+
+def batched_monte_carlo_spread(
+    graph: DiGraph,
+    seeds: Iterable[int],
+    num_samples: int = 10_000,
+    seed: SeedLike = None,
+    batch_size: int = 128,
+) -> SpreadEstimate:
+    """IC spread estimate with batch-parallel cascades.
+
+    Semantically identical to
+    :func:`repro.diffusion.spread.monte_carlo_spread` with
+    ``model="IC"`` (different random stream, same distribution).
+    """
+    if not graph.weighted:
+        raise ParameterError("graph must be weighted")
+    if num_samples < 1:
+        raise ParameterError(f"num_samples must be >= 1, got {num_samples}")
+    if batch_size < 1:
+        raise ParameterError(f"batch_size must be >= 1, got {batch_size}")
+    seed_list = sorted({int(s) for s in seeds})
+    if not seed_list:
+        return SpreadEstimate(0.0, 0.0, num_samples)
+    for s in seed_list:
+        if not 0 <= s < graph.n:
+            raise ParameterError(f"seed {s} out of range")
+
+    rng = as_generator(seed)
+    n = graph.n
+    out_offsets = graph.out_offsets
+    out_targets = graph.out_targets
+    out_probs = graph.out_probs
+    seed_array = np.asarray(seed_list, dtype=np.int64)
+
+    sizes = np.empty(num_samples, dtype=np.float64)
+    done = 0
+    while done < num_samples:
+        batch = min(batch_size, num_samples - done)
+        active = np.zeros((batch, n), dtype=bool)
+        sample_ids = np.repeat(np.arange(batch, dtype=np.int64), seed_array.size)
+        nodes = np.tile(seed_array, batch)
+        active[sample_ids, nodes] = True
+        counts = np.full(batch, seed_array.size, dtype=np.int64)
+
+        frontier_samples, frontier_nodes = sample_ids, nodes
+        while frontier_nodes.size:
+            starts = out_offsets[frontier_nodes]
+            lengths = out_offsets[frontier_nodes + 1] - starts
+            total = int(lengths.sum())
+            if total == 0:
+                break
+            cum = np.cumsum(lengths)
+            index = np.arange(total, dtype=np.int64) + np.repeat(
+                starts - np.concatenate(([0], cum[:-1])), lengths
+            )
+            edge_samples = np.repeat(frontier_samples, lengths)
+            hit = rng.random(total) < out_probs[index]
+            if not hit.any():
+                break
+            hit_samples = edge_samples[hit]
+            hit_nodes = out_targets[index][hit].astype(np.int64)
+            fresh = ~active[hit_samples, hit_nodes]
+            if not fresh.any():
+                break
+            codes = np.unique(
+                hit_samples[fresh] * np.int64(n) + hit_nodes[fresh]
+            )
+            frontier_samples = codes // n
+            frontier_nodes = codes % n
+            active[frontier_samples, frontier_nodes] = True
+            counts += np.bincount(frontier_samples, minlength=batch)
+
+        sizes[done : done + batch] = counts
+        done += batch
+
+    mean = float(sizes.mean())
+    std_error = (
+        float(sizes.std(ddof=1) / np.sqrt(num_samples)) if num_samples > 1 else 0.0
+    )
+    return SpreadEstimate(mean=mean, std_error=std_error, num_samples=num_samples)
+
+
+def compare_seed_sets(
+    graph: DiGraph,
+    seed_sets: Dict[str, Sequence[int]],
+    model: str = "IC",
+    num_samples: int = 1_000,
+    seed: SeedLike = None,
+) -> Dict[str, SpreadEstimate]:
+    """Estimate spreads of several seed sets on *shared* live-edge
+    samples (common random numbers).
+
+    Each of the ``num_samples`` rounds draws one live-edge graph and
+    scores every candidate's reachability on it, so per-round noise
+    cancels in cross-candidate comparisons.
+    """
+    if not graph.weighted:
+        raise ParameterError("graph must be weighted")
+    if not seed_sets:
+        raise ParameterError("seed_sets must be non-empty")
+    if num_samples < 1:
+        raise ParameterError(f"num_samples must be >= 1, got {num_samples}")
+    model = model.upper()
+    if model == "IC":
+        mask_sampler = ic_triggering_mask
+    elif model == "LT":
+        mask_sampler = lt_triggering_mask
+    else:
+        raise ParameterError(f"model must be 'IC' or 'LT', got {model!r}")
+
+    names = list(seed_sets)
+    for name in names:
+        for s in seed_sets[name]:
+            if not 0 <= int(s) < graph.n:
+                raise ParameterError(f"seed {s} in {name!r} out of range")
+
+    rng = as_generator(seed)
+    totals = {name: np.empty(num_samples, dtype=np.float64) for name in names}
+    for i in range(num_samples):
+        mask = mask_sampler(graph, rng)
+        for name in names:
+            reached = live_edge_spread(graph, seed_sets[name], mask)
+            totals[name][i] = reached.size
+
+    estimates = {}
+    for name in names:
+        values = totals[name]
+        std_error = (
+            float(values.std(ddof=1) / np.sqrt(num_samples))
+            if num_samples > 1
+            else 0.0
+        )
+        estimates[name] = SpreadEstimate(
+            mean=float(values.mean()),
+            std_error=std_error,
+            num_samples=num_samples,
+        )
+    return estimates

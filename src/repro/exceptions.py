@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class at integration boundaries while the
+library keeps fine-grained types internally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph is structurally invalid or inconsistent."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when parsing an on-disk graph representation fails."""
+
+
+class WeightError(GraphError):
+    """Raised when edge probabilities are out of range or malformed.
+
+    Includes the LT-model constraint that the propagation probabilities
+    on any node's incoming edges must sum to at most 1.
+    """
+
+
+class ParameterError(ReproError):
+    """Raised when an algorithm parameter is outside its valid domain.
+
+    Examples: ``k < 1``, ``k > n``, ``epsilon`` outside ``(0, 1)``, or
+    ``delta`` outside ``(0, 1)``.
+    """
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative algorithm exhausts its iteration budget
+    without satisfying its stopping condition (should not happen for the
+    paper's algorithms, whose last iteration always returns)."""
+
+
+class BudgetExceededError(ReproError):
+    """Raised when an algorithm overruns an RR-set budget cap.
+
+    Carries ``num_rr_sets`` so the OPIM-adoption wrapper (Section 3.3)
+    can account for the partial invocation it had to abandon.
+    """
+
+    def __init__(self, message: str, num_rr_sets: int = 0) -> None:
+        super().__init__(message)
+        self.num_rr_sets = num_rr_sets
+
+
+class StateError(ReproError):
+    """Raised when an online algorithm is driven through an invalid
+    state transition (e.g. querying a stopped instance)."""

@@ -1,0 +1,52 @@
+"""Experiment harness reproducing every table and figure in Section 8."""
+
+from repro.experiments.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    table1,
+    table2,
+)
+from repro.experiments.harness import (
+    ExperimentResult,
+    Series,
+    conventional_comparison,
+    online_guarantee_curves,
+)
+from repro.experiments.reporting import (
+    format_result,
+    format_series,
+    format_table,
+    save_results_json,
+)
+from repro.experiments.reproduce import experiment_ids, run_all
+from repro.experiments.spread_curve import spread_vs_k_experiment
+from repro.experiments.time_curves import online_time_curves
+
+__all__ = [
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "table1",
+    "table2",
+    "ExperimentResult",
+    "Series",
+    "online_guarantee_curves",
+    "conventional_comparison",
+    "format_result",
+    "format_series",
+    "format_table",
+    "save_results_json",
+    "run_all",
+    "experiment_ids",
+    "spread_vs_k_experiment",
+    "online_time_curves",
+]

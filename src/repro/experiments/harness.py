@@ -1,0 +1,310 @@
+"""Generic experiment runners shared by all figures.
+
+Two workloads cover the paper's whole evaluation:
+
+* :func:`online_guarantee_curves` — the OPIM experiments (Figures 2–5):
+  drive every online algorithm through the same RR-set checkpoints
+  ``base * 2^i`` and record the approximation guarantee each reports.
+* :func:`conventional_comparison` — the influence-maximization
+  experiments (Figures 6–7): run every conventional algorithm across an
+  ``epsilon`` grid and record seed-set spread, RR-set count, and time.
+
+Both average over ``repetitions`` independent seeds (the paper uses 50;
+defaults here are small so tests and benches stay fast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.dssa import dssa_fix
+from repro.baselines.imm import imm
+from repro.baselines.ssa import ssa_fix
+from repro.core.adoption import OPIMAdoption
+from repro.core.borgs import BorgsOnline
+from repro.core.opim import OnlineOPIM
+from repro.core.opimc import opim_c
+from repro.diffusion.spread import monte_carlo_spread
+from repro.exceptions import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import SeedLike, spawn_generators
+
+#: Display names matching the paper's figure legends.
+OPIM_VARIANT_LABELS = {
+    "vanilla": "OPIM0",
+    "greedy": "OPIM+",
+    "leskovec": "OPIM'",
+}
+
+ADOPTED_ALGORITHMS: Dict[str, Callable] = {
+    "IMM": imm,
+    "SSA-Fix": ssa_fix,
+    "D-SSA-Fix": dssa_fix,
+}
+
+
+@dataclass
+class Series:
+    """One plotted line: label, (x, y) points, optional error bars.
+
+    ``y_err`` holds the standard deviation across repetitions when the
+    harness ran more than one (empty otherwise).
+    """
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+    y_err: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float, y_err: float = None) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+        if y_err is not None:
+            self.y_err.append(float(y_err))
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(zip(self.x, self.y))
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        payload = {"label": self.label, "x": list(self.x), "y": list(self.y)}
+        if self.y_err:
+            payload["y_err"] = list(self.y_err)
+        return payload
+
+
+@dataclass
+class ExperimentResult:
+    """One figure panel: id, axis labels, and its series."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: Dict[str, Series] = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+
+    def get(self, label: str) -> Series:
+        return self.series[label]
+
+    def labels(self) -> List[str]:
+        return list(self.series)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (for external plotting)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "metadata": dict(self.metadata),
+            "series": [s.to_dict() for s in self.series.values()],
+        }
+
+
+def checkpoint_grid(base: int = 1000, num: int = 11) -> List[int]:
+    """The paper's RR-set checkpoints ``base * 2^i, i = 0..num-1``."""
+    if base < 2 or num < 1:
+        raise ParameterError("base must be >= 2 and num >= 1")
+    return [base * (2**i) for i in range(num)]
+
+
+def online_guarantee_curves(
+    graph: DiGraph,
+    model: str,
+    k: int,
+    checkpoints: Sequence[int],
+    delta: Optional[float] = None,
+    repetitions: int = 3,
+    seed: SeedLike = None,
+    include_adoptions: bool = True,
+    include_borgs: bool = True,
+) -> ExperimentResult:
+    """Reported guarantee vs. #RR sets for all seven online algorithms.
+
+    Algorithms evaluated (paper Figures 2–5): Borgs et al., OPIM0,
+    OPIM+, OPIM', and the OPIM-adoptions of IMM / SSA-Fix / D-SSA-Fix.
+    Every algorithm is checkpointed at exactly the budgets in
+    *checkpoints* and every repetition uses an independent RNG stream;
+    curves carry the mean over repetitions.
+    """
+    if delta is None:
+        delta = 1.0 / graph.n
+    checkpoints = sorted(int(c) for c in checkpoints)
+    labels = list(OPIM_VARIANT_LABELS.values())
+    if include_borgs:
+        labels.append("Borgs")
+    if include_adoptions:
+        labels.extend(ADOPTED_ALGORITHMS)
+
+    samples = {
+        label: np.zeros((repetitions, len(checkpoints))) for label in labels
+    }
+    rep_rngs = spawn_generators(seed, repetitions)
+    for rep, rep_rng in enumerate(rep_rngs):
+        rngs = spawn_generators(rep_rng, 2 + len(ADOPTED_ALGORITHMS))
+
+        # Our OPIM family shares one sampling stream across variants.
+        online = OnlineOPIM(graph, model, k=k, delta=delta, seed=rngs[0])
+        for idx, budget in enumerate(checkpoints):
+            online.extend_to(budget)
+            snapshots = online.query_all()
+            for variant, label in OPIM_VARIANT_LABELS.items():
+                samples[label][rep, idx] = snapshots[variant].alpha
+
+        if include_borgs:
+            borgs = BorgsOnline(graph, model, k=k, delta=delta, seed=rngs[1])
+            for idx, budget in enumerate(checkpoints):
+                borgs.extend_to(budget)
+                samples["Borgs"][rep, idx] = borgs.query().alpha
+
+        if include_adoptions:
+            max_budget = checkpoints[-1]
+            for alg_idx, (name, run) in enumerate(ADOPTED_ALGORITHMS.items()):
+                alg_rng = rngs[2 + alg_idx]
+
+                def invoke(epsilon: float, rr_cap: Optional[int], _run=run):
+                    return _run(
+                        graph,
+                        model,
+                        k,
+                        epsilon,
+                        delta=delta,
+                        seed=alg_rng,
+                        rr_budget=rr_cap,
+                    )
+
+                curve = OPIMAdoption(name, invoke).run(max_budget)
+                for idx, budget in enumerate(checkpoints):
+                    samples[name][rep, idx] = curve.guarantee_at(budget)
+
+    result = ExperimentResult(
+        experiment_id="online-guarantees",
+        title=f"Approximation guarantee ({graph.name}, {model}, k={k})",
+        x_label="number of RR sets",
+        y_label="approximation guarantee",
+        metadata={
+            "dataset": graph.name,
+            "model": model,
+            "k": k,
+            "delta": delta,
+            "repetitions": repetitions,
+        },
+    )
+    for label in labels:
+        series = Series(label)
+        means = samples[label].mean(axis=0)
+        stds = (
+            samples[label].std(axis=0, ddof=1)
+            if repetitions > 1
+            else np.zeros(len(checkpoints))
+        )
+        for idx, budget in enumerate(checkpoints):
+            series.add(budget, means[idx], stds[idx])
+        result.series[label] = series
+    return result
+
+
+CONVENTIONAL_ALGORITHMS = ("OPIM-C0", "OPIM-C'", "OPIM-C+", "IMM", "SSA-Fix", "D-SSA-Fix")
+
+_OPIMC_BOUNDS = {"OPIM-C0": "vanilla", "OPIM-C'": "leskovec", "OPIM-C+": "greedy"}
+
+
+def conventional_comparison(
+    graph: DiGraph,
+    model: str,
+    k: int,
+    epsilons: Sequence[float],
+    delta: Optional[float] = None,
+    repetitions: int = 3,
+    seed: SeedLike = None,
+    spread_samples: int = 2000,
+    algorithms: Sequence[str] = CONVENTIONAL_ALGORITHMS,
+) -> Dict[str, ExperimentResult]:
+    """Spread / RR-set count / runtime vs. epsilon (Figures 6–7).
+
+    Returns three panels keyed ``"spread"``, ``"rr_sets"`` and
+    ``"time"``.  The paper's panel (b) plots running time; RR-set
+    counts are included as the hardware-independent equivalent.
+    """
+    if delta is None:
+        delta = 1.0 / graph.n
+    for name in algorithms:
+        if name not in CONVENTIONAL_ALGORITHMS:
+            raise ParameterError(f"unknown algorithm {name!r}")
+    epsilons = [float(e) for e in epsilons]
+
+    shape = (repetitions, len(epsilons))
+    spread_values = {a: np.zeros(shape) for a in algorithms}
+    rr_values = {a: np.zeros(shape) for a in algorithms}
+    time_values = {a: np.zeros(shape) for a in algorithms}
+
+    rep_rngs = spawn_generators(seed, repetitions)
+    for rep, rep_rng in enumerate(rep_rngs):
+        rngs = spawn_generators(rep_rng, len(algorithms) + 1)
+        eval_rng = rngs[-1]
+        for alg_idx, name in enumerate(algorithms):
+            alg_rng = rngs[alg_idx]
+            for eps_idx, epsilon in enumerate(epsilons):
+                if name in _OPIMC_BOUNDS:
+                    result = opim_c(
+                        graph,
+                        model,
+                        k,
+                        epsilon,
+                        delta=delta,
+                        bound=_OPIMC_BOUNDS[name],
+                        seed=alg_rng,
+                    )
+                else:
+                    result = ADOPTED_ALGORITHMS[name](
+                        graph, model, k, epsilon, delta=delta, seed=alg_rng
+                    )
+                estimate = monte_carlo_spread(
+                    graph,
+                    result.seeds,
+                    model,
+                    num_samples=spread_samples,
+                    seed=eval_rng,
+                )
+                spread_values[name][rep, eps_idx] = estimate.mean
+                rr_values[name][rep, eps_idx] = result.num_rr_sets
+                time_values[name][rep, eps_idx] = result.elapsed
+
+    def make_panel(panel_id: str, y_label: str, values: Dict[str, np.ndarray]):
+        panel = ExperimentResult(
+            experiment_id=panel_id,
+            title=f"{y_label} ({graph.name}, {model}, k={k})",
+            x_label="epsilon",
+            y_label=y_label,
+            metadata={
+                "dataset": graph.name,
+                "model": model,
+                "k": k,
+                "delta": delta,
+                "repetitions": repetitions,
+            },
+        )
+        for name in algorithms:
+            series = Series(name)
+            means = values[name].mean(axis=0)
+            stds = (
+                values[name].std(axis=0, ddof=1)
+                if repetitions > 1
+                else np.zeros(len(epsilons))
+            )
+            for eps_idx, epsilon in enumerate(epsilons):
+                series.add(epsilon, means[eps_idx], stds[eps_idx])
+            panel.series[name] = series
+        return panel
+
+    return {
+        "spread": make_panel(
+            "conventional-spread", "expected spread", spread_values
+        ),
+        "rr_sets": make_panel("conventional-rr", "RR sets generated", rr_values),
+        "time": make_panel("conventional-time", "running time (s)", time_values),
+    }

@@ -1,0 +1,105 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The paper presents line plots; an offline terminal reproduction prints
+the same data as aligned tables — one row per x value, one column per
+algorithm — which is also what EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.experiments.harness import ExperimentResult
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] = None) -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0])
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in cells
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_series(
+    result: ExperimentResult, x_format: str = "g", show_err: bool = False
+) -> str:
+    """Render one experiment panel as an x-by-algorithm table.
+
+    ``show_err=True`` appends ``±std`` (across repetitions) to each
+    cell when the series carries error bars.
+    """
+    labels = result.labels()
+    if not labels:
+        return f"{result.title}\n(no series)"
+    xs = result.series[labels[0]].x
+    rows: List[dict] = []
+    for i, x in enumerate(xs):
+        row = {result.x_label: format(x, x_format)}
+        for label in labels:
+            series = result.series[label]
+            if i >= len(series.y):
+                row[label] = ""
+                continue
+            cell = _fmt(series.y[i])
+            if show_err and i < len(series.y_err) and series.y_err[i] > 0:
+                cell = f"{cell} ±{_fmt(series.y_err[i])}"
+            row[label] = cell
+        rows.append(row)
+    table = format_table(rows, [result.x_label] + labels)
+    return f"{result.title}\n{table}"
+
+
+def save_results_json(results, path) -> None:
+    """Write a result / dict / list of results as JSON for external
+    plotting tools.
+
+    The format is stable: each panel carries ``experiment_id``,
+    ``title``, axis labels, metadata, and its series as
+    ``{label, x, y[, y_err]}``.
+    """
+    import json
+    from pathlib import Path
+
+    if isinstance(results, ExperimentResult):
+        payload = results.to_dict()
+    elif isinstance(results, dict):
+        payload = {key: panel.to_dict() for key, panel in results.items()}
+    else:
+        payload = [panel.to_dict() for panel in results]
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def format_result(results, x_format: str = "g") -> str:
+    """Render a result, a dict of results, or an iterable of results."""
+    if isinstance(results, ExperimentResult):
+        return format_series(results, x_format)
+    if isinstance(results, dict):
+        parts: Iterable[str] = (
+            format_series(panel, x_format) for panel in results.values()
+        )
+    else:
+        parts = (format_series(panel, x_format) for panel in results)
+    return "\n\n".join(parts)

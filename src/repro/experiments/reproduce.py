@@ -1,0 +1,150 @@
+"""One-command reproduction driver.
+
+``run_all`` regenerates every table, figure and ablation at a chosen
+preset and writes the plain-text results plus a manifest to an output
+directory — the programmatic core of ``repro-opim reproduce``.
+
+Presets
+-------
+``"smoke"``
+    Minutes on a laptop: the benchmark-suite scales.
+``"paper"``
+    The paper's grid shape (11 checkpoints to ~1M RR sets, epsilon to
+    0.05, more repetitions) on the full-size stand-ins.  Hours in pure
+    Python; intended for overnight runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Union
+
+from repro.experiments.ablations import (
+    collection_split_ablation,
+    delta_split_ablation,
+)
+from repro.experiments.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    table1,
+    table2,
+)
+from repro.experiments.harness import checkpoint_grid
+from repro.experiments.reporting import format_result, format_table
+from repro.datasets.registry import load_dataset
+from repro.exceptions import ParameterError
+
+PathLike = Union[str, Path]
+
+PRESETS: Dict[str, dict] = {
+    "smoke": {
+        "online_scale": 0.12,
+        "online_checkpoints": 5,
+        "repetitions": 1,
+        "conventional_scale": 0.06,
+        "epsilons": (0.15, 0.3, 0.5),
+        "spread_samples": 500,
+    },
+    "paper": {
+        "online_scale": 1.0,
+        "online_checkpoints": 11,
+        "repetitions": 5,
+        "conventional_scale": 0.5,
+        "epsilons": (0.05, 0.1, 0.2, 0.3, 0.5),
+        "spread_samples": 2000,
+    },
+}
+
+
+def _experiment_registry(preset: dict, seed: int) -> Dict[str, Callable[[], str]]:
+    checkpoints = checkpoint_grid(1000, preset["online_checkpoints"])
+    online = dict(
+        checkpoints=checkpoints,
+        repetitions=preset["repetitions"],
+        scale=preset["online_scale"],
+        seed=seed,
+    )
+    conventional = dict(
+        epsilons=preset["epsilons"],
+        repetitions=preset["repetitions"],
+        scale=preset["conventional_scale"],
+        seed=seed,
+        spread_samples=preset["spread_samples"],
+    )
+
+    def ablation(runner):
+        graph = load_dataset("pokec-sim", scale=preset["online_scale"])
+        return format_result(
+            runner(graph, "IC", k=20, repetitions=preset["repetitions"], seed=seed)
+        )
+
+    return {
+        "figure1": lambda: format_result(figure1(), x_format=".3g"),
+        "figure2": lambda: format_result(figure2(**online)),
+        "figure3": lambda: format_result(figure3(ks=(1, 10, 100), **online)),
+        "figure4": lambda: format_result(figure4(**online)),
+        "figure5": lambda: format_result(figure5(ks=(1, 10, 100), **online)),
+        "figure6": lambda: format_result(figure6(**conventional)),
+        "figure7": lambda: format_result(figure7(**conventional)),
+        "table1": lambda: format_table(
+            table1(scale=preset["online_scale"] * 2, seed=seed)
+        ),
+        "table2": lambda: format_table(table2()),
+        "ablation_delta_split": lambda: ablation(delta_split_ablation),
+        "ablation_collection_split": lambda: ablation(collection_split_ablation),
+    }
+
+
+def run_all(
+    output_dir: PathLike,
+    preset: str = "smoke",
+    seed: int = 2018,
+    only: List[str] = None,
+) -> Dict[str, float]:
+    """Regenerate experiments into *output_dir*; returns runtimes.
+
+    Parameters
+    ----------
+    only:
+        Optional subset of experiment ids (see :func:`experiment_ids`).
+    """
+    if preset not in PRESETS:
+        raise ParameterError(f"preset must be one of {tuple(PRESETS)}, got {preset!r}")
+    registry = _experiment_registry(PRESETS[preset], seed)
+    if only is not None:
+        unknown = set(only) - set(registry)
+        if unknown:
+            raise ParameterError(f"unknown experiment ids: {sorted(unknown)}")
+        registry = {name: registry[name] for name in only}
+
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    runtimes: Dict[str, float] = {}
+    for name, runner in registry.items():
+        started = time.perf_counter()
+        text = runner()
+        runtimes[name] = time.perf_counter() - started
+        (output_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    manifest = {
+        "preset": preset,
+        "seed": seed,
+        "experiments": list(registry),
+        "runtimes_seconds": {k: round(v, 3) for k, v in runtimes.items()},
+    }
+    (output_dir / "manifest.json").write_text(
+        json.dumps(manifest, indent=2), encoding="utf-8"
+    )
+    return runtimes
+
+
+def experiment_ids() -> List[str]:
+    """All experiment ids ``run_all`` knows about."""
+    return list(_experiment_registry(PRESETS["smoke"], 0))

@@ -1,0 +1,88 @@
+"""Empirical validity of the reported guarantees.
+
+The paper's central statistical claim is that a returned pair
+``(S*, alpha)`` satisfies ``sigma(S*) >= alpha * OPT`` with probability
+at least ``1 - delta``.  This experiment measures the *actual* failure
+frequency on instances small enough to brute-force ``OPT`` and compute
+``sigma`` exactly, sweeping ``delta``.  Two regimes matter:
+
+* failures must stay below ``delta`` (soundness), and
+* because the concentration bounds are conservative, the observed
+  frequency is typically far below ``delta`` (the guarantee is valid,
+  not tight) — both visible in the output series.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from repro.core.opim import OnlineOPIM
+from repro.diffusion.spread import exact_spread_ic
+from repro.exceptions import ParameterError
+from repro.experiments.harness import ExperimentResult, Series
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import SeedLike, spawn_generators
+
+
+def brute_force_optimum(graph: DiGraph, k: int) -> float:
+    """Exact ``OPT = max_{|S| = k} sigma(S)`` by enumeration (IC)."""
+    best = 0.0
+    for combo in itertools.combinations(range(graph.n), k):
+        best = max(best, exact_spread_ic(graph, combo))
+    return best
+
+
+def guarantee_validity_experiment(
+    graph: DiGraph,
+    k: int = 2,
+    deltas: Sequence[float] = (0.05, 0.1, 0.2, 0.4),
+    trials: int = 100,
+    rr_sets: int = 400,
+    seed: SeedLike = None,
+    opt: Optional[float] = None,
+) -> ExperimentResult:
+    """Measure ``Pr[sigma(S*) < alpha * OPT]`` for each delta.
+
+    Parameters
+    ----------
+    graph:
+        A tiny IC-weighted graph (``m <= 20`` for exact enumeration).
+    opt:
+        Pre-computed optimum (skips the brute force when given).
+    """
+    if graph.m > 20:
+        raise ParameterError("validity experiment needs m <= 20 (exact OPT)")
+    if trials < 1:
+        raise ParameterError(f"trials must be >= 1, got {trials}")
+    if rr_sets % 2:
+        raise ParameterError("rr_sets must be even")
+    if opt is None:
+        opt = brute_force_optimum(graph, k)
+
+    result = ExperimentResult(
+        experiment_id="guarantee-validity",
+        title=f"Guarantee failure frequency ({graph.name}, IC, k={k})",
+        x_label="delta",
+        y_label="observed failure frequency",
+        metadata={"k": k, "trials": trials, "rr_sets": rr_sets, "opt": opt},
+    )
+    observed = Series("observed")
+    bound = Series("delta (allowed)")
+    rngs = spawn_generators(seed, trials)
+
+    for delta in deltas:
+        failures = 0
+        for rng in rngs:
+            algo = OnlineOPIM(graph, "IC", k=k, delta=delta, seed=rng)
+            algo.extend(rr_sets)
+            snap = algo.query()
+            achieved = exact_spread_ic(graph, snap.seeds)
+            if achieved < snap.alpha * opt - 1e-12:
+                failures += 1
+        observed.add(delta, failures / trials)
+        bound.add(delta, delta)
+
+    result.series["observed"] = observed
+    result.series["delta (allowed)"] = bound
+    return result

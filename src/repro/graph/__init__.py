@@ -1,0 +1,60 @@
+"""Directed-graph substrate: CSR storage, builders, IO, generators."""
+
+from repro.graph.build import from_edge_array, from_edge_list
+from repro.graph.components import (
+    giant_component_fraction,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    planted_partition,
+    power_law_graph,
+    small_world,
+    star_graph,
+)
+from repro.graph.interop import from_networkx, to_networkx
+from repro.graph.kcore import core_numbers, degeneracy, k_core_nodes
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.stats import GraphSummary, summarize
+from repro.graph.transform import induced_subgraph, reverse_graph
+from repro.graph.weights import (
+    assign_constant_weights,
+    assign_trivalency_weights,
+    assign_uniform_weights,
+    assign_wc_weights,
+)
+
+__all__ = [
+    "DiGraph",
+    "from_edge_array",
+    "from_edge_list",
+    "read_edge_list",
+    "write_edge_list",
+    "erdos_renyi",
+    "power_law_graph",
+    "small_world",
+    "planted_partition",
+    "complete_graph",
+    "cycle_graph",
+    "star_graph",
+    "assign_wc_weights",
+    "assign_constant_weights",
+    "assign_uniform_weights",
+    "assign_trivalency_weights",
+    "GraphSummary",
+    "summarize",
+    "from_networkx",
+    "to_networkx",
+    "weakly_connected_components",
+    "strongly_connected_components",
+    "giant_component_fraction",
+    "core_numbers",
+    "k_core_nodes",
+    "degeneracy",
+    "induced_subgraph",
+    "reverse_graph",
+]

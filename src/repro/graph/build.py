@@ -1,0 +1,81 @@
+"""Convenience constructors for :class:`~repro.graph.digraph.DiGraph`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DiGraph
+
+EdgeTuple = Union[Tuple[int, int], Tuple[int, int, float]]
+
+
+def from_edge_list(
+    edges: Iterable[EdgeTuple],
+    n: Optional[int] = None,
+    name: str = "graph",
+    undirected: bool = False,
+) -> DiGraph:
+    """Build a graph from an iterable of ``(u, v)`` or ``(u, v, p)`` tuples.
+
+    Parameters
+    ----------
+    edges:
+        Edge tuples.  Mixing weighted and unweighted tuples is an error.
+    n:
+        Number of nodes; inferred as ``max node id + 1`` when omitted.
+    undirected:
+        If true, each input edge ``(u, v)`` is materialized in both
+        directions.  Probabilities, when present, are copied to both.
+    """
+    rows = list(edges)
+    if not rows:
+        return DiGraph(n or 0, np.empty(0, np.int64), np.empty(0, np.int64), name=name)
+
+    widths = {len(row) for row in rows}
+    if widths == {2}:
+        weighted = False
+    elif widths == {3}:
+        weighted = True
+    else:
+        raise GraphError("edges must be uniformly (u, v) or (u, v, p) tuples")
+
+    sources = np.fromiter((row[0] for row in rows), dtype=np.int64, count=len(rows))
+    targets = np.fromiter((row[1] for row in rows), dtype=np.int64, count=len(rows))
+    probs = None
+    if weighted:
+        probs = np.fromiter((row[2] for row in rows), dtype=np.float64, count=len(rows))
+
+    return from_edge_array(
+        sources, targets, probs, n=n, name=name, undirected=undirected
+    )
+
+
+def from_edge_array(
+    sources: Sequence[int],
+    targets: Sequence[int],
+    probs: Optional[Sequence[float]] = None,
+    n: Optional[int] = None,
+    name: str = "graph",
+    undirected: bool = False,
+) -> DiGraph:
+    """Build a graph from parallel source/target (and optional prob) arrays."""
+    sources = np.asarray(sources, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if probs is not None:
+        probs = np.asarray(probs, dtype=np.float64)
+
+    if n is None:
+        n = int(max(sources.max(initial=-1), targets.max(initial=-1)) + 1)
+
+    if undirected:
+        sources, targets = (
+            np.concatenate([sources, targets]),
+            np.concatenate([targets, sources]),
+        )
+        if probs is not None:
+            probs = np.concatenate([probs, probs])
+
+    return DiGraph(n, sources, targets, probs, name=name, undirected_origin=undirected)

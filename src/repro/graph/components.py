@@ -1,0 +1,135 @@
+"""Connectivity analysis: weakly and strongly connected components.
+
+Dataset validation uses these to check the synthetic stand-ins are
+dominated by a giant component like their SNAP originals — an input
+property that matters for influence spread (a fragmented graph caps
+every seed set's reach at its component size).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+
+def weakly_connected_components(graph: DiGraph) -> np.ndarray:
+    """Label nodes by weakly-connected component (0-based, by discovery).
+
+    Returns an int array ``label[v]``; labels are contiguous from 0.
+    """
+    n = graph.n
+    labels = np.full(n, -1, dtype=np.int64)
+    queue = np.empty(n, dtype=np.int64)
+    current = 0
+    for start in range(n):
+        if labels[start] != -1:
+            continue
+        labels[start] = current
+        queue[0] = start
+        head, tail = 0, 1
+        while head < tail:
+            u = int(queue[head])
+            head += 1
+            for neighbors in (graph.out_neighbors(u)[0], graph.in_neighbors(u)[0]):
+                fresh = neighbors[labels[neighbors] == -1]
+                if fresh.size:
+                    labels[fresh] = current
+                    queue[tail : tail + fresh.size] = fresh
+                    tail += fresh.size
+        current += 1
+    return labels
+
+
+def strongly_connected_components(graph: DiGraph) -> np.ndarray:
+    """Label nodes by strongly-connected component (iterative Tarjan).
+
+    Returns an int array ``label[v]``; labels are contiguous from 0 in
+    reverse topological order of the condensation (Tarjan's order).
+    """
+    n = graph.n
+    index = np.full(n, -1, dtype=np.int64)
+    lowlink = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    labels = np.full(n, -1, dtype=np.int64)
+    stack: list = []
+    next_index = 0
+    next_label = 0
+
+    out_offsets = graph.out_offsets
+    out_targets = graph.out_targets
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        # Each frame: (node, next out-edge position to examine).
+        work = [(root, int(out_offsets[root]))]
+        while work:
+            v, edge_pos = work[-1]
+            if index[v] == -1:
+                index[v] = next_index
+                lowlink[v] = next_index
+                next_index += 1
+                stack.append(v)
+                on_stack[v] = True
+            advanced = False
+            while edge_pos < out_offsets[v + 1]:
+                w = int(out_targets[edge_pos])
+                edge_pos += 1
+                if index[w] == -1:
+                    work[-1] = (v, edge_pos)
+                    work.append((w, int(out_offsets[w])))
+                    advanced = True
+                    break
+                if on_stack[w]:
+                    lowlink[v] = min(lowlink[v], index[w])
+            if advanced:
+                continue
+            # v finished.
+            work.pop()
+            if lowlink[v] == index[v]:
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    labels[w] = next_label
+                    if w == v:
+                        break
+                next_label += 1
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[v])
+    return labels
+
+
+def component_sizes(labels: np.ndarray) -> np.ndarray:
+    """Sizes of each component, indexed by label."""
+    return np.bincount(labels)
+
+
+def giant_component_fraction(graph: DiGraph, strong: bool = False) -> float:
+    """Fraction of nodes in the largest (weak or strong) component."""
+    if graph.n == 0:
+        return 0.0
+    labels = (
+        strongly_connected_components(graph)
+        if strong
+        else weakly_connected_components(graph)
+    )
+    return float(component_sizes(labels).max() / graph.n)
+
+
+def condensation_edges(graph: DiGraph) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """SCC labels plus the condensation DAG's (unique) edges.
+
+    Returns ``(labels, sources, targets)`` where sources/targets are
+    SCC labels with ``sources[i] != targets[i]``.
+    """
+    labels = strongly_connected_components(graph)
+    sources, targets, _ = graph.edge_array()
+    ls, lt = labels[sources], labels[targets]
+    keep = ls != lt
+    codes = np.unique(ls[keep] * np.int64(labels.max() + 1) + lt[keep])
+    base = np.int64(labels.max() + 1)
+    return labels, codes // base, codes % base

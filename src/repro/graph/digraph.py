@@ -1,0 +1,265 @@
+"""Compressed-sparse-row directed graph with per-edge probabilities.
+
+The influence-maximization algorithms in this package traverse edges in
+both directions:
+
+* forward diffusion simulation follows *out*-edges;
+* reverse-reachable (RR) set sampling follows *in*-edges.
+
+:class:`DiGraph` therefore stores both adjacency directions as CSR
+(numpy) arrays.  Edge propagation probabilities are duplicated into both
+layouts so either traversal touches a single contiguous slice per node.
+
+Nodes are the integers ``0 .. n-1``.  Parallel edges are not allowed
+(they would bias the weighted-cascade weighting); self-loops are
+rejected because neither the IC nor the LT model gives them meaning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError, WeightError
+
+
+class DiGraph:
+    """An immutable directed graph in dual-CSR form.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    sources, targets:
+        Parallel int arrays of length ``m`` holding one directed edge
+        ``sources[i] -> targets[i]`` each.
+    probs:
+        Propagation probability ``p(sources[i], targets[i])`` per edge,
+        in ``[0, 1]``.  May be ``None`` for an unweighted skeleton; use
+        the functions in :mod:`repro.graph.weights` to attach a scheme.
+    name:
+        Optional human-readable identifier used in reports.
+    undirected_origin:
+        Metadata flag recording that the edge array was produced by
+        symmetrizing an undirected edge list (as with the Orkut
+        dataset); it does not change behaviour.
+    """
+
+    __slots__ = (
+        "n",
+        "name",
+        "undirected_origin",
+        "out_offsets",
+        "out_targets",
+        "out_probs",
+        "in_offsets",
+        "in_sources",
+        "in_probs",
+        "_in_prob_sums",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        probs: np.ndarray = None,
+        name: str = "graph",
+        undirected_origin: bool = False,
+    ) -> None:
+        if n < 0:
+            raise GraphError(f"node count must be non-negative, got {n}")
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if sources.shape != targets.shape or sources.ndim != 1:
+            raise GraphError("sources and targets must be 1-D arrays of equal length")
+        m = sources.shape[0]
+        if m and (sources.min() < 0 or sources.max() >= n):
+            raise GraphError("edge source out of range")
+        if m and (targets.min() < 0 or targets.max() >= n):
+            raise GraphError("edge target out of range")
+        if m and np.any(sources == targets):
+            raise GraphError("self-loops are not allowed")
+
+        if probs is None:
+            probs = np.full(m, np.nan, dtype=np.float64)
+        else:
+            probs = np.asarray(probs, dtype=np.float64)
+            if probs.shape != (m,):
+                raise WeightError("probs must align with the edge arrays")
+            finite = probs[np.isfinite(probs)]
+            if finite.size and (finite.min() < 0.0 or finite.max() > 1.0):
+                raise WeightError("edge probabilities must lie in [0, 1]")
+
+        # Reject parallel edges: sort by (source, target) and look for
+        # adjacent duplicates.  The sort order is also reused to build
+        # the out-CSR, so this check is effectively free.
+        order = np.lexsort((targets, sources))
+        s_sorted = sources[order]
+        t_sorted = targets[order]
+        if m > 1:
+            dup = (s_sorted[1:] == s_sorted[:-1]) & (t_sorted[1:] == t_sorted[:-1])
+            if np.any(dup):
+                i = int(np.flatnonzero(dup)[0])
+                raise GraphError(
+                    f"parallel edge <{s_sorted[i]}, {t_sorted[i]}> is not allowed"
+                )
+
+        self.n = int(n)
+        self.name = name
+        self.undirected_origin = bool(undirected_origin)
+
+        p_sorted = probs[order]
+        self.out_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(s_sorted, minlength=n), out=self.out_offsets[1:])
+        self.out_targets = np.ascontiguousarray(t_sorted, dtype=np.int32)
+        self.out_probs = np.ascontiguousarray(p_sorted, dtype=np.float64)
+
+        order_in = np.lexsort((sources, targets))
+        self.in_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(targets[order_in], minlength=n), out=self.in_offsets[1:])
+        self.in_sources = np.ascontiguousarray(sources[order_in], dtype=np.int32)
+        self.in_probs = np.ascontiguousarray(probs[order_in], dtype=np.float64)
+
+        self._in_prob_sums = None
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of directed edges."""
+        return int(self.out_targets.shape[0])
+
+    @property
+    def weighted(self) -> bool:
+        """Whether every edge carries a finite probability."""
+        return bool(self.m == 0 or np.all(np.isfinite(self.out_probs)))
+
+    def out_degree(self, u: int = None) -> np.ndarray:
+        """Out-degree of *u*, or the full out-degree vector."""
+        degrees = np.diff(self.out_offsets)
+        return degrees if u is None else int(degrees[u])
+
+    def in_degree(self, v: int = None) -> np.ndarray:
+        """In-degree of *v*, or the full in-degree vector."""
+        degrees = np.diff(self.in_offsets)
+        return degrees if v is None else int(degrees[v])
+
+    # ------------------------------------------------------------------
+    # Adjacency access
+    # ------------------------------------------------------------------
+    def out_neighbors(self, u: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(targets, probs)`` views of *u*'s out-edges."""
+        lo, hi = self.out_offsets[u], self.out_offsets[u + 1]
+        return self.out_targets[lo:hi], self.out_probs[lo:hi]
+
+    def in_neighbors(self, v: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(sources, probs)`` views of *v*'s in-edges."""
+        lo, hi = self.in_offsets[v], self.in_offsets[v + 1]
+        return self.in_sources[lo:hi], self.in_probs[lo:hi]
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate over ``(source, target, prob)`` triples."""
+        for u in range(self.n):
+            lo, hi = self.out_offsets[u], self.out_offsets[u + 1]
+            for idx in range(lo, hi):
+                yield u, int(self.out_targets[idx]), float(self.out_probs[idx])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the directed edge ``u -> v`` exists."""
+        lo, hi = self.out_offsets[u], self.out_offsets[u + 1]
+        span = self.out_targets[lo:hi]
+        pos = np.searchsorted(span, v)
+        return bool(pos < span.shape[0] and span[pos] == v)
+
+    def edge_probability(self, u: int, v: int) -> float:
+        """Return ``p(u, v)``; raises :class:`GraphError` if absent."""
+        lo, hi = self.out_offsets[u], self.out_offsets[u + 1]
+        span = self.out_targets[lo:hi]
+        pos = np.searchsorted(span, v)
+        if pos >= span.shape[0] or span[pos] != v:
+            raise GraphError(f"edge <{u}, {v}> does not exist")
+        return float(self.out_probs[lo + pos])
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def in_prob_sums(self) -> np.ndarray:
+        """Per-node sum of incoming edge probabilities (cached).
+
+        The LT model requires these sums to be at most 1; the reverse
+        random walk uses them as its continuation probabilities.
+        """
+        if self._in_prob_sums is None:
+            sums = np.zeros(self.n, dtype=np.float64)
+            degrees = np.diff(self.in_offsets)
+            nonempty = degrees > 0
+            if self.m and np.any(nonempty):
+                starts = self.in_offsets[:-1][nonempty]
+                sums[nonempty] = np.add.reduceat(self.in_probs, starts)
+            self._in_prob_sums = sums
+        return self._in_prob_sums
+
+    def validate_lt(self) -> None:
+        """Check the LT-model constraint sum of in-probs <= 1 per node."""
+        if not self.weighted:
+            raise WeightError("graph has no edge probabilities assigned")
+        sums = self.in_prob_sums()
+        bad = np.flatnonzero(sums > 1.0 + 1e-9)
+        if bad.size:
+            raise WeightError(
+                f"LT model requires per-node incoming probability sums <= 1; "
+                f"violated at node {int(bad[0])} (sum={sums[bad[0]]:.6f})"
+            )
+
+    def reweighted(self, probs_by_edge) -> "DiGraph":
+        """Return a copy of this graph with new edge probabilities.
+
+        Parameters
+        ----------
+        probs_by_edge:
+            Callable ``f(sources, targets) -> probs`` applied to the full
+            edge arrays (in out-CSR order), or a plain array aligned with
+            :meth:`edge_array`.
+        """
+        sources = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.out_offsets))
+        targets = self.out_targets.astype(np.int64)
+        if callable(probs_by_edge):
+            probs = np.asarray(probs_by_edge(sources, targets), dtype=np.float64)
+        else:
+            probs = np.asarray(probs_by_edge, dtype=np.float64)
+        return DiGraph(
+            self.n,
+            sources,
+            targets,
+            probs,
+            name=self.name,
+            undirected_origin=self.undirected_origin,
+        )
+
+    def edge_array(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(sources, targets, probs)`` in out-CSR order."""
+        sources = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.out_offsets))
+        return sources, self.out_targets.astype(np.int64), self.out_probs.copy()
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        kind = "undirected-origin" if self.undirected_origin else "directed"
+        return f"DiGraph(name={self.name!r}, n={self.n}, m={self.m}, {kind})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and np.array_equal(self.out_offsets, other.out_offsets)
+            and np.array_equal(self.out_targets, other.out_targets)
+            and np.allclose(self.out_probs, other.out_probs, equal_nan=True)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hash
+        return id(self)

@@ -1,0 +1,260 @@
+"""Random-graph generators used as synthetic dataset stand-ins.
+
+The paper evaluates on four SNAP graphs (Pokec, Orkut, LiveJournal,
+Twitter).  Those graphs are unavailable offline, so the dataset registry
+(:mod:`repro.datasets`) builds scaled-down stand-ins from the generators
+in this module — primarily :func:`power_law_graph`, a directed Chung–Lu
+model, because RR-set behaviour under weighted-cascade probabilities is
+governed by the heavy-tailed degree distribution the SNAP graphs share.
+
+Deterministic fixture graphs (:func:`star_graph`, :func:`cycle_graph`,
+:func:`complete_graph`, :func:`two_cliques`) support exact-answer tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graph.build import from_edge_array
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import SeedLike, as_generator
+
+
+def _dedupe(sources: np.ndarray, targets: np.ndarray, n: int):
+    """Drop self-loops and duplicate directed edges."""
+    keep = sources != targets
+    sources, targets = sources[keep], targets[keep]
+    codes = sources * np.int64(n) + targets
+    _, unique_idx = np.unique(codes, return_index=True)
+    return sources[unique_idx], targets[unique_idx]
+
+
+def erdos_renyi(
+    n: int, avg_degree: float, seed: SeedLike = None, name: str = "erdos-renyi"
+) -> DiGraph:
+    """Directed G(n, p) with expected out-degree *avg_degree*.
+
+    Sampled by drawing ``Binomial(n(n-1), p)`` edges as random ordered
+    pairs and de-duplicating, which is exact up to the (negligible for
+    sparse graphs) duplicate correction.
+    """
+    if n < 2:
+        raise ParameterError(f"n must be >= 2, got {n}")
+    if avg_degree <= 0 or avg_degree >= n:
+        raise ParameterError(f"avg_degree must be in (0, n), got {avg_degree}")
+    rng = as_generator(seed)
+    p = avg_degree / (n - 1)
+    m = rng.binomial(n * (n - 1), p)
+    sources = rng.integers(0, n, size=m, dtype=np.int64)
+    targets = rng.integers(0, n, size=m, dtype=np.int64)
+    sources, targets = _dedupe(sources, targets, n)
+    return from_edge_array(sources, targets, n=n, name=name)
+
+
+def power_law_graph(
+    n: int,
+    avg_degree: float,
+    exponent: float = 2.1,
+    seed: SeedLike = None,
+    name: str = "power-law",
+    reciprocal: float = 0.0,
+) -> DiGraph:
+    """Directed Chung–Lu graph with power-law in/out degree weights.
+
+    Each node *i* receives weight ``w_i = (i + i0)^(-1/(exponent-1))``
+    (independently permuted for the in and out roles so in- and
+    out-degrees are uncorrelated, as in real follower graphs).  Edges
+    are sampled by drawing ``m`` endpoints from the two weight
+    distributions and de-duplicating.
+
+    Parameters
+    ----------
+    exponent:
+        Power-law exponent of the degree distribution (2 < exponent < 3
+        for social networks; SNAP graphs are around 2.1-2.5).
+    reciprocal:
+        Fraction of sampled edges that are also added in the reverse
+        direction, mimicking the partial reciprocity of social links.
+    """
+    if n < 2:
+        raise ParameterError(f"n must be >= 2, got {n}")
+    if avg_degree <= 0:
+        raise ParameterError(f"avg_degree must be positive, got {avg_degree}")
+    if exponent <= 1.0:
+        raise ParameterError(f"exponent must be > 1, got {exponent}")
+    if not 0.0 <= reciprocal <= 1.0:
+        raise ParameterError(f"reciprocal must be in [0, 1], got {reciprocal}")
+    rng = as_generator(seed)
+
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-1.0 / (exponent - 1.0))
+    weights /= weights.sum()
+    out_weights = rng.permutation(weights)
+    in_weights = rng.permutation(weights)
+
+    m_target = int(round(n * avg_degree))
+    # Oversample to compensate for the duplicates/self-loops we drop.
+    m_draw = int(m_target * 1.25) + 16
+    sources = rng.choice(n, size=m_draw, p=out_weights)
+    targets = rng.choice(n, size=m_draw, p=in_weights)
+    if reciprocal > 0.0:
+        flip = rng.random(m_draw) < reciprocal
+        reverse_sources = targets[flip].copy()
+        reverse_targets = sources[flip].copy()
+        sources = np.concatenate([sources, reverse_sources])
+        targets = np.concatenate([targets, reverse_targets])
+    sources, targets = _dedupe(
+        sources.astype(np.int64), targets.astype(np.int64), n
+    )
+    if sources.shape[0] > m_target:
+        keep = rng.choice(sources.shape[0], size=m_target, replace=False)
+        sources, targets = sources[keep], targets[keep]
+    return from_edge_array(sources, targets, n=n, name=name)
+
+
+def small_world(
+    n: int,
+    neighbors: int = 4,
+    rewire: float = 0.1,
+    seed: SeedLike = None,
+    name: str = "small-world",
+) -> DiGraph:
+    """Directed Watts–Strogatz ring: each node points at its *neighbors*
+    clockwise successors; each edge's target is rewired uniformly at
+    random with probability *rewire*."""
+    if n < 3:
+        raise ParameterError(f"n must be >= 3, got {n}")
+    if not 1 <= neighbors < n:
+        raise ParameterError(f"neighbors must be in [1, n), got {neighbors}")
+    if not 0.0 <= rewire <= 1.0:
+        raise ParameterError(f"rewire must be in [0, 1], got {rewire}")
+    rng = as_generator(seed)
+
+    base = np.arange(n, dtype=np.int64)
+    sources = np.repeat(base, neighbors)
+    shifts = np.tile(np.arange(1, neighbors + 1, dtype=np.int64), n)
+    targets = (sources + shifts) % n
+    mask = rng.random(sources.shape[0]) < rewire
+    targets[mask] = rng.integers(0, n, size=int(mask.sum()), dtype=np.int64)
+    sources, targets = _dedupe(sources, targets, n)
+    return from_edge_array(sources, targets, n=n, name=name)
+
+
+def planted_partition(
+    communities: int,
+    size: int,
+    p_in: float,
+    p_out: float,
+    seed: SeedLike = None,
+    name: str = "planted-partition",
+) -> DiGraph:
+    """Directed planted-partition (stochastic block) model.
+
+    ``communities * size`` nodes in equal blocks; each ordered pair
+    within a block is an edge w.p. *p_in*, across blocks w.p. *p_out*.
+    Sampled sparsely (binomial edge counts + uniform pair draws +
+    de-duplication), so ``p_out`` may be tiny on large graphs.
+
+    Community structure concentrates influence within blocks, which is
+    the regime where seed diversification matters — used by examples
+    and by tests that need ground-truth communities.
+    """
+    if communities < 1 or size < 2:
+        raise ParameterError(
+            f"need communities >= 1 and size >= 2, got {communities}, {size}"
+        )
+    if not 0.0 <= p_out <= p_in <= 1.0:
+        raise ParameterError(
+            f"require 0 <= p_out <= p_in <= 1, got p_in={p_in}, p_out={p_out}"
+        )
+    rng = as_generator(seed)
+    n = communities * size
+
+    chunks_s, chunks_t = [], []
+    # Within-block edges.
+    pairs_in = size * (size - 1)
+    for c in range(communities):
+        count = rng.binomial(pairs_in, p_in) if p_in > 0 else 0
+        if count:
+            base = c * size
+            chunks_s.append(base + rng.integers(0, size, size=int(count * 1.2) + 4))
+            chunks_t.append(base + rng.integers(0, size, size=chunks_s[-1].size))
+    # Cross-block edges.
+    pairs_out = n * (n - 1) - communities * pairs_in
+    count = rng.binomial(pairs_out, p_out) if p_out > 0 else 0
+    if count:
+        draw = int(count * 1.2) + 4
+        s = rng.integers(0, n, size=draw)
+        t = rng.integers(0, n, size=draw)
+        cross = (s // size) != (t // size)
+        chunks_s.append(s[cross])
+        chunks_t.append(t[cross])
+
+    if chunks_s:
+        sources = np.concatenate(chunks_s).astype(np.int64)
+        targets = np.concatenate(chunks_t).astype(np.int64)
+        sources, targets = _dedupe(sources, targets, n)
+    else:
+        sources = np.empty(0, dtype=np.int64)
+        targets = np.empty(0, dtype=np.int64)
+    return from_edge_array(sources, targets, n=n, name=name)
+
+
+def complete_graph(n: int, name: str = "complete") -> DiGraph:
+    """Complete directed graph on *n* nodes (all ordered pairs)."""
+    if n < 2:
+        raise ParameterError(f"n must be >= 2, got {n}")
+    grid = np.arange(n, dtype=np.int64)
+    sources = np.repeat(grid, n)
+    targets = np.tile(grid, n)
+    keep = sources != targets
+    return from_edge_array(sources[keep], targets[keep], n=n, name=name)
+
+
+def cycle_graph(n: int, name: str = "cycle") -> DiGraph:
+    """Directed cycle ``0 -> 1 -> ... -> n-1 -> 0``."""
+    if n < 2:
+        raise ParameterError(f"n must be >= 2, got {n}")
+    sources = np.arange(n, dtype=np.int64)
+    targets = (sources + 1) % n
+    return from_edge_array(sources, targets, n=n, name=name)
+
+
+def star_graph(n: int, name: str = "star") -> DiGraph:
+    """Star with hub 0 pointing at every other node."""
+    if n < 2:
+        raise ParameterError(f"n must be >= 2, got {n}")
+    targets = np.arange(1, n, dtype=np.int64)
+    sources = np.zeros(n - 1, dtype=np.int64)
+    return from_edge_array(sources, targets, n=n, name=name)
+
+
+def two_cliques(
+    clique_size: int, bridge: bool = True, name: str = "two-cliques"
+) -> DiGraph:
+    """Two complete directed cliques, optionally joined by one bridge edge.
+
+    A standard fixture: with ``k = 2`` the optimal seed set contains one
+    node from each clique, which exercises submodular diminishing
+    returns in greedy selection tests.
+    """
+    if clique_size < 2:
+        raise ParameterError(f"clique_size must be >= 2, got {clique_size}")
+    n = 2 * clique_size
+    sources, targets = [], []
+    for offset in (0, clique_size):
+        for u in range(clique_size):
+            for v in range(clique_size):
+                if u != v:
+                    sources.append(offset + u)
+                    targets.append(offset + v)
+    if bridge:
+        sources.append(0)
+        targets.append(clique_size)
+    return from_edge_array(
+        np.asarray(sources, dtype=np.int64),
+        np.asarray(targets, dtype=np.int64),
+        n=n,
+        name=name,
+    )

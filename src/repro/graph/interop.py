@@ -1,0 +1,117 @@
+"""Interoperability with networkx.
+
+Most graph datasets in the wild arrive as ``networkx`` objects; these
+converters move between them and the CSR :class:`DiGraph` this library
+computes on.  Node labels need not be integers — an explicit ordering
+maps arbitrary hashables onto ``0..n-1`` and back.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.build import from_edge_array
+from repro.graph.digraph import DiGraph
+
+
+def from_networkx(
+    nx_graph,
+    weight_attribute: Optional[str] = "probability",
+    name: Optional[str] = None,
+) -> Tuple[DiGraph, List[Hashable]]:
+    """Convert a networkx (Di)Graph into a :class:`DiGraph`.
+
+    Parameters
+    ----------
+    nx_graph:
+        ``networkx.Graph`` or ``networkx.DiGraph`` (multigraphs are
+        rejected: parallel edges have no IC/LT meaning).  Undirected
+        graphs are symmetrized.
+    weight_attribute:
+        Edge attribute carrying the propagation probability.  When
+        ``None``, or when *no* edge has the attribute, the result is
+        unweighted (attach a scheme from :mod:`repro.graph.weights`).
+        A mix of present/absent attributes is an error.
+
+    Returns
+    -------
+    (graph, ordering):
+        The converted graph and the node ordering: ``ordering[i]`` is
+        the original label of node ``i``.
+    """
+    if nx_graph.is_multigraph():
+        raise GraphError("multigraphs are not supported (parallel edges)")
+
+    ordering = list(nx_graph.nodes())
+    index = {label: i for i, label in enumerate(ordering)}
+
+    sources, targets, probs = [], [], []
+    have_weights = None
+    for u, v, data in nx_graph.edges(data=True):
+        sources.append(index[u])
+        targets.append(index[v])
+        if weight_attribute is not None and weight_attribute in data:
+            if have_weights is False:
+                raise GraphError(
+                    f"edge <{u}, {v}> has {weight_attribute!r} but earlier "
+                    "edges do not; weights must be all-or-none"
+                )
+            have_weights = True
+            probs.append(float(data[weight_attribute]))
+        else:
+            if have_weights is True:
+                raise GraphError(
+                    f"edge <{u}, {v}> lacks {weight_attribute!r}; weights "
+                    "must be all-or-none"
+                )
+            have_weights = False
+
+    graph = from_edge_array(
+        np.asarray(sources, dtype=np.int64),
+        np.asarray(targets, dtype=np.int64),
+        np.asarray(probs, dtype=np.float64) if have_weights else None,
+        n=len(ordering),
+        name=name or getattr(nx_graph, "name", "") or "networkx-import",
+        undirected=not nx_graph.is_directed(),
+    )
+    return graph, ordering
+
+
+def to_networkx(
+    graph: DiGraph,
+    weight_attribute: str = "probability",
+    labels: Optional[List[Hashable]] = None,
+):
+    """Convert a :class:`DiGraph` into a ``networkx.DiGraph``.
+
+    Parameters
+    ----------
+    weight_attribute:
+        Attribute name for edge probabilities (omitted when the graph
+        is unweighted).
+    labels:
+        Optional relabeling, ``labels[i]`` being node ``i``'s name —
+        pass the ordering returned by :func:`from_networkx` to round-trip.
+    """
+    import networkx as nx
+
+    if labels is not None and len(labels) != graph.n:
+        raise GraphError(
+            f"labels must have length n={graph.n}, got {len(labels)}"
+        )
+
+    def name(v: int):
+        return labels[v] if labels is not None else v
+
+    result = nx.DiGraph(name=graph.name)
+    result.add_nodes_from(name(v) for v in range(graph.n))
+    if graph.weighted:
+        result.add_edges_from(
+            (name(u), name(v), {weight_attribute: p}) for u, v, p in graph.edges()
+        )
+    else:
+        result.add_edges_from((name(u), name(v)) for u, v, _p in graph.edges())
+    return result

@@ -1,0 +1,106 @@
+"""Plain-text edge-list IO in the SNAP style used by the paper's datasets.
+
+Format: one edge per line, whitespace separated, ``u v`` or ``u v p``.
+Lines starting with ``#`` are comments (SNAP headers).  Gzip-compressed
+files are handled transparently based on the ``.gz`` suffix.
+"""
+
+from __future__ import annotations
+
+import gzip
+import re
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import GraphFormatError
+from repro.graph.build import from_edge_array
+from repro.graph.digraph import DiGraph
+
+PathLike = Union[str, Path]
+
+
+def _open_text(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+_HEADER_N = re.compile(r"\bn=(\d+)\b")
+
+
+def read_edge_list(
+    path: PathLike, undirected: bool = False, name: str = None, n: int = None
+) -> DiGraph:
+    """Read a SNAP-style edge list into a :class:`DiGraph`.
+
+    Parameters
+    ----------
+    path:
+        Text file (optionally ``.gz``) with ``u v`` or ``u v p`` rows.
+    undirected:
+        Materialize each edge in both directions (Orkut-style input).
+    name:
+        Graph name; defaults to the file stem.
+    n:
+        Node count.  When omitted, an ``n=<count>`` token in a header
+        comment (as written by :func:`write_edge_list`) is honored, and
+        otherwise ``max node id + 1`` is inferred — which silently
+        drops trailing isolated nodes, hence the header convention.
+    """
+    path = Path(path)
+    sources, targets, probs = [], [], []
+    weighted = None
+    with _open_text(path, "r") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                if n is None:
+                    match = _HEADER_N.search(line)
+                    if match:
+                        n = int(match.group(1))
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 'u v' or 'u v p', got {line!r}"
+                )
+            row_weighted = len(parts) == 3
+            if weighted is None:
+                weighted = row_weighted
+            elif weighted != row_weighted:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: mixed weighted/unweighted rows"
+                )
+            try:
+                sources.append(int(parts[0]))
+                targets.append(int(parts[1]))
+                if row_weighted:
+                    probs.append(float(parts[2]))
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{lineno}: {exc}") from exc
+
+    return from_edge_array(
+        np.asarray(sources, dtype=np.int64),
+        np.asarray(targets, dtype=np.int64),
+        np.asarray(probs, dtype=np.float64) if weighted else None,
+        n=n,
+        name=name or path.stem,
+        undirected=undirected,
+    )
+
+
+def write_edge_list(graph: DiGraph, path: PathLike, header: bool = True) -> None:
+    """Write *graph* as a SNAP-style edge list (probabilities included
+    when the graph is weighted)."""
+    path = Path(path)
+    with _open_text(path, "w") as handle:
+        if header:
+            handle.write(f"# {graph.name}: n={graph.n} m={graph.m}\n")
+        if graph.weighted:
+            for u, v, p in graph.edges():
+                handle.write(f"{u} {v} {p:.10g}\n")
+        else:
+            for u, v, _p in graph.edges():
+                handle.write(f"{u} {v}\n")

@@ -1,0 +1,68 @@
+"""Structural graph transformations: induced subgraphs and reversal.
+
+Used for experiment slicing (e.g. restricting to a giant component)
+and for testing dualities (an RR set on ``G`` rooted at ``v`` has the
+same distribution as a forward cascade from ``v`` on the reverse
+graph).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graph.digraph import DiGraph
+
+
+def induced_subgraph(
+    graph: DiGraph, nodes: Sequence[int]
+) -> Tuple[DiGraph, np.ndarray]:
+    """The subgraph induced by *nodes*, with labels compacted to
+    ``0..len(nodes)-1``.
+
+    Returns ``(subgraph, kept)`` where ``kept[i]`` is the original id
+    of new node ``i`` (sorted ascending).  Edge probabilities carry
+    over unchanged; note that weighted-cascade weights are generally
+    *not* WC weights of the subgraph (in-degrees shrink) — reapply a
+    scheme if that invariant matters.
+    """
+    kept = np.unique(np.asarray(list(nodes), dtype=np.int64))
+    if kept.size == 0:
+        raise ParameterError("nodes must be non-empty")
+    if kept.min() < 0 or kept.max() >= graph.n:
+        raise ParameterError("nodes out of range")
+    new_id = np.full(graph.n, -1, dtype=np.int64)
+    new_id[kept] = np.arange(kept.size)
+
+    sources, targets, probs = graph.edge_array()
+    keep_edge = (new_id[sources] >= 0) & (new_id[targets] >= 0)
+    sub = DiGraph(
+        kept.size,
+        new_id[sources[keep_edge]],
+        new_id[targets[keep_edge]],
+        probs[keep_edge] if graph.weighted else None,
+        name=f"{graph.name}-sub",
+        undirected_origin=graph.undirected_origin,
+    )
+    return sub, kept
+
+
+def reverse_graph(graph: DiGraph) -> DiGraph:
+    """The graph with every edge direction flipped (weights kept).
+
+    The reverse graph satisfies ``in_degree_rev = out_degree`` and
+    makes RR-set sampling on ``G`` equivalent to forward sampling on
+    ``reverse(G)`` — the duality tests in ``tests/test_transform.py``
+    exercise exactly that.
+    """
+    sources, targets, probs = graph.edge_array()
+    return DiGraph(
+        graph.n,
+        targets,
+        sources,
+        probs if graph.weighted else None,
+        name=f"{graph.name}-rev",
+        undirected_origin=graph.undirected_origin,
+    )

@@ -1,0 +1,85 @@
+"""Edge-probability assignment schemes.
+
+The paper (Section 8.1) uses the *weighted cascade* (WC) convention for
+both the IC and LT models: ``p(u, v) = 1 / in_degree(v)``.  This module
+also provides the other conventions common in the influence-maximization
+literature (constant, uniform-random, trivalency) so the library can
+reproduce experiments from related work and support ablations.
+
+All functions return a *new* :class:`~repro.graph.digraph.DiGraph`; the
+input graph is never mutated (graphs are immutable by design).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import WeightError
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_probability
+
+#: Probabilities used by the trivalency scheme of Chen et al. (2010).
+TRIVALENCY_LEVELS = (0.1, 0.01, 0.001)
+
+
+def assign_wc_weights(graph: DiGraph) -> DiGraph:
+    """Weighted-cascade weights: ``p(u, v) = 1 / in_degree(v)``.
+
+    This is the paper's default.  It makes each node's incoming
+    probabilities sum to exactly 1, so the result is always a valid LT
+    instance (``validate_lt`` passes).
+    """
+    in_degrees = graph.in_degree()
+
+    def weigh(sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        return 1.0 / in_degrees[targets]
+
+    return graph.reweighted(weigh)
+
+
+def assign_constant_weights(graph: DiGraph, p: float = 0.1) -> DiGraph:
+    """Assign the same probability *p* to every edge (IC experiments)."""
+    check_probability(p, "edge probability")
+
+    def weigh(sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        return np.full(sources.shape[0], p, dtype=np.float64)
+
+    return graph.reweighted(weigh)
+
+
+def assign_uniform_weights(
+    graph: DiGraph, low: float = 0.0, high: float = 0.1, seed: SeedLike = None
+) -> DiGraph:
+    """Assign i.i.d. uniform probabilities from ``[low, high]``."""
+    check_probability(low, "low")
+    check_probability(high, "high")
+    if low > high:
+        raise WeightError(f"low ({low}) must not exceed high ({high})")
+    rng = as_generator(seed)
+
+    def weigh(sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        return rng.uniform(low, high, size=sources.shape[0])
+
+    return graph.reweighted(weigh)
+
+
+def assign_trivalency_weights(
+    graph: DiGraph,
+    levels: Sequence[float] = TRIVALENCY_LEVELS,
+    seed: SeedLike = None,
+) -> DiGraph:
+    """Trivalency weights: each edge draws uniformly from *levels*."""
+    levels = np.asarray(levels, dtype=np.float64)
+    if levels.size == 0:
+        raise WeightError("levels must be non-empty")
+    for level in levels:
+        check_probability(float(level), "trivalency level")
+    rng = as_generator(seed)
+
+    def weigh(sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        return rng.choice(levels, size=sources.shape[0])
+
+    return graph.reweighted(weigh)

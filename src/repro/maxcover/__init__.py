@@ -1,0 +1,17 @@
+"""Greedy maximum coverage over RR-set collections, with the coverage
+upper bounds of the optimum used by the three OPIM variants."""
+
+from repro.maxcover.bounds import (
+    coverage_upper_bound_greedy,
+    coverage_upper_bound_leskovec,
+    coverage_upper_bound_pessimistic,
+)
+from repro.maxcover.greedy import GreedyResult, greedy_max_coverage
+
+__all__ = [
+    "GreedyResult",
+    "greedy_max_coverage",
+    "coverage_upper_bound_pessimistic",
+    "coverage_upper_bound_greedy",
+    "coverage_upper_bound_leskovec",
+]

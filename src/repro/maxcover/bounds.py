@@ -1,0 +1,71 @@
+"""Upper bounds on the optimum's coverage ``Lambda_1(S^o)``.
+
+The three OPIM variants differ only in which of these bounds they plug
+into the sigma-upper-bound formula:
+
+* **pessimistic** (OPIM⁰): ``Lambda_1(S*) / (1 - 1/e)`` — worst-case
+  tight (Nemhauser et al. 1978) but loose on real instances (Eq. 6).
+* **greedy-history** (OPIM⁺): Eq. 10, the minimum over all greedy
+  prefixes of ``Lambda_1(S_i*) + sum of top-k marginals``, proved never
+  worse than the pessimistic bound (Lemma 5.2).
+* **leskovec** (OPIM′): Eq. in Section 5 "Comparison with Previous Work
+  [24]" — the same expression evaluated only at the *final* prefix
+  ``S* = S_k*``; can be looser than the pessimistic bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ParameterError
+from repro.maxcover.greedy import GreedyResult
+
+
+def coverage_upper_bound_pessimistic(result: GreedyResult) -> float:
+    """``Lambda_1(S*) / (1 - (1 - 1/k)^k)``.
+
+    Uses the exact greedy ratio ``1 - (1 - 1/k)^k`` (>= 1 - 1/e), which
+    is valid per Lemma 5.2 and slightly tighter for small ``k``.
+    """
+    k = result.k
+    if k == 0:
+        raise ParameterError("greedy result has no seeds")
+    ratio = 1.0 - (1.0 - 1.0 / k) ** k
+    return result.coverage / ratio
+
+
+def coverage_upper_bound_pessimistic_e(result: GreedyResult) -> float:
+    """``Lambda_1(S*) / (1 - 1/e)`` — the paper's literal Eq. 6 form."""
+    if result.k == 0:
+        raise ParameterError("greedy result has no seeds")
+    return result.coverage / (1.0 - 1.0 / math.e)
+
+
+def coverage_upper_bound_greedy(result: GreedyResult) -> float:
+    """Eq. 10: ``min_i [Lambda_1(S_i*) + sum_{v in maxMC(S_i*,k)}
+    Lambda_1(v | S_i*)]`` over all greedy prefixes ``0 <= i <= k``.
+
+    By Lemma 5.2 this never exceeds the pessimistic bound; tests assert
+    that ordering.
+    """
+    if result.k == 0:
+        raise ParameterError("greedy result has no seeds")
+    candidates = [
+        coverage + topk
+        for coverage, topk in zip(result.prefix_coverages, result.prefix_topk_sums)
+    ]
+    return float(min(candidates))
+
+
+def coverage_upper_bound_leskovec(result: GreedyResult) -> float:
+    """``Lambda_1(S*) + sum of top-k marginals w.r.t. S*`` (OPIM′).
+
+    This is Leskovec et al.'s (2007) bound evaluated at the final seed
+    set only; it upper-bounds ``Lambda_1(S^o)`` by Lemma 5.1 but is
+    never tighter than :func:`coverage_upper_bound_greedy` and can be
+    looser than the pessimistic bound on some instances (which is why
+    OPIM′ underperforms OPIM⁰ at k = 1 in Figure 3).
+    """
+    if result.k == 0:
+        raise ParameterError("greedy result has no seeds")
+    return float(result.prefix_coverages[-1] + result.prefix_topk_sums[-1])

@@ -1,0 +1,250 @@
+"""Batched (vectorized) RR-set generation.
+
+The scalar samplers in :mod:`repro.sampling.rrset_ic` / ``rrset_lt``
+pay Python-interpreter overhead per BFS node / walk step.  The batched
+samplers here advance *many* RR sets in lock-step, so the interpreter
+cost is paid once per cascade level (IC) or walk step (LT) for the
+whole batch — typically a 5-30x throughput gain on the stand-in
+graphs, which is what makes paper-scale RR budgets reachable from pure
+Python (the reproduction note's "needs numpy tricks").
+
+The batched samplers draw random numbers in a different order than the
+scalar ones, so streams are not bit-identical across the two — but
+every RR set still follows exactly the Appendix A distribution, which
+the test suite checks by comparing spread estimates.
+
+Memory: one boolean visited matrix of shape ``(batch, n)``; callers
+bound ``batch`` accordingly (the default 256 puts it at ~5 MB for the
+largest stand-in).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.sampling.collection import RRCollection
+from repro.sampling.rrset_lt import LTAliasTables
+from repro.utils.rng import SeedLike, as_generator
+
+
+def _assemble(
+    n: int,
+    batch: int,
+    sample_chunks: List[np.ndarray],
+    node_chunks: List[np.ndarray],
+) -> List[np.ndarray]:
+    """Split flat (sample, node) membership records into per-sample
+    arrays, preserving insertion order (roots first)."""
+    samples = np.concatenate(sample_chunks)
+    nodes = np.concatenate(node_chunks)
+    order = np.argsort(samples, kind="stable")
+    samples = samples[order]
+    nodes = nodes[order]
+    counts = np.bincount(samples, minlength=batch)
+    offsets = np.zeros(batch + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return [
+        nodes[offsets[i] : offsets[i + 1]].astype(np.int32) for i in range(batch)
+    ]
+
+
+def sample_rr_sets_ic_batch(
+    graph: DiGraph, roots: np.ndarray, rng: np.random.Generator
+) -> Tuple[List[np.ndarray], int]:
+    """Sample one IC RR set per root, advanced level-synchronously.
+
+    Returns ``(rr_sets, edges_examined)`` where ``rr_sets[i]`` starts
+    with ``roots[i]``.
+    """
+    roots = np.asarray(roots, dtype=np.int64)
+    batch = roots.shape[0]
+    if batch == 0:
+        return [], 0
+    n = graph.n
+    in_offsets = graph.in_offsets
+    in_sources = graph.in_sources
+    in_probs = graph.in_probs
+
+    visited = np.zeros((batch, n), dtype=bool)
+    frontier_samples = np.arange(batch, dtype=np.int64)
+    frontier_nodes = roots
+    visited[frontier_samples, frontier_nodes] = True
+    sample_chunks = [frontier_samples]
+    node_chunks = [frontier_nodes]
+    edges_examined = 0
+
+    while frontier_nodes.size:
+        starts = in_offsets[frontier_nodes]
+        lengths = in_offsets[frontier_nodes + 1] - starts
+        total = int(lengths.sum())
+        edges_examined += total
+        if total == 0:
+            break
+        cum = np.cumsum(lengths)
+        index = np.arange(total, dtype=np.int64) + np.repeat(
+            starts - np.concatenate(([0], cum[:-1])), lengths
+        )
+        edge_samples = np.repeat(frontier_samples, lengths)
+        hit = rng.random(total) < in_probs[index]
+        if not hit.any():
+            break
+        hit_samples = edge_samples[hit]
+        hit_nodes = in_sources[index][hit].astype(np.int64)
+        # Drop already-visited pairs, then dedupe within the level.
+        fresh = ~visited[hit_samples, hit_nodes]
+        if not fresh.any():
+            break
+        codes = np.unique(hit_samples[fresh] * np.int64(n) + hit_nodes[fresh])
+        frontier_samples = codes // n
+        frontier_nodes = codes % n
+        visited[frontier_samples, frontier_nodes] = True
+        sample_chunks.append(frontier_samples)
+        node_chunks.append(frontier_nodes)
+
+    return _assemble(n, batch, sample_chunks, node_chunks), edges_examined
+
+
+def sample_rr_sets_lt_batch(
+    graph: DiGraph,
+    roots: np.ndarray,
+    rng: np.random.Generator,
+    tables: LTAliasTables,
+) -> Tuple[List[np.ndarray], int]:
+    """Sample one LT RR set per root, walks advanced in lock-step."""
+    roots = np.asarray(roots, dtype=np.int64)
+    batch = roots.shape[0]
+    if batch == 0:
+        return [], 0
+    n = graph.n
+    in_offsets = graph.in_offsets
+    in_sources = graph.in_sources
+    continue_prob = tables.continue_prob
+    accept = tables.accept
+    alias = tables.alias
+
+    visited = np.zeros((batch, n), dtype=bool)
+    walk_samples = np.arange(batch, dtype=np.int64)
+    walk_nodes = roots
+    visited[walk_samples, walk_nodes] = True
+    sample_chunks = [walk_samples]
+    node_chunks = [walk_nodes]
+    edges_examined = 0
+
+    while walk_nodes.size:
+        alive = rng.random(walk_nodes.size) < continue_prob[walk_nodes]
+        walk_samples = walk_samples[alive]
+        walk_nodes = walk_nodes[alive]
+        if walk_nodes.size == 0:
+            break
+        edges_examined += int(walk_nodes.size)
+        lo = in_offsets[walk_nodes]
+        degree = in_offsets[walk_nodes + 1] - lo
+        columns = (rng.random(walk_nodes.size) * degree).astype(np.int64)
+        slots = lo + columns
+        reject = rng.random(walk_nodes.size) >= accept[slots]
+        columns = np.where(reject, alias[slots], columns)
+        next_nodes = in_sources[lo + columns].astype(np.int64)
+        # Walks that close a cycle stop; the rest extend.
+        fresh = ~visited[walk_samples, next_nodes]
+        walk_samples = walk_samples[fresh]
+        walk_nodes = next_nodes[fresh]
+        if walk_nodes.size == 0:
+            break
+        visited[walk_samples, walk_nodes] = True
+        sample_chunks.append(walk_samples)
+        node_chunks.append(walk_nodes)
+
+    return _assemble(n, batch, sample_chunks, node_chunks), edges_examined
+
+
+class BatchRRSampler:
+    """Drop-in high-throughput replacement for
+    :class:`~repro.sampling.generator.RRSampler`.
+
+    Maintains an internal buffer refilled ``batch_size`` RR sets at a
+    time, so ``sample_one`` / ``fill`` keep the scalar interface while
+    the generation work runs vectorized.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        model: str,
+        seed: SeedLike = None,
+        batch_size: int = 256,
+    ) -> None:
+        model = model.upper()
+        if model not in ("IC", "LT"):
+            raise ParameterError(f"model must be 'IC' or 'LT', got {model!r}")
+        if batch_size < 1:
+            raise ParameterError(f"batch_size must be >= 1, got {batch_size}")
+        if not graph.weighted:
+            raise ParameterError(
+                "graph has no edge probabilities; apply a weighting scheme first"
+            )
+        self.graph = graph
+        self.model = model
+        self.rng = as_generator(seed)
+        self.batch_size = int(batch_size)
+        self.edges_examined = 0
+        self.sets_generated = 0
+        self.universe_weight = float(graph.n)
+        self._lt_tables: Optional[LTAliasTables] = None
+        if model == "LT":
+            self._lt_tables = LTAliasTables(graph)
+        self._buffer: List[np.ndarray] = []
+
+    def _refill(self, count: int) -> None:
+        roots = self.rng.integers(0, self.graph.n, size=count)
+        if self.model == "IC":
+            sets, edges = sample_rr_sets_ic_batch(self.graph, roots, self.rng)
+        else:
+            sets, edges = sample_rr_sets_lt_batch(
+                self.graph, roots, self.rng, self._lt_tables
+            )
+        self.edges_examined += edges
+        self._buffer.extend(reversed(sets))
+
+    def sample_one(self, root: Optional[int] = None) -> np.ndarray:
+        if root is not None:
+            # Explicit roots bypass the buffer (rare; used by tests).
+            if not 0 <= root < self.graph.n:
+                raise ParameterError(f"root {root} out of range")
+            if self.model == "IC":
+                sets, edges = sample_rr_sets_ic_batch(
+                    self.graph, np.array([root]), self.rng
+                )
+            else:
+                sets, edges = sample_rr_sets_lt_batch(
+                    self.graph, np.array([root]), self.rng, self._lt_tables
+                )
+            self.edges_examined += edges
+            self.sets_generated += 1
+            return sets[0]
+        if not self._buffer:
+            self._refill(self.batch_size)
+        self.sets_generated += 1
+        return self._buffer.pop()
+
+    def fill(self, collection: RRCollection, count: int) -> None:
+        if count < 0:
+            raise ParameterError(f"count must be non-negative, got {count}")
+        if collection.n != self.graph.n:
+            raise ParameterError(
+                "collection node universe does not match the sampler's graph"
+            )
+        while len(self._buffer) < count:
+            self._refill(max(self.batch_size, count - len(self._buffer)))
+        for _ in range(count):
+            collection.append(self._buffer.pop())
+            self.sets_generated += 1
+
+    def new_collection(self, count: int = 0) -> RRCollection:
+        collection = RRCollection(self.graph.n)
+        if count:
+            self.fill(collection, count)
+        return collection

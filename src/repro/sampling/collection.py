@@ -1,0 +1,143 @@
+"""Growable collections of RR sets with coverage queries.
+
+The online algorithms append RR sets continuously and periodically run
+greedy maximum coverage over everything collected so far.  To make the
+greedy pass fast in Python, :class:`RRCollection` maintains two flat CSR
+layouts that are rebuilt lazily (amortized O(total size) because the
+algorithms double collection sizes between queries):
+
+* ``rr_offsets`` / ``rr_nodes`` — RR-set id -> member node ids;
+* ``node_offsets`` / ``node_rrs`` — node id -> ids of RR sets
+  containing it (the inverted index driving greedy selection).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+
+class RRCollection:
+    """An append-only multiset of RR sets over nodes ``0..n-1``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ParameterError(f"n must be >= 1, got {n}")
+        self.n = int(n)
+        self._sets: List[np.ndarray] = []
+        self._total_size = 0
+        # Flat layouts, rebuilt lazily.
+        self._built_count = 0
+        self.rr_offsets = np.zeros(1, dtype=np.int64)
+        self.rr_nodes = np.empty(0, dtype=np.int32)
+        self.node_offsets = np.zeros(n + 1, dtype=np.int64)
+        self.node_rrs = np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, nodes: np.ndarray) -> None:
+        """Add one RR set (an array of node ids; duplicates not allowed)."""
+        nodes = np.asarray(nodes, dtype=np.int32)
+        if nodes.ndim != 1 or nodes.size == 0:
+            raise ParameterError("an RR set must be a non-empty 1-D array")
+        self._sets.append(nodes)
+        self._total_size += int(nodes.size)
+
+    def extend(self, many: Iterable[np.ndarray]) -> None:
+        """Append several RR sets."""
+        for nodes in many:
+            self.append(nodes)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    @property
+    def total_size(self) -> int:
+        """Sum of |R| over all stored RR sets."""
+        return self._total_size
+
+    def get(self, index: int) -> np.ndarray:
+        """Return the *index*-th RR set (a read-only view)."""
+        return self._sets[index]
+
+    def sets(self) -> Sequence[np.ndarray]:
+        """All stored RR sets, in insertion order."""
+        return tuple(self._sets)
+
+    # ------------------------------------------------------------------
+    # Flat layouts
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        """(Re)build the flat CSR layouts if new sets were appended."""
+        if self._built_count == len(self._sets):
+            return
+        count = len(self._sets)
+        sizes = np.fromiter(
+            (s.size for s in self._sets), dtype=np.int64, count=count
+        )
+        self.rr_offsets = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(sizes, out=self.rr_offsets[1:])
+        self.rr_nodes = (
+            np.concatenate(self._sets) if count else np.empty(0, dtype=np.int32)
+        )
+
+        # Inverted index: stable sort member entries by node id.
+        rr_ids = np.repeat(np.arange(count, dtype=np.int64), sizes)
+        order = np.argsort(self.rr_nodes, kind="stable")
+        sorted_nodes = self.rr_nodes[order]
+        self.node_rrs = rr_ids[order]
+        counts = np.bincount(sorted_nodes, minlength=self.n)
+        self.node_offsets = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.node_offsets[1:])
+        self._built_count = count
+
+    def node_coverage_counts(self) -> np.ndarray:
+        """Vector ``c[v] = number of RR sets containing v`` (singleton
+        coverages ``Lambda({v})``)."""
+        self.build()
+        counts = np.zeros(self.n, dtype=np.int64)
+        if self.rr_nodes.size:
+            counts = np.bincount(self.rr_nodes, minlength=self.n).astype(np.int64)
+        return counts
+
+    def rr_sets_containing(self, node: int) -> np.ndarray:
+        """Ids of RR sets that contain *node*."""
+        self.build()
+        lo, hi = self.node_offsets[node], self.node_offsets[node + 1]
+        return self.node_rrs[lo:hi]
+
+    # ------------------------------------------------------------------
+    # Coverage queries
+    # ------------------------------------------------------------------
+    def coverage(self, seeds: Iterable[int]) -> int:
+        """``Lambda(S)``: number of stored RR sets intersecting *seeds*."""
+        self.build()
+        seed_list = list(seeds)
+        if not seed_list:
+            return 0
+        covered = np.zeros(len(self._sets), dtype=bool)
+        for s in seed_list:
+            if not 0 <= s < self.n:
+                raise ParameterError(f"seed {s} out of range [0, {self.n})")
+            lo, hi = self.node_offsets[s], self.node_offsets[s + 1]
+            covered[self.node_rrs[lo:hi]] = True
+        return int(covered.sum())
+
+    def coverage_fraction(self, seeds: Iterable[int]) -> float:
+        """``Lambda(S) / |collection|`` (0.0 for an empty collection)."""
+        if not len(self._sets):
+            return 0.0
+        return self.coverage(seeds) / len(self._sets)
+
+    def estimate_spread(self, seeds: Iterable[int]) -> float:
+        """Unbiased spread estimate ``n * Lambda(S) / theta`` (Lemma 3.1)."""
+        if not len(self._sets):
+            raise ParameterError("cannot estimate spread from an empty collection")
+        return self.n * self.coverage(seeds) / len(self._sets)

@@ -1,0 +1,185 @@
+"""IC RR-set sampling specialized for per-node-uniform probabilities.
+
+Under weighted-cascade weighting (the paper's default) every in-edge
+of a node ``v`` carries the same probability ``p_v = 1/in_degree(v)``.
+The generic sampler flips ``in_degree(v)`` coins per visited node; for
+a hub with thousands of followers that is thousands of RNG calls for
+an expected *one* success.  When all of a node's in-probabilities are
+equal, the set of successful edges can instead be drawn directly:
+
+1. draw ``s ~ Binomial(d, p_v)`` — the number of live in-edges;
+2. choose ``s`` of the ``d`` in-edges uniformly without replacement.
+
+This is exactly the subset-sampling shortcut of SUBSIM (Guo et al.
+2020), which post-dates the paper; it changes no distribution (the
+live-edge indicator vector of i.i.d. Bernoulli(p) coins is exchangeable,
+so conditioning on the count makes the positions a uniform subset).
+In this numpy implementation the per-node interpreter overhead already
+amortizes the generic sampler's vectorized coin flips, so the shortcut
+pays off only in the high-degree regime (measured ~1.4x on a WC
+complete graph, roughly neutral at average degree ~35); it is provided
+for dense instances and as a faithful reference of the technique.
+
+``edges_examined`` accounting keeps the *paper's* cost model — every
+in-edge of a visited node counts as examined — so Borgs-style gamma
+budgets remain comparable across samplers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.sampling.rrset_ic import Scratch
+
+
+def uniform_in_probabilities(graph: DiGraph) -> Optional[np.ndarray]:
+    """Per-node probability if each node's in-edges share one value.
+
+    Returns the length-n array of per-node probabilities (0 for nodes
+    without in-edges), or ``None`` if any node has mixed values — the
+    eligibility check for :func:`sample_rr_set_ic_uniform`.
+    """
+    if not graph.weighted:
+        return None
+    probs = np.zeros(graph.n, dtype=np.float64)
+    offsets = graph.in_offsets
+    in_probs = graph.in_probs
+    for v in range(graph.n):
+        lo, hi = int(offsets[v]), int(offsets[v + 1])
+        if hi == lo:
+            continue
+        local = in_probs[lo:hi]
+        first = local[0]
+        if np.any(local != first):
+            return None
+        probs[v] = first
+    return probs
+
+
+def sample_rr_set_ic_uniform(
+    graph: DiGraph,
+    root: int,
+    rng: np.random.Generator,
+    node_probs: np.ndarray,
+    scratch: Scratch = None,
+) -> Tuple[np.ndarray, int]:
+    """Sample one IC RR set using binomial subset draws per node.
+
+    *node_probs* must come from :func:`uniform_in_probabilities` on the
+    same graph.  Distributionally identical to
+    :func:`repro.sampling.rrset_ic.sample_rr_set_ic`.
+    """
+    if scratch is None:
+        scratch = Scratch(graph.n)
+    stamp = scratch.next_stamp()
+    visited = scratch.visited
+    queue = scratch.queue
+
+    visited[root] = stamp
+    queue[0] = root
+    head, tail = 0, 1
+    edges_examined = 0
+
+    in_offsets = graph.in_offsets
+    in_sources = graph.in_sources
+
+    while head < tail:
+        u = int(queue[head])
+        head += 1
+        lo, hi = int(in_offsets[u]), int(in_offsets[u + 1])
+        degree = hi - lo
+        if degree == 0:
+            continue
+        edges_examined += degree
+        p = node_probs[u]
+        if p <= 0.0:
+            continue
+        successes = int(rng.binomial(degree, p))
+        if successes == 0:
+            continue
+        if successes >= degree:
+            hit = in_sources[lo:hi]
+        elif successes <= 16:
+            # Floyd's algorithm: O(successes) draws regardless of the
+            # degree — the common case under WC weights, where the
+            # expected success count is 1.
+            chosen = set()
+            for j in range(degree - successes, degree):
+                t = int(rng.integers(0, j + 1))
+                if t in chosen:
+                    chosen.add(j)
+                else:
+                    chosen.add(t)
+            hit = in_sources[lo + np.fromiter(chosen, dtype=np.int64)]
+        else:
+            picks = rng.choice(degree, size=successes, replace=False)
+            hit = in_sources[lo + picks]
+        fresh = hit[visited[hit] != stamp]
+        if fresh.size == 0:
+            continue
+        visited[fresh] = stamp
+        queue[tail : tail + fresh.size] = fresh
+        tail += fresh.size
+
+    return queue[:tail].copy(), edges_examined
+
+
+class UniformICSampler:
+    """RRSampler-compatible sampler using the binomial shortcut.
+
+    Raises :class:`ParameterError` at construction if the graph is not
+    per-node-uniform (use :class:`~repro.sampling.generator.RRSampler`
+    or detect eligibility with :func:`uniform_in_probabilities`).
+    """
+
+    def __init__(self, graph: DiGraph, seed=None) -> None:
+        from repro.utils.rng import as_generator
+
+        node_probs = uniform_in_probabilities(graph)
+        if node_probs is None:
+            raise ParameterError(
+                "graph is not per-node-uniform; the binomial shortcut "
+                "does not apply (use RRSampler)"
+            )
+        self.graph = graph
+        self.model = "IC"
+        self.node_probs = node_probs
+        self.rng = as_generator(seed)
+        self.edges_examined = 0
+        self.sets_generated = 0
+        self.universe_weight = float(graph.n)
+        self._scratch = Scratch(graph.n)
+
+    def sample_one(self, root: Optional[int] = None) -> np.ndarray:
+        if root is None:
+            root = int(self.rng.integers(0, self.graph.n))
+        elif not 0 <= root < self.graph.n:
+            raise ParameterError(f"root {root} out of range")
+        nodes, edges = sample_rr_set_ic_uniform(
+            self.graph, root, self.rng, self.node_probs, self._scratch
+        )
+        self.edges_examined += edges
+        self.sets_generated += 1
+        return nodes
+
+    def fill(self, collection, count: int) -> None:
+        if count < 0:
+            raise ParameterError(f"count must be non-negative, got {count}")
+        if collection.n != self.graph.n:
+            raise ParameterError(
+                "collection node universe does not match the sampler's graph"
+            )
+        for _ in range(count):
+            collection.append(self.sample_one())
+
+    def new_collection(self, count: int = 0):
+        from repro.sampling.collection import RRCollection
+
+        collection = RRCollection(self.graph.n)
+        if count:
+            self.fill(collection, count)
+        return collection

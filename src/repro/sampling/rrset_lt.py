@@ -1,0 +1,113 @@
+"""Random RR-set generation under the LT model (paper, Appendix A).
+
+An LT RR set rooted at ``v`` is a *reverse random walk*: at the current
+node ``u`` the walk stops with probability ``1 - sum_w p(w, u)`` and
+otherwise moves to one in-neighbor ``x`` chosen with probability
+proportional to ``p(x, u)``.  The walk also stops upon revisiting a
+node (under the LT live-edge interpretation each node selects at most
+one incoming edge, so the reverse reachable subgraph is a path until it
+closes a cycle).
+
+Per-node alias tables (:class:`LTAliasTables`) make each step O(1), as
+in the paper's Appendix A, after an O(n + m) preprocessing pass.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.sampling.alias import build_alias_arrays
+from repro.sampling.rrset_ic import Scratch
+
+
+class LTAliasTables:
+    """Per-node alias tables over in-neighbors, laid out flat in CSR order.
+
+    For node ``u`` with in-edges in ``[lo, hi)`` of the in-CSR arrays:
+
+    * ``continue_prob[u]`` is ``sum_w p(w, u)`` (clipped to 1), the
+      probability that the reverse walk continues past ``u``;
+    * ``accept[lo:hi]`` / ``alias[lo:hi]`` are Walker tables over the
+      local in-neighbor indices ``0 .. hi-lo-1``.
+    """
+
+    __slots__ = ("graph", "accept", "alias", "continue_prob")
+
+    def __init__(self, graph: DiGraph) -> None:
+        graph.validate_lt()
+        self.graph = graph
+        m = graph.m
+        self.accept = np.ones(m, dtype=np.float64)
+        self.alias = np.zeros(m, dtype=np.int64)
+        self.continue_prob = np.minimum(graph.in_prob_sums(), 1.0)
+
+        offsets = graph.in_offsets
+        probs = graph.in_probs
+        for u in range(graph.n):
+            lo, hi = int(offsets[u]), int(offsets[u + 1])
+            if hi - lo == 0:
+                continue
+            local = probs[lo:hi]
+            if local.sum() <= 0.0:
+                # All-zero in-probabilities: the walk never continues
+                # past u, so the table content is irrelevant.
+                self.continue_prob[u] = 0.0
+                continue
+            accept, alias = build_alias_arrays(local)
+            self.accept[lo:hi] = accept
+            self.alias[lo:hi] = alias
+
+    def sample_in_neighbor(self, u: int, rng: np.random.Generator) -> int:
+        """Draw one in-neighbor of *u* (assumes in-degree > 0)."""
+        lo = int(self.graph.in_offsets[u])
+        hi = int(self.graph.in_offsets[u + 1])
+        d = hi - lo
+        column = int(rng.integers(0, d))
+        if rng.random() >= self.accept[lo + column]:
+            column = int(self.alias[lo + column])
+        return int(self.graph.in_sources[lo + column])
+
+
+def sample_rr_set_lt(
+    graph: DiGraph,
+    root: int,
+    rng: np.random.Generator,
+    tables: LTAliasTables,
+    scratch: Scratch = None,
+) -> Tuple[np.ndarray, int]:
+    """Sample one LT-model RR set rooted at *root*.
+
+    Returns ``(nodes, edges_examined)`` where the edge count increments
+    once per walk step (each step examines one sampled in-edge in O(1),
+    per the alias-method analysis in Appendix A).
+    """
+    if scratch is None:
+        scratch = Scratch(graph.n)
+    stamp = scratch.next_stamp()
+    visited = scratch.visited
+    path = scratch.queue
+
+    visited[root] = stamp
+    path[0] = root
+    length = 1
+    edges_examined = 0
+
+    u = root
+    continue_prob = tables.continue_prob
+    while True:
+        cp = continue_prob[u]
+        if cp <= 0.0 or rng.random() >= cp:
+            break
+        edges_examined += 1
+        w = tables.sample_in_neighbor(u, rng)
+        if visited[w] == stamp:
+            break
+        visited[w] = stamp
+        path[length] = w
+        length += 1
+        u = w
+
+    return path[:length].copy(), edges_examined

@@ -1,0 +1,20 @@
+"""Shared utilities: RNG discipline, timers, validation, logging."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_delta,
+    check_epsilon,
+    check_k,
+    check_probability,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "Timer",
+    "check_delta",
+    "check_epsilon",
+    "check_k",
+    "check_probability",
+]

@@ -1,0 +1,55 @@
+"""Small vectorized array helpers shared across modules."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def gather_slices(
+    offsets: np.ndarray, data: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """Concatenate CSR slices ``data[offsets[r]:offsets[r+1]]`` for each
+    row in *rows*, without a Python-level loop.
+
+    This is the standard vectorized multi-slice gather: compute the
+    output position of each slice, then offset a single ``arange``.
+    """
+    rows = np.asarray(rows)
+    if rows.size == 0:
+        return data[:0]
+    starts = offsets[rows]
+    lengths = offsets[rows + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return data[:0]
+    cum = np.cumsum(lengths)
+    index = np.arange(total, dtype=np.int64) + np.repeat(
+        starts - np.concatenate(([0], cum[:-1])), lengths
+    )
+    return data[index]
+
+
+def gather_slice_index(
+    offsets: np.ndarray, rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Like :func:`gather_slices` but return the flat *indices* plus the
+    per-row repeat vector (callers that need several parallel arrays
+    gather once and index many)."""
+    rows = np.asarray(rows)
+    if rows.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    starts = offsets[rows]
+    lengths = offsets[rows + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    cum = np.cumsum(lengths)
+    index = np.arange(total, dtype=np.int64) + np.repeat(
+        starts - np.concatenate(([0], cum[:-1])), lengths
+    )
+    row_of = np.repeat(rows, lengths)
+    return index, row_of

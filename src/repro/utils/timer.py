@@ -1,0 +1,65 @@
+"""Wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """A cumulative stopwatch usable as a context manager.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+
+    The same timer may be entered repeatedly; ``elapsed`` accumulates
+    across all completed spans, which is what the online-processing
+    experiments need (sampling time accrues over many ``extend`` calls).
+    """
+
+    def __init__(self) -> None:
+        self._accumulated = 0.0
+        self._started_at: Optional[float] = None
+
+    def start(self) -> "Timer":
+        if self._started_at is not None:
+            raise RuntimeError("Timer is already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("Timer is not running")
+        span = time.perf_counter() - self._started_at
+        self._accumulated += span
+        self._started_at = None
+        return span
+
+    def reset(self) -> None:
+        self._accumulated = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Total seconds across completed spans (plus the live one)."""
+        live = 0.0
+        if self._started_at is not None:
+            live = time.perf_counter() - self._started_at
+        return self._accumulated + live
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"Timer(elapsed={self.elapsed:.6f}s, {state})"

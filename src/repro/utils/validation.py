@@ -1,0 +1,56 @@
+"""Parameter validation shared across algorithms.
+
+All algorithm entry points validate their parameters eagerly with these
+helpers so a bad ``k``/``epsilon``/``delta`` fails with a clear
+:class:`~repro.exceptions.ParameterError` instead of a numpy warning
+deep inside a bound computation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ParameterError
+
+
+def check_k(k: int, n: int) -> int:
+    """Validate a seed-set size ``k`` against a graph with ``n`` nodes."""
+    if not isinstance(k, (int,)) or isinstance(k, bool):
+        raise ParameterError(f"k must be an int, got {type(k).__name__}")
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    if k > n:
+        raise ParameterError(f"k must be <= number of nodes ({n}), got {k}")
+    return k
+
+
+def check_epsilon(epsilon: float) -> float:
+    """Validate an approximation error threshold ``epsilon`` in (0, 1)."""
+    epsilon = float(epsilon)
+    if not math.isfinite(epsilon) or not 0.0 < epsilon < 1.0:
+        raise ParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    return epsilon
+
+
+def check_delta(delta: float) -> float:
+    """Validate a failure probability ``delta`` in (0, 1)."""
+    delta = float(delta)
+    if not math.isfinite(delta) or not 0.0 < delta < 1.0:
+        raise ParameterError(f"delta must be in (0, 1), got {delta}")
+    return delta
+
+
+def check_probability(p: float, name: str = "probability") -> float:
+    """Validate a probability value in [0, 1]."""
+    p = float(p)
+    if not math.isfinite(p) or not 0.0 <= p <= 1.0:
+        raise ParameterError(f"{name} must be in [0, 1], got {p}")
+    return p
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate a strictly positive finite value."""
+    value = float(value)
+    if not math.isfinite(value) or value <= 0:
+        raise ParameterError(f"{name} must be positive and finite, got {value}")
+    return value

@@ -1,0 +1,16 @@
+"""Node-weighted influence maximization (the paper's future-work
+direction "other variants of influence maximization").
+
+Everything in the core OPIM machinery generalizes when each node ``v``
+carries a benefit weight ``w_v >= 0`` and the objective becomes the
+*weighted* expected spread ``sigma_w(S) = sum_v w_v Pr[S activates v]``:
+sample RR-set roots proportionally to ``w`` instead of uniformly, and
+replace ``n`` by the total weight ``W = sum_v w_v`` in every estimate
+and concentration bound (the weighted Lemma 3.1:
+``sigma_w(S) = W * Pr[S covers a weighted-root RR set]``).
+"""
+
+from repro.weighted.sampler import WeightedRRSampler
+from repro.weighted.spread import monte_carlo_weighted_spread
+
+__all__ = ["WeightedRRSampler", "monte_carlo_weighted_spread"]

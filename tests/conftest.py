@@ -1,0 +1,102 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edge_list
+from repro.graph.generators import (
+    cycle_graph,
+    power_law_graph,
+    star_graph,
+    two_cliques,
+)
+from repro.graph.weights import assign_constant_weights, assign_wc_weights
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_weighted_graph():
+    """5 nodes, 5 weighted edges; small enough for exact enumeration."""
+    return from_edge_list(
+        [
+            (0, 1, 0.5),
+            (0, 2, 0.5),
+            (1, 3, 0.4),
+            (2, 3, 0.4),
+            (3, 4, 0.9),
+        ],
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def line_graph():
+    """0 -> 1 -> 2 -> 3 with certain propagation (p = 1)."""
+    return from_edge_list(
+        [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)], name="line"
+    )
+
+
+@pytest.fixture
+def wc_cycle():
+    """Directed 6-cycle with WC weights (every p = 1)."""
+    return assign_wc_weights(cycle_graph(6))
+
+
+@pytest.fixture
+def wc_star():
+    """Star, hub 0 -> 1..7, WC weights (every p = 1)."""
+    return assign_wc_weights(star_graph(8))
+
+
+@pytest.fixture
+def cliques_graph():
+    """Two bridged 4-cliques, constant p = 0.3."""
+    return assign_constant_weights(two_cliques(4), 0.3)
+
+
+@pytest.fixture(scope="session")
+def medium_graph():
+    """A 400-node WC-weighted power-law graph (shared across tests)."""
+    return assign_wc_weights(power_law_graph(400, 6, seed=99, name="medium"))
+
+
+@pytest.fixture(scope="session")
+def small_graph():
+    """A 120-node WC-weighted power-law graph for fast algorithm runs."""
+    return assign_wc_weights(power_law_graph(120, 5, seed=7, name="small"))
+
+
+def brute_force_best_coverage(collection, k):
+    """Exhaustive max-coverage optimum over a small RR collection."""
+    best = 0
+    best_set = ()
+    nodes = range(collection.n)
+    for combo in itertools.combinations(nodes, k):
+        value = collection.coverage(combo)
+        if value > best:
+            best = value
+            best_set = combo
+    return best, best_set
+
+
+def brute_force_best_spread_ic(graph, k):
+    """Exhaustive optimum of exact sigma(S) under IC (tiny graphs only)."""
+    from repro.diffusion.spread import exact_spread_ic
+
+    best = -1.0
+    best_set = ()
+    for combo in itertools.combinations(range(graph.n), k):
+        value = exact_spread_ic(graph, combo)
+        if value > best:
+            best = value
+            best_set = combo
+    return best, best_set

@@ -1,0 +1,74 @@
+"""Tests for the design-choice ablation experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments.ablations import (
+    collection_split_ablation,
+    delta_split_ablation,
+)
+
+
+class TestDeltaSplitAblation:
+    @pytest.fixture(scope="class")
+    def result(self, medium_graph):
+        return delta_split_ablation(
+            medium_graph,
+            "IC",
+            k=5,
+            num_rr_sets=2000,
+            fractions=(0.1, 0.5, 0.9),
+            repetitions=2,
+            seed=1,
+        )
+
+    def test_series_structure(self, result):
+        series = result.series["OPIM+"]
+        assert series.x == [0.1, 0.5, 0.9]
+        assert all(0.0 <= y <= 1.0 for y in series.y)
+
+    def test_even_split_competitive(self, result):
+        """Lemma 4.4 empirically: the delta/2 split is within a few
+        percent of the best split in the sweep."""
+        series = result.series["OPIM+"]
+        by_fraction = dict(zip(series.x, series.y))
+        assert by_fraction[0.5] >= 0.93 * max(series.y)
+
+    def test_invalid_fraction(self, medium_graph):
+        with pytest.raises(ParameterError):
+            delta_split_ablation(medium_graph, "IC", k=3, fractions=(0.0,))
+
+    def test_odd_rr_count_rejected(self, medium_graph):
+        with pytest.raises(ParameterError):
+            delta_split_ablation(medium_graph, "IC", k=3, num_rr_sets=999)
+
+
+class TestCollectionSplitAblation:
+    @pytest.fixture(scope="class")
+    def result(self, medium_graph):
+        return collection_split_ablation(
+            medium_graph,
+            "IC",
+            k=5,
+            num_rr_sets=2000,
+            fractions=(0.1, 0.5, 0.9),
+            repetitions=2,
+            seed=2,
+        )
+
+    def test_series_structure(self, result):
+        series = result.series["OPIM+"]
+        assert series.x == [0.1, 0.5, 0.9]
+        assert all(0.0 <= y <= 1.0 for y in series.y)
+
+    def test_even_split_beats_extremes(self, result):
+        series = result.series["OPIM+"]
+        by_fraction = dict(zip(series.x, series.y))
+        assert by_fraction[0.5] > by_fraction[0.1]
+        assert by_fraction[0.5] > by_fraction[0.9]
+
+    def test_invalid_fraction(self, medium_graph):
+        with pytest.raises(ParameterError):
+            collection_split_ablation(medium_graph, "IC", k=3, fractions=(1.0,))

@@ -1,0 +1,123 @@
+"""Tests for batched forward simulation and common-random-number
+seed-set comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diffusion.batch_sim import batched_monte_carlo_spread, compare_seed_sets
+from repro.diffusion.spread import exact_spread_ic, monte_carlo_spread
+from repro.exceptions import ParameterError
+from repro.graph.build import from_edge_list
+
+
+class TestBatchedSpread:
+    def test_matches_exact(self, tiny_weighted_graph):
+        exact = exact_spread_ic(tiny_weighted_graph, [0])
+        estimate = batched_monte_carlo_spread(
+            tiny_weighted_graph, [0], num_samples=30000, seed=1
+        )
+        low, high = estimate.confidence_interval(z=4.0)
+        assert low <= exact <= high
+
+    def test_matches_scalar_estimator(self, medium_graph):
+        seeds = [0, 1, 2]
+        scalar = monte_carlo_spread(
+            medium_graph, seeds, "IC", num_samples=4000, seed=2
+        )
+        batched = batched_monte_carlo_spread(
+            medium_graph, seeds, num_samples=4000, seed=3
+        )
+        assert batched.mean == pytest.approx(scalar.mean, rel=0.08)
+
+    def test_batch_boundary_exact_total(self, tiny_weighted_graph):
+        estimate = batched_monte_carlo_spread(
+            tiny_weighted_graph, [0], num_samples=257, seed=4, batch_size=128
+        )
+        assert estimate.num_samples == 257
+
+    def test_empty_seeds(self, tiny_weighted_graph):
+        estimate = batched_monte_carlo_spread(
+            tiny_weighted_graph, [], num_samples=10, seed=5
+        )
+        assert estimate.mean == 0.0
+
+    def test_spread_at_least_seed_count(self, medium_graph):
+        estimate = batched_monte_carlo_spread(
+            medium_graph, [0, 5, 9], num_samples=50, seed=6
+        )
+        assert estimate.mean >= 3.0
+
+    def test_certain_propagation(self, line_graph):
+        estimate = batched_monte_carlo_spread(
+            line_graph, [0], num_samples=50, seed=7
+        )
+        assert estimate.mean == pytest.approx(4.0)
+        assert estimate.std_error == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_samples": 0},
+            {"batch_size": 0},
+            {"seeds_override": [10**6]},
+        ],
+    )
+    def test_invalid_params(self, tiny_weighted_graph, kwargs):
+        seeds = kwargs.pop("seeds_override", [0])
+        with pytest.raises(ParameterError):
+            batched_monte_carlo_spread(tiny_weighted_graph, seeds, **kwargs)
+
+    def test_unweighted_rejected(self):
+        with pytest.raises(ParameterError):
+            batched_monte_carlo_spread(from_edge_list([(0, 1)]), [0])
+
+
+class TestCompareSeedSets:
+    def test_common_randomness_reduces_variance(self, medium_graph):
+        """Identical seed sets must get *identical* estimates — the CRN
+        property that independent runs cannot offer."""
+        result = compare_seed_sets(
+            medium_graph,
+            {"a": [0, 1, 2], "b": [0, 1, 2]},
+            "IC",
+            num_samples=100,
+            seed=1,
+        )
+        assert result["a"].mean == result["b"].mean
+
+    def test_superset_dominates_pointwise(self, medium_graph):
+        """On every shared sample a superset reaches at least as much;
+        CRN makes the estimate difference deterministic in sign."""
+        result = compare_seed_sets(
+            medium_graph,
+            {"small": [0, 1], "large": [0, 1, 2, 3]},
+            "IC",
+            num_samples=100,
+            seed=2,
+        )
+        assert result["large"].mean >= result["small"].mean
+
+    def test_lt_model(self, medium_graph):
+        result = compare_seed_sets(
+            medium_graph, {"a": [0]}, "LT", num_samples=50, seed=3
+        )
+        assert result["a"].mean >= 1.0
+
+    def test_estimates_match_independent_mc(self, tiny_weighted_graph):
+        exact = exact_spread_ic(tiny_weighted_graph, [0])
+        result = compare_seed_sets(
+            tiny_weighted_graph, {"s": [0]}, "IC", num_samples=20000, seed=4
+        )
+        low, high = result["s"].confidence_interval(z=4.0)
+        assert low <= exact <= high
+
+    def test_invalid_inputs(self, medium_graph):
+        with pytest.raises(ParameterError):
+            compare_seed_sets(medium_graph, {}, "IC")
+        with pytest.raises(ParameterError):
+            compare_seed_sets(medium_graph, {"a": [0]}, "SIR")
+        with pytest.raises(ParameterError):
+            compare_seed_sets(medium_graph, {"a": [10**6]}, "IC")
+        with pytest.raises(ParameterError):
+            compare_seed_sets(medium_graph, {"a": [0]}, "IC", num_samples=0)

@@ -1,0 +1,211 @@
+"""Tests for Borgs et al.'s online algorithm (Section 3.2) and the
+OPIM-adoption wrapper (Section 3.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.adoption import (
+    AdoptionCurve,
+    AdoptionStep,
+    OPIMAdoption,
+    adoption_epsilon,
+    adoption_guarantee,
+)
+from repro.core.borgs import BORGS_CAP, BorgsOnline, borgs_beta
+from repro.core.results import IMResult
+from repro.exceptions import BudgetExceededError, ParameterError, StateError
+
+
+class TestBorgsBeta:
+    def test_formula(self):
+        n, m, gamma = 1000, 5000, 10**6
+        expected = gamma / (1492992 * (n + m) * math.log(n))
+        assert borgs_beta(gamma, n, m) == pytest.approx(expected)
+
+    def test_paper_example_magnitude(self):
+        """Section 3.2: a 0.1-approximation on n=1e5, m=1e6 needs on
+        the order of 2e12 edges examined (the paper says "more than
+        2e12", rounding up from ~1.9e12)."""
+        n, m = 10**5, 10**6
+        gamma_needed = 0.1 * 1492992 * (n + m) * math.log(n)
+        assert gamma_needed > 1.8e12
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ParameterError):
+            borgs_beta(10, 1, 5)
+
+
+class TestBorgsOnline:
+    def test_query_before_extend_raises(self, medium_graph):
+        algo = BorgsOnline(medium_graph, "IC", k=3, seed=1)
+        with pytest.raises(StateError):
+            algo.query()
+
+    def test_alpha_is_tiny(self, medium_graph):
+        """The reported guarantee is practically zero (Figures 2-5)."""
+        algo = BorgsOnline(medium_graph, "IC", k=3, seed=1)
+        algo.extend(500)
+        snap = algo.query()
+        assert 0.0 < snap.alpha < 1e-3
+
+    def test_alpha_capped_at_quarter(self, medium_graph):
+        assert BORGS_CAP == 0.25
+        algo = BorgsOnline(medium_graph, "IC", k=3, seed=1)
+        algo.extend(200)
+        assert algo.query().alpha <= BORGS_CAP
+
+    def test_checkpoint_at_power_of_two(self, medium_graph):
+        algo = BorgsOnline(medium_graph, "IC", k=3, seed=2)
+        algo.extend(50)
+        snap = algo.query()
+        # The frozen checkpoint's gamma is >= some power of two and the
+        # checkpoint predates the current stream position.
+        assert snap.edges_examined <= algo.gamma
+        assert snap.num_rr_sets <= algo.num_rr_sets
+
+    def test_checkpoint_advances(self, medium_graph):
+        algo = BorgsOnline(medium_graph, "IC", k=3, seed=3)
+        algo.extend(50)
+        first = algo.query()
+        algo.extend(2000)
+        second = algo.query()
+        assert second.edges_examined > first.edges_examined
+        assert second.alpha >= first.alpha
+
+    def test_extend_to(self, medium_graph):
+        algo = BorgsOnline(medium_graph, "IC", k=3, seed=4)
+        algo.extend_to(123)
+        assert algo.num_rr_sets == 123
+
+    def test_negative_extend(self, medium_graph):
+        algo = BorgsOnline(medium_graph, "IC", k=3, seed=4)
+        with pytest.raises(ParameterError):
+            algo.extend(-1)
+
+    def test_seeds_have_size_k(self, medium_graph):
+        algo = BorgsOnline(medium_graph, "LT", k=4, seed=5)
+        algo.extend(300)
+        assert len(algo.query().seeds) == 4
+
+
+class TestAdoptionFormulas:
+    def test_epsilon_sequence(self):
+        e = 1 - 1 / math.e
+        assert adoption_epsilon(1) == pytest.approx(e)
+        assert adoption_epsilon(2) == pytest.approx(e / 2)
+        assert adoption_epsilon(5) == pytest.approx(e / 16)
+
+    def test_epsilon_invalid(self):
+        with pytest.raises(ParameterError):
+            adoption_epsilon(0)
+
+    def test_guarantee_sequence(self):
+        e = 1 - 1 / math.e
+        assert adoption_guarantee(0) == 0.0
+        assert adoption_guarantee(1) == pytest.approx(0.0)
+        assert adoption_guarantee(2) == pytest.approx(e / 2)
+        assert adoption_guarantee(3) == pytest.approx(e * 3 / 4)
+
+    def test_guarantee_approaches_ceiling(self):
+        assert adoption_guarantee(30) == pytest.approx(1 - 1 / math.e, abs=1e-6)
+
+    def test_guarantee_consistent_with_epsilon(self):
+        for i in range(1, 10):
+            assert adoption_guarantee(i) == pytest.approx(
+                (1 - 1 / math.e) - adoption_epsilon(i)
+            )
+
+
+def _fake_invoker(costs):
+    """Build an invoker whose i-th call consumes costs[i] RR sets."""
+    calls = []
+
+    def invoke(epsilon, rr_cap):
+        index = len(calls)
+        cost = costs[index]
+        if rr_cap is not None and cost > rr_cap:
+            raise BudgetExceededError("over budget", num_rr_sets=rr_cap)
+        calls.append(epsilon)
+        return IMResult(
+            algorithm="fake",
+            seeds=[index],
+            k=1,
+            epsilon=epsilon,
+            delta=0.1,
+            num_rr_sets=cost,
+            elapsed=0.0,
+        )
+
+    return invoke, calls
+
+
+class TestAdoptionWrapper:
+    def test_curve_structure(self):
+        invoke, calls = _fake_invoker([100, 400, 1600, 6400])
+        curve = OPIMAdoption("fake", invoke).run(3000)
+        assert [s.cumulative_rr_sets for s in curve.steps] == [100, 500, 2100]
+        assert calls == [adoption_epsilon(i) for i in (1, 2, 3)]
+        # 4th invocation (6400) aborted at remaining budget 900.
+        assert curve.exhausted_budget == 2100 + 900
+
+    def test_guarantee_at_budget(self):
+        invoke, _ = _fake_invoker([100, 400, 1600, 10**9])
+        curve = OPIMAdoption("fake", invoke).run(5000)
+        assert curve.guarantee_at(50) == 0.0
+        assert curve.guarantee_at(100) == adoption_guarantee(1)
+        assert curve.guarantee_at(499) == adoption_guarantee(1)
+        assert curve.guarantee_at(500) == adoption_guarantee(2)
+        assert curve.guarantee_at(10**6) == adoption_guarantee(3)
+
+    def test_seeds_at_budget(self):
+        invoke, _ = _fake_invoker([100, 400, 10**9])
+        curve = OPIMAdoption("fake", invoke).run(1000)
+        assert curve.seeds_at(50) is None
+        assert curve.seeds_at(100) == [0]
+        assert curve.seeds_at(999) == [1]
+
+    def test_max_invocations_bound(self):
+        invoke, calls = _fake_invoker([1] * 50)
+        curve = OPIMAdoption("fake", invoke, max_invocations=5).run(10**6)
+        assert len(curve.steps) == 5
+
+    def test_zero_budget(self):
+        invoke, calls = _fake_invoker([10])
+        curve = OPIMAdoption("fake", invoke).run(0)
+        assert curve.steps == []
+        assert calls == []
+
+    def test_negative_budget_rejected(self):
+        invoke, _ = _fake_invoker([10])
+        with pytest.raises(ParameterError):
+            OPIMAdoption("fake", invoke).run(-1)
+
+    def test_invalid_max_invocations(self):
+        invoke, _ = _fake_invoker([10])
+        with pytest.raises(ParameterError):
+            OPIMAdoption("fake", invoke, max_invocations=0)
+
+    def test_monotone_guarantee(self):
+        invoke, _ = _fake_invoker([10, 20, 40, 80, 160])
+        curve = OPIMAdoption("fake", invoke).run(310)
+        guarantees = [curve.guarantee_at(b) for b in (0, 10, 30, 70, 150, 310)]
+        assert guarantees == sorted(guarantees)
+
+
+class TestAdoptionWithRealAlgorithm:
+    def test_imm_adoption_end_to_end(self, small_graph):
+        from repro.baselines.imm import imm
+
+        adoption = OPIMAdoption(
+            "IMM",
+            lambda eps, cap: imm(
+                small_graph, "IC", 3, eps, delta=0.1, seed=42, rr_budget=cap
+            ),
+        )
+        curve = adoption.run(50000)
+        assert len(curve.steps) >= 1
+        assert curve.guarantee_at(50000) > 0.0
+        assert curve.guarantee_at(50000) < 1 - 1 / math.e

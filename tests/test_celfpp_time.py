@@ -1,0 +1,118 @@
+"""Tests for CELF++ and the time-denominated online curves."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.celf import celf_greedy
+from repro.baselines.celfpp import celf_plus_plus
+from repro.diffusion.spread import exact_spread_ic
+from repro.exceptions import ParameterError
+from repro.experiments.time_curves import online_time_curves
+from tests.conftest import brute_force_best_spread_ic
+
+
+class TestCELFPlusPlus:
+    def test_matches_brute_force_quality(self, tiny_weighted_graph):
+        opt, _ = brute_force_best_spread_ic(tiny_weighted_graph, 2)
+        result = celf_plus_plus(
+            tiny_weighted_graph, "IC", 2, num_samples=3000, seed=1
+        )
+        achieved = exact_spread_ic(tiny_weighted_graph, result.seeds)
+        assert achieved >= (1 - 1 / math.e) * opt - 0.1
+
+    def test_seed_count_and_name(self, small_graph):
+        result = celf_plus_plus(
+            small_graph, "IC", 3, num_samples=50, seed=2, candidates=list(range(12))
+        )
+        assert len(result.seeds) == 3
+        assert len(set(result.seeds)) == 3
+        assert result.algorithm == "CELF++"
+
+    def test_tracks_evaluations(self, small_graph):
+        result = celf_plus_plus(
+            small_graph, "IC", 2, num_samples=30, seed=3, candidates=list(range(8))
+        )
+        assert result.extra["evaluations"] >= 8
+        assert result.extra["shortcut_hits"] >= 0
+
+    def test_comparable_to_celf(self, small_graph):
+        """CELF and CELF++ optimize the same objective: their seed sets
+        should have similar estimated quality."""
+        from repro.diffusion.spread import monte_carlo_spread
+
+        pool = list(range(15))
+        a = celf_greedy(
+            small_graph, "IC", 3, num_samples=400, seed=4, candidates=pool
+        )
+        b = celf_plus_plus(
+            small_graph, "IC", 3, num_samples=400, seed=4, candidates=pool
+        )
+        spread_a = monte_carlo_spread(
+            small_graph, a.seeds, "IC", num_samples=1000, seed=5
+        ).mean
+        spread_b = monte_carlo_spread(
+            small_graph, b.seeds, "IC", num_samples=1000, seed=5
+        ).mean
+        assert spread_b >= 0.9 * spread_a
+
+    def test_invalid_k(self, small_graph):
+        with pytest.raises(ParameterError):
+            celf_plus_plus(small_graph, "IC", 0)
+
+    def test_lt_model(self, small_graph):
+        result = celf_plus_plus(
+            small_graph, "LT", 2, num_samples=30, seed=6, candidates=list(range(6))
+        )
+        assert len(result.seeds) == 2
+
+
+class TestTimeCurves:
+    @pytest.fixture(scope="class")
+    def result(self, medium_graph):
+        return online_time_curves(
+            medium_graph,
+            "IC",
+            k=4,
+            time_checkpoints=(0.05, 0.1, 0.2),
+            repetitions=1,
+            seed=7,
+        )
+
+    def test_series_present(self, result):
+        assert set(result.labels()) == {"OPIM0", "OPIM+", "OPIM'", "Borgs"}
+
+    def test_x_axis_is_time(self, result):
+        assert result.series["OPIM+"].x == [0.05, 0.1, 0.2]
+
+    def test_guarantee_grows_with_time(self, result):
+        ys = result.series["OPIM+"].y
+        assert ys[-1] >= ys[0]
+
+    def test_variant_ordering(self, result):
+        for plus, vanilla in zip(
+            result.series["OPIM+"].y, result.series["OPIM0"].y
+        ):
+            assert plus >= vanilla - 1e-9
+
+    def test_borgs_negligible(self, result):
+        assert max(result.series["Borgs"].y) < 1e-3
+
+    def test_borgs_excludable(self, medium_graph):
+        result = online_time_curves(
+            medium_graph,
+            "IC",
+            k=3,
+            time_checkpoints=(0.05,),
+            include_borgs=False,
+            seed=8,
+        )
+        assert "Borgs" not in result.labels()
+
+    def test_invalid_checkpoints(self, medium_graph):
+        with pytest.raises(ParameterError):
+            online_time_curves(medium_graph, "IC", k=2, time_checkpoints=())
+        with pytest.raises(ParameterError):
+            online_time_curves(medium_graph, "IC", k=2, time_checkpoints=(0.0,))

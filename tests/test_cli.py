@@ -1,0 +1,173 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestParser:
+    def test_no_command_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_dataset_exits(self):
+        with pytest.raises(SystemExit):
+            main(["online", "--dataset", "nope"])
+
+
+class TestDatasetsCommand:
+    def test_prints_table(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "pokec-sim" in out
+        assert "twitter-sim" in out
+        assert "Paper dataset" in out
+
+
+class TestOnlineCommand:
+    def test_runs_and_reports_guarantees(self, capsys):
+        code = main(
+            [
+                "online",
+                "--dataset",
+                "pokec-sim",
+                "--scale",
+                "0.05",
+                "--k",
+                "3",
+                "--checkpoints",
+                "2",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OPIM+" in out
+        assert "RR sets" in out
+
+
+class TestSolveCommand:
+    @pytest.mark.parametrize("algorithm", ["opim-c", "opim-c0", "imm", "dssa"])
+    def test_solvers(self, capsys, algorithm):
+        code = main(
+            [
+                "solve",
+                "--algorithm",
+                algorithm,
+                "--dataset",
+                "pokec-sim",
+                "--scale",
+                "0.05",
+                "--k",
+                "3",
+                "--epsilon",
+                "0.5",
+                "--seed",
+                "2",
+                "--spread-samples",
+                "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seeds" in out
+        assert "est. spread" in out
+
+
+class TestSessionCommand:
+    def test_runs_to_target_or_budget(self, capsys):
+        code = main(
+            [
+                "session",
+                "--dataset",
+                "pokec-sim",
+                "--scale",
+                "0.05",
+                "--k",
+                "3",
+                "--alpha-target",
+                "0.5",
+                "--rr-budget",
+                "20000",
+                "--step",
+                "1000",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stopped:" in out
+        assert "seeds" in out
+
+
+class TestHeuristicSolvers:
+    @pytest.mark.parametrize(
+        "algorithm", ["degree", "degree-discount", "single-discount", "random"]
+    )
+    def test_heuristics(self, capsys, algorithm):
+        code = main(
+            [
+                "solve",
+                "--algorithm",
+                algorithm,
+                "--dataset",
+                "pokec-sim",
+                "--scale",
+                "0.05",
+                "--k",
+                "3",
+                "--seed",
+                "2",
+                "--spread-samples",
+                "50",
+            ]
+        )
+        assert code == 0
+        assert "seeds" in capsys.readouterr().out
+
+
+class TestReproduceCommand:
+    def test_subset_reproduction(self, capsys, tmp_path):
+        code = main(
+            [
+                "reproduce",
+                "--out",
+                str(tmp_path / "repro"),
+                "--only",
+                "figure1",
+                "table2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+        assert (tmp_path / "repro" / "manifest.json").exists()
+
+
+class TestFigureCommand:
+    def test_figure1(self, capsys):
+        assert main(["figure", "1"]) == 0
+        assert "Lemma 4.4" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["figure", "t2"]) == 0
+        assert "orkut-sim" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["figure", "t1", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "OPIM+" in out
+        assert "O(" in out
+
+    @pytest.mark.parametrize("which", ["a1", "a2"])
+    def test_ablations(self, capsys, which):
+        assert main(["figure", which, "--scale", "0.05"]) == 0
+        assert "alpha vs" in capsys.readouterr().out

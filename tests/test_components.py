@@ -1,0 +1,132 @@
+"""Tests for connectivity analysis (WCC / SCC / condensation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.build import from_edge_list
+from repro.graph.components import (
+    component_sizes,
+    condensation_edges,
+    giant_component_fraction,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.graph.generators import cycle_graph, power_law_graph, two_cliques
+
+
+class TestWCC:
+    def test_single_component(self):
+        labels = weakly_connected_components(cycle_graph(5))
+        assert len(set(labels.tolist())) == 1
+
+    def test_direction_ignored(self):
+        # 0 -> 1 <- 2 is weakly connected.
+        g = from_edge_list([(0, 1), (2, 1)])
+        labels = weakly_connected_components(g)
+        assert len(set(labels.tolist())) == 1
+
+    def test_two_components(self):
+        g = from_edge_list([(0, 1), (2, 3)], n=5)
+        labels = weakly_connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert len(set(labels.tolist())) == 3  # plus isolated node 4
+
+    def test_isolated_nodes_own_components(self):
+        g = from_edge_list([], n=3)
+        labels = weakly_connected_components(g)
+        assert sorted(labels.tolist()) == [0, 1, 2]
+
+
+class TestSCC:
+    def test_cycle_is_one_scc(self):
+        labels = strongly_connected_components(cycle_graph(6))
+        assert len(set(labels.tolist())) == 1
+
+    def test_path_is_singletons(self):
+        g = from_edge_list([(0, 1), (1, 2)])
+        labels = strongly_connected_components(g)
+        assert len(set(labels.tolist())) == 3
+
+    def test_two_cycles_with_bridge(self):
+        # cycle {0,1,2}, cycle {3,4,5}, bridge 2 -> 3.
+        g = from_edge_list(
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]
+        )
+        labels = strongly_connected_components(g)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_cliques_are_sccs(self):
+        g = two_cliques(4, bridge=True)
+        labels = strongly_connected_components(g)
+        assert len(set(labels.tolist())) == 2
+
+    def test_reverse_topological_labels(self):
+        # Tarjan assigns labels in reverse topological order: a sink
+        # SCC gets a smaller label than its predecessors.
+        g = from_edge_list([(0, 1)])
+        labels = strongly_connected_components(g)
+        assert labels[1] < labels[0]
+
+    def test_deep_path_no_recursion_limit(self):
+        # The iterative formulation must handle paths far deeper than
+        # Python's default recursion limit.
+        n = 5000
+        edges = [(i, i + 1) for i in range(n - 1)]
+        g = from_edge_list(edges, n=n)
+        labels = strongly_connected_components(g)
+        assert len(set(labels.tolist())) == n
+
+    @given(
+        n=st.integers(2, 10),
+        seed=st.integers(0, 200),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scc_refines_wcc(self, n, seed):
+        g = power_law_graph(max(n, 10), 2.0, seed=seed)
+        scc = strongly_connected_components(g)
+        wcc = weakly_connected_components(g)
+        # Two nodes in the same SCC are in the same WCC.
+        for label in set(scc.tolist()):
+            members = np.flatnonzero(scc == label)
+            assert len(set(wcc[members].tolist())) == 1
+
+
+class TestDerived:
+    def test_component_sizes(self):
+        labels = np.array([0, 0, 1, 2, 2, 2])
+        assert component_sizes(labels).tolist() == [2, 1, 3]
+
+    def test_giant_fraction_weak(self):
+        g = from_edge_list([(0, 1), (1, 2)], n=6)
+        assert giant_component_fraction(g) == pytest.approx(0.5)
+
+    def test_giant_fraction_strong(self):
+        g = cycle_graph(4)
+        assert giant_component_fraction(g, strong=True) == 1.0
+
+    def test_giant_fraction_empty(self):
+        assert giant_component_fraction(from_edge_list([], n=0)) == 0.0
+
+    def test_condensation(self):
+        g = from_edge_list(
+            [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]
+        )
+        labels, sources, targets = condensation_edges(g)
+        assert len(set(labels.tolist())) == 2
+        assert len(sources) == 1
+        # The edge points from {0,1}'s label to {2,3}'s label.
+        assert labels[0] == sources[0]
+        assert labels[2] == targets[0]
+
+    def test_stand_ins_have_giant_weak_component(self):
+        from repro.datasets import load_dataset
+
+        g = load_dataset("pokec-sim", scale=0.2)
+        assert giant_component_fraction(g) > 0.9

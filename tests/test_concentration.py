@@ -1,0 +1,216 @@
+"""Tests for the martingale concentration bounds (Eqs. 5/8/13/15 and
+Lemma 4.4), including statistical validity against exact ground truth."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds.concentration import (
+    approximation_guarantee,
+    delta_split_ratio,
+    lemma44_f,
+    lemma44_g,
+    sigma_lower_bound,
+    sigma_upper_bound,
+)
+from repro.diffusion.spread import exact_spread_ic
+from repro.exceptions import ParameterError
+from repro.sampling.generator import RRSampler
+
+
+class TestSigmaLowerBound:
+    def test_hand_computed(self):
+        # coverage=100, theta=1000, n=500, delta=e^-2 -> a=2.
+        a = 2.0
+        root = math.sqrt(100 + 2 * a / 9) - math.sqrt(a / 2)
+        expected = (root**2 - a / 18) * 500 / 1000
+        assert sigma_lower_bound(100, 1000, 500, math.exp(-2)) == pytest.approx(
+            expected
+        )
+
+    def test_below_unbiased_estimate(self):
+        # The lower bound must undercut the plain estimate n*cov/theta.
+        value = sigma_lower_bound(200, 1000, 500, 0.01)
+        assert value < 500 * 200 / 1000
+
+    def test_zero_coverage_clamps_to_zero(self):
+        assert sigma_lower_bound(0, 100, 50, 0.1) == 0.0
+
+    def test_clamp_disabled_gives_negative(self):
+        assert sigma_lower_bound(0, 100, 50, 0.1, clamp=False) < 0.0
+
+    def test_monotone_in_coverage(self):
+        lows = [sigma_lower_bound(c, 1000, 500, 0.01) for c in (50, 100, 200)]
+        assert lows[0] < lows[1] < lows[2]
+
+    def test_tighter_with_larger_delta(self):
+        # Larger allowed failure probability -> tighter (larger) bound.
+        loose = sigma_lower_bound(100, 1000, 500, 1e-6)
+        tight = sigma_lower_bound(100, 1000, 500, 1e-1)
+        assert tight > loose
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"coverage": -1, "theta": 10, "n": 5, "delta": 0.1},
+            {"coverage": 11, "theta": 10, "n": 5, "delta": 0.1},
+            {"coverage": 5, "theta": 0, "n": 5, "delta": 0.1},
+            {"coverage": 5, "theta": 10, "n": 5, "delta": 0.0},
+            {"coverage": 5, "theta": 10, "n": 5, "delta": 1.0},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ParameterError):
+            sigma_lower_bound(**kwargs)
+
+
+class TestSigmaUpperBound:
+    def test_hand_computed(self):
+        a = 2.0
+        root = math.sqrt(150 + a / 2) + math.sqrt(a / 2)
+        expected = root**2 * 500 / 1000
+        assert sigma_upper_bound(150, 1000, 500, math.exp(-2)) == pytest.approx(
+            expected
+        )
+
+    def test_above_unbiased_estimate(self):
+        value = sigma_upper_bound(200, 1000, 500, 0.01)
+        assert value > 500 * 200 / 1000
+
+    def test_monotone_in_coverage_upper(self):
+        ups = [sigma_upper_bound(c, 1000, 500, 0.01) for c in (50, 100, 200)]
+        assert ups[0] < ups[1] < ups[2]
+
+    def test_looser_with_smaller_delta(self):
+        assert sigma_upper_bound(100, 1000, 500, 1e-6) > sigma_upper_bound(
+            100, 1000, 500, 1e-1
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            sigma_upper_bound(-1, 10, 5, 0.1)
+        with pytest.raises(ParameterError):
+            sigma_upper_bound(5, 10, 5, 2.0)
+
+
+class TestApproximationGuarantee:
+    def test_ratio(self):
+        assert approximation_guarantee(50.0, 100.0) == 0.5
+
+    def test_clamped_to_cap(self):
+        assert approximation_guarantee(120.0, 100.0) == 1.0
+        assert approximation_guarantee(120.0, 100.0, cap=0.25) == 0.25
+
+    def test_zero_upper(self):
+        assert approximation_guarantee(10.0, 0.0) == 0.0
+
+    def test_negative_lower_clamps_to_zero(self):
+        assert approximation_guarantee(-5.0, 100.0) == 0.0
+
+
+class TestLemma44:
+    @given(x=st.floats(0.1, 50.0), cov=st.floats(10.0, 10000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_f_decreasing_in_x(self, x, cov):
+        assert lemma44_f(x, cov) >= lemma44_f(x * 1.5, cov) - 1e-9
+
+    @given(x=st.floats(0.1, 50.0), cov=st.floats(10.0, 10000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_g_increasing_in_x(self, x, cov):
+        assert lemma44_g(x, cov) <= lemma44_g(x * 1.5, cov) + 1e-9
+
+    def test_negative_x_rejected(self):
+        with pytest.raises(ParameterError):
+            lemma44_f(-1.0, 100.0)
+        with pytest.raises(ParameterError):
+            lemma44_g(-1.0, 100.0)
+
+    @given(
+        delta=st.floats(1e-9, 0.3),
+        cov1=st.floats(100.0, 1e6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_ratio_in_unit_interval(self, delta, cov1):
+        ratio = delta_split_ratio(delta, cov1, 100.0)
+        assert 0.0 < ratio <= 1.0 + 1e-9
+
+    def test_figure1_values_close_to_one(self):
+        """Figure 1's message: the ratio stays near 1 across the grid."""
+        for delta in (1e-2, 1e-4, 1e-8):
+            for cov1 in np.logspace(2, 6, 5):
+                ratio = delta_split_ratio(delta, float(cov1), 100.0)
+                assert ratio > 0.8
+
+    def test_tiny_coverage_raises(self):
+        # f(ln 1/delta) <= 0 when coverage_r2 is minuscule vs. delta.
+        with pytest.raises(ParameterError):
+            delta_split_ratio(1e-12, 1000.0, 0.5)
+
+
+class TestStatisticalValidity:
+    """The bounds must hold with frequency >= 1 - delta against exact
+    ground truth (tiny graph, exact sigma by enumeration)."""
+
+    @pytest.fixture(scope="class")
+    def setup(self, tmp_path_factory):
+        from repro.graph.build import from_edge_list
+
+        graph = from_edge_list(
+            [
+                (0, 1, 0.5),
+                (0, 2, 0.5),
+                (1, 3, 0.4),
+                (2, 3, 0.4),
+                (3, 4, 0.9),
+            ],
+            name="tiny",
+        )
+        seeds = [0, 3]
+        true_sigma = exact_spread_ic(graph, seeds)
+        return graph, seeds, true_sigma
+
+    def test_lower_bound_valid_frequency(self, setup):
+        graph, seeds, true_sigma = setup
+        delta = 0.2
+        theta = 300
+        trials = 200
+        failures = 0
+        sampler = RRSampler(graph, "IC", seed=123)
+        for _ in range(trials):
+            collection = sampler.new_collection(theta)
+            coverage = collection.coverage(seeds)
+            low = sigma_lower_bound(coverage, theta, graph.n, delta)
+            if low > true_sigma:
+                failures += 1
+        # Expected failures <= delta * trials = 40; allow slack for the
+        # binomial noise (4 sigma ~ 22).
+        assert failures <= delta * trials + 25
+
+    def test_upper_bound_valid_frequency(self, setup):
+        graph, seeds, true_sigma = setup
+        delta = 0.2
+        theta = 300
+        trials = 200
+        failures = 0
+        sampler = RRSampler(graph, "IC", seed=321)
+        for _ in range(trials):
+            collection = sampler.new_collection(theta)
+            coverage = collection.coverage(seeds)
+            up = sigma_upper_bound(coverage, theta, graph.n, delta)
+            if up < true_sigma:
+                failures += 1
+        assert failures <= delta * trials + 25
+
+    def test_bounds_bracket_truth_typically(self, setup):
+        graph, seeds, true_sigma = setup
+        sampler = RRSampler(graph, "IC", seed=55)
+        collection = sampler.new_collection(5000)
+        coverage = collection.coverage(seeds)
+        low = sigma_lower_bound(coverage, 5000, graph.n, 0.05)
+        up = sigma_upper_bound(coverage, 5000, graph.n, 0.05)
+        assert low <= true_sigma <= up

@@ -1,0 +1,103 @@
+"""Tests for the synthetic dataset registry (Table 2 stand-ins)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASETS,
+    dataset_names,
+    load_dataset,
+    table2_rows,
+)
+from repro.exceptions import ParameterError
+from repro.graph.stats import summarize
+
+
+class TestRegistry:
+    def test_four_stand_ins(self):
+        assert dataset_names() == (
+            "pokec-sim",
+            "orkut-sim",
+            "livejournal-sim",
+            "twitter-sim",
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(ParameterError, match="unknown"):
+            load_dataset("facebook-sim")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ParameterError):
+            load_dataset("pokec-sim", scale=0.0)
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_deterministic(self, name):
+        a = load_dataset(name, scale=0.05)
+        b = load_dataset(name, scale=0.05)
+        assert a == b
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_wc_weighted_and_lt_valid(self, name):
+        g = load_dataset(name, scale=0.05)
+        assert g.weighted
+        g.validate_lt()
+
+    def test_scale_shrinks_graph(self):
+        small = load_dataset("pokec-sim", scale=0.1)
+        large = load_dataset("pokec-sim", scale=0.5)
+        assert small.n < large.n
+
+    def test_scale_floor(self):
+        g = load_dataset("pokec-sim", scale=1e-9)
+        assert g.n == 64
+
+    def test_orkut_is_undirected(self):
+        g = load_dataset("orkut-sim", scale=0.1)
+        assert g.undirected_origin
+        sources, targets, _ = g.edge_array()
+        pairs = set(zip(sources.tolist(), targets.tolist()))
+        assert all((v, u) in pairs for u, v in pairs)
+
+    def test_directed_stand_ins(self):
+        for name in ("pokec-sim", "livejournal-sim", "twitter-sim"):
+            assert not load_dataset(name, scale=0.05).undirected_origin
+
+    def test_size_ordering_matches_paper(self):
+        """Twitter > LiveJournal > Orkut > Pokec in node count."""
+        sizes = {name: DATASETS[name].n for name in dataset_names()}
+        assert (
+            sizes["twitter-sim"]
+            > sizes["livejournal-sim"]
+            > sizes["orkut-sim"]
+            > sizes["pokec-sim"]
+        )
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_heavy_tail_degree(self, name):
+        g = load_dataset(name, scale=0.25)
+        degrees = g.in_degree()
+        assert degrees.max() > 5 * max(degrees.mean(), 1)
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_avg_degree_near_spec(self, name):
+        spec = DATASETS[name]
+        g = load_dataset(name, scale=0.5)
+        summary = summarize(g)
+        assert summary.avg_degree == pytest.approx(spec.avg_degree, rel=0.25)
+
+
+class TestTable2:
+    def test_rows_cover_all_datasets(self):
+        rows = table2_rows(scale=0.05)
+        assert [r["Dataset"] for r in rows] == list(dataset_names())
+
+    def test_rows_include_paper_columns(self):
+        row = table2_rows(scale=0.05)[0]
+        for column in ("Paper dataset", "Paper n", "Paper m", "Paper avg. degree"):
+            assert column in row
+
+    def test_types_match_paper(self):
+        rows = {r["Dataset"]: r for r in table2_rows(scale=0.05)}
+        assert rows["orkut-sim"]["Type"] == "undirected"
+        assert rows["twitter-sim"]["Type"] == "directed"

@@ -1,0 +1,262 @@
+"""Tests for the IC / LT / triggering diffusion models and spread
+estimation (including Lemma 3.1-style unbiasedness checks against exact
+enumeration)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion.base import DiffusionModel, get_model, register_model
+from repro.diffusion.ic import IndependentCascade
+from repro.diffusion.lt import LinearThreshold
+from repro.diffusion.spread import exact_spread_ic, monte_carlo_spread
+from repro.diffusion.triggering import (
+    TriggeringModel,
+    ic_triggering_mask,
+    live_edge_spread,
+    lt_triggering_mask,
+)
+from repro.exceptions import ParameterError
+from repro.graph.build import from_edge_list
+from repro.graph.generators import complete_graph, cycle_graph
+from repro.graph.weights import assign_constant_weights, assign_wc_weights
+
+
+class TestModelRegistry:
+    def test_get_ic(self, tiny_weighted_graph):
+        assert isinstance(get_model("IC", tiny_weighted_graph), IndependentCascade)
+
+    def test_get_lt_case_insensitive(self, tiny_weighted_graph):
+        assert isinstance(get_model("lt", tiny_weighted_graph), LinearThreshold)
+
+    def test_unknown_model(self, tiny_weighted_graph):
+        with pytest.raises(ParameterError, match="unknown"):
+            get_model("SIR", tiny_weighted_graph)
+
+    def test_unweighted_graph_rejected(self):
+        g = from_edge_list([(0, 1)])
+        with pytest.raises(ParameterError, match="probabilit"):
+            get_model("IC", g)
+
+    def test_non_graph_rejected(self):
+        with pytest.raises(TypeError):
+            IndependentCascade("not a graph")
+
+    def test_register_requires_name(self):
+        class Nameless(DiffusionModel):
+            name = ""
+
+        with pytest.raises(ValueError):
+            register_model(Nameless)
+
+
+class TestICSimulation:
+    def test_certain_propagation_reaches_all(self, line_graph, rng):
+        model = IndependentCascade(line_graph)
+        assert sorted(model.simulate([0], rng)) == [0, 1, 2, 3]
+
+    def test_zero_propagation_stays_at_seeds(self, rng):
+        g = assign_constant_weights(cycle_graph(5), 0.0)
+        model = IndependentCascade(g)
+        assert sorted(model.simulate([1, 3], rng)) == [1, 3]
+
+    def test_seeds_always_active(self, tiny_weighted_graph, rng):
+        model = IndependentCascade(tiny_weighted_graph)
+        out = model.simulate([4], rng)
+        assert 4 in out
+
+    def test_empty_seed_set(self, tiny_weighted_graph, rng):
+        model = IndependentCascade(tiny_weighted_graph)
+        assert model.simulate([], rng).size == 0
+
+    def test_duplicate_seeds_collapse(self, line_graph, rng):
+        model = IndependentCascade(line_graph)
+        out = model.simulate([0, 0, 0], rng)
+        assert len(out) == len(set(out.tolist()))
+
+    def test_activation_mean_matches_edge_probability(self, rng):
+        g = from_edge_list([(0, 1, 0.3)])
+        model = IndependentCascade(g)
+        hits = sum(model.simulate([0], rng).size - 1 for _ in range(4000))
+        assert hits / 4000 == pytest.approx(0.3, abs=0.03)
+
+
+class TestLTSimulation:
+    def test_wc_cycle_always_spreads(self, wc_cycle, rng):
+        # In a WC cycle every p = 1, so one seed activates everyone.
+        model = LinearThreshold(wc_cycle)
+        assert sorted(model.simulate([0], rng)) == list(range(6))
+
+    def test_lt_threshold_semantics(self, rng):
+        # Node 2 has two in-edges each 0.5: activating both parents
+        # always activates it (sum = 1 >= any threshold).
+        g = from_edge_list([(0, 2, 0.5), (1, 2, 0.5)])
+        model = LinearThreshold(g)
+        for _ in range(50):
+            assert 2 in model.simulate([0, 1], rng)
+
+    def test_single_parent_probability(self, rng):
+        # One parent with weight 0.4 activates the child w.p. 0.4.
+        g = from_edge_list([(0, 1, 0.4)])
+        model = LinearThreshold(g)
+        hits = sum(1 in model.simulate([0], rng) for _ in range(4000))
+        assert hits / 4000 == pytest.approx(0.4, abs=0.03)
+
+    def test_invalid_lt_graph_rejected(self):
+        g = from_edge_list([(0, 2, 0.8), (1, 2, 0.8)])
+        with pytest.raises(Exception):
+            LinearThreshold(g)
+
+    def test_empty_seed_set(self, wc_cycle, rng):
+        model = LinearThreshold(wc_cycle)
+        assert model.simulate([], rng).size == 0
+
+    def test_no_duplicates_in_output(self, wc_star, rng):
+        model = LinearThreshold(wc_star)
+        out = model.simulate([0], rng)
+        assert len(out) == len(set(out.tolist()))
+
+
+class TestTriggering:
+    def test_ic_mask_marginals(self, rng):
+        g = from_edge_list([(0, 1, 0.25)])
+        hits = sum(ic_triggering_mask(g, rng)[0] for _ in range(4000))
+        assert hits / 4000 == pytest.approx(0.25, abs=0.03)
+
+    def test_lt_mask_at_most_one_per_node(self, rng):
+        g = assign_wc_weights(complete_graph(6))
+        for _ in range(20):
+            mask = lt_triggering_mask(g, rng)
+            # Count live in-edges per node.
+            for v in range(g.n):
+                lo, hi = g.in_offsets[v], g.in_offsets[v + 1]
+                assert mask[lo:hi].sum() <= 1
+
+    def test_lt_mask_marginals(self, rng):
+        g = from_edge_list([(0, 2, 0.3), (1, 2, 0.6)])
+        counts = np.zeros(2)
+        trials = 4000
+        for _ in range(trials):
+            counts += lt_triggering_mask(g, rng)
+        # In-CSR order for node 2 is sources sorted: [0, 1].
+        assert counts[0] / trials == pytest.approx(0.3, abs=0.035)
+        assert counts[1] / trials == pytest.approx(0.6, abs=0.035)
+
+    def test_live_edge_spread_reachability(self):
+        g = from_edge_list([(0, 1, 1.0), (1, 2, 1.0), (3, 2, 1.0)])
+        mask = np.array([True, True, False])  # in-CSR order
+        # Determine in-CSR order explicitly: edges grouped by target.
+        # targets: 1<-0, 2<-1, 2<-3.
+        reached = live_edge_spread(g, [0], mask)
+        assert sorted(reached.tolist()) == [0, 1, 2]
+
+    def test_live_edge_spread_mask_shape_checked(self, tiny_weighted_graph):
+        with pytest.raises(ParameterError):
+            live_edge_spread(tiny_weighted_graph, [0], np.array([True]))
+
+    def test_triggering_model_equivalent_to_ic(self, tiny_weighted_graph, rng):
+        """Live-edge IC and dynamic IC agree in expectation."""
+        dynamic = IndependentCascade(tiny_weighted_graph)
+        live = TriggeringModel(tiny_weighted_graph, ic_triggering_mask)
+        trials = 3000
+        mean_dynamic = np.mean(
+            [dynamic.simulate([0], rng).size for _ in range(trials)]
+        )
+        mean_live = np.mean([live.simulate([0], rng).size for _ in range(trials)])
+        assert mean_dynamic == pytest.approx(mean_live, rel=0.06)
+
+    def test_triggering_model_equivalent_to_lt(self, rng):
+        """Live-edge LT and dynamic LT agree in expectation."""
+        g = from_edge_list(
+            [(0, 1, 0.6), (0, 2, 0.3), (1, 2, 0.5), (2, 3, 0.8)], name="ltg"
+        )
+        dynamic = LinearThreshold(g)
+        live = TriggeringModel(g, lt_triggering_mask)
+        trials = 3000
+        mean_dynamic = np.mean(
+            [dynamic.simulate([0], rng).size for _ in range(trials)]
+        )
+        mean_live = np.mean([live.simulate([0], rng).size for _ in range(trials)])
+        assert mean_dynamic == pytest.approx(mean_live, rel=0.06)
+
+    def test_triggering_requires_weights(self):
+        with pytest.raises(ParameterError):
+            TriggeringModel(from_edge_list([(0, 1)]), ic_triggering_mask)
+
+
+class TestExactSpread:
+    def test_line_graph(self, line_graph):
+        assert exact_spread_ic(line_graph, [0]) == pytest.approx(4.0)
+        assert exact_spread_ic(line_graph, [3]) == pytest.approx(1.0)
+
+    def test_single_edge(self):
+        g = from_edge_list([(0, 1, 0.5)])
+        assert exact_spread_ic(g, [0]) == pytest.approx(1.5)
+
+    def test_hand_computed_diamond(self, tiny_weighted_graph):
+        # sigma({3}) = 1 + 0.9 (activates 4 w.p. 0.9).
+        assert exact_spread_ic(tiny_weighted_graph, [3]) == pytest.approx(1.9)
+
+    def test_empty_seed_set(self, tiny_weighted_graph):
+        assert exact_spread_ic(tiny_weighted_graph, []) == 0.0
+
+    def test_monotone_in_seeds(self, tiny_weighted_graph):
+        assert exact_spread_ic(tiny_weighted_graph, [0, 3]) > exact_spread_ic(
+            tiny_weighted_graph, [0]
+        )
+
+    def test_too_many_edges_rejected(self):
+        g = assign_constant_weights(complete_graph(6), 0.1)  # 30 edges
+        with pytest.raises(ParameterError, match="m <= 20"):
+            exact_spread_ic(g, [0])
+
+    def test_unweighted_rejected(self):
+        with pytest.raises(ParameterError):
+            exact_spread_ic(from_edge_list([(0, 1)]), [0])
+
+
+class TestMonteCarloSpread:
+    def test_matches_exact_on_tiny_graph(self, tiny_weighted_graph):
+        exact = exact_spread_ic(tiny_weighted_graph, [0])
+        estimate = monte_carlo_spread(
+            tiny_weighted_graph, [0], "IC", num_samples=20000, seed=1
+        )
+        low, high = estimate.confidence_interval(z=4.0)
+        assert low <= exact <= high
+
+    def test_accepts_model_instance(self, tiny_weighted_graph):
+        model = IndependentCascade(tiny_weighted_graph)
+        estimate = monte_carlo_spread(model, [0], num_samples=100, seed=2)
+        assert estimate.mean >= 1.0
+
+    def test_model_name_required_with_graph(self, tiny_weighted_graph):
+        with pytest.raises(ParameterError):
+            monte_carlo_spread(tiny_weighted_graph, [0])
+
+    def test_empty_seeds_zero(self, tiny_weighted_graph):
+        estimate = monte_carlo_spread(
+            tiny_weighted_graph, [], "IC", num_samples=10, seed=1
+        )
+        assert estimate.mean == 0.0
+
+    def test_out_of_range_seed(self, tiny_weighted_graph):
+        with pytest.raises(ParameterError):
+            monte_carlo_spread(tiny_weighted_graph, [99], "IC", num_samples=10)
+
+    def test_invalid_sample_count(self, tiny_weighted_graph):
+        with pytest.raises(ParameterError):
+            monte_carlo_spread(tiny_weighted_graph, [0], "IC", num_samples=0)
+
+    def test_spread_at_least_seed_count(self, wc_cycle):
+        estimate = monte_carlo_spread(wc_cycle, [0, 3], "LT", num_samples=50, seed=3)
+        assert estimate.mean >= 2.0
+
+    def test_std_error_shrinks_with_samples(self, tiny_weighted_graph):
+        small = monte_carlo_spread(
+            tiny_weighted_graph, [0], "IC", num_samples=100, seed=4
+        )
+        large = monte_carlo_spread(
+            tiny_weighted_graph, [0], "IC", num_samples=10000, seed=4
+        )
+        assert large.std_error < small.std_error

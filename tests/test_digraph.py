@@ -1,0 +1,237 @@
+"""Tests for the CSR DiGraph and its builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError, WeightError
+from repro.graph.build import from_edge_array, from_edge_list
+from repro.graph.digraph import DiGraph
+
+
+def simple_graph():
+    return from_edge_list(
+        [(0, 1, 0.5), (0, 2, 0.25), (1, 2, 0.75), (2, 0, 1.0)], name="s"
+    )
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = simple_graph()
+        assert g.n == 3
+        assert g.m == 4
+
+    def test_empty_graph(self):
+        g = from_edge_list([], n=4)
+        assert g.n == 4
+        assert g.m == 0
+        assert g.out_degree().tolist() == [0, 0, 0, 0]
+
+    def test_zero_node_graph(self):
+        g = from_edge_list([], n=0)
+        assert g.n == 0 and g.m == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            from_edge_list([(0, 0)])
+
+    def test_parallel_edge_rejected(self):
+        with pytest.raises(GraphError, match="parallel"):
+            from_edge_list([(0, 1), (0, 1)], n=2)
+
+    def test_reverse_pair_allowed(self):
+        g = from_edge_list([(0, 1), (1, 0)])
+        assert g.m == 2
+
+    def test_out_of_range_source(self):
+        with pytest.raises(GraphError):
+            DiGraph(2, np.array([5]), np.array([0]))
+
+    def test_out_of_range_target(self):
+        with pytest.raises(GraphError):
+            DiGraph(2, np.array([0]), np.array([7]))
+
+    def test_negative_node_count(self):
+        with pytest.raises(GraphError):
+            DiGraph(-1, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(WeightError):
+            from_edge_list([(0, 1, 1.5)])
+
+    def test_negative_probability(self):
+        with pytest.raises(WeightError):
+            from_edge_list([(0, 1, -0.1)])
+
+    def test_misaligned_probs(self):
+        with pytest.raises(WeightError):
+            DiGraph(2, np.array([0]), np.array([1]), np.array([0.5, 0.5]))
+
+    def test_mismatched_edge_arrays(self):
+        with pytest.raises(GraphError):
+            DiGraph(3, np.array([0, 1]), np.array([1]))
+
+    def test_mixed_tuple_widths_rejected(self):
+        with pytest.raises(GraphError):
+            from_edge_list([(0, 1), (1, 2, 0.5)])
+
+    def test_unweighted_graph_flag(self):
+        g = from_edge_list([(0, 1), (1, 2)])
+        assert not g.weighted
+        assert simple_graph().weighted
+
+    def test_n_inferred_from_edges(self):
+        g = from_edge_list([(0, 5)])
+        assert g.n == 6
+
+
+class TestAdjacency:
+    def test_out_neighbors(self):
+        g = simple_graph()
+        targets, probs = g.out_neighbors(0)
+        assert targets.tolist() == [1, 2]
+        assert probs.tolist() == [0.5, 0.25]
+
+    def test_in_neighbors(self):
+        g = simple_graph()
+        sources, probs = g.in_neighbors(2)
+        assert sorted(sources.tolist()) == [0, 1]
+        assert sorted(probs.tolist()) == [0.25, 0.75]
+
+    def test_degrees(self):
+        g = simple_graph()
+        assert g.out_degree().tolist() == [2, 1, 1]
+        assert g.in_degree().tolist() == [1, 1, 2]
+        assert g.out_degree(0) == 2
+        assert g.in_degree(2) == 2
+
+    def test_has_edge(self):
+        g = simple_graph()
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_edge_probability(self):
+        g = simple_graph()
+        assert g.edge_probability(1, 2) == 0.75
+        with pytest.raises(GraphError):
+            g.edge_probability(2, 1)
+
+    def test_edges_iterates_all(self):
+        g = simple_graph()
+        edges = set((u, v) for u, v, _p in g.edges())
+        assert edges == {(0, 1), (0, 2), (1, 2), (2, 0)}
+
+    def test_edge_array_round_trip(self):
+        g = simple_graph()
+        sources, targets, probs = g.edge_array()
+        g2 = DiGraph(g.n, sources, targets, probs)
+        assert g2 == g
+
+
+class TestDerived:
+    def test_in_prob_sums(self):
+        g = simple_graph()
+        sums = g.in_prob_sums()
+        assert sums[0] == pytest.approx(1.0)
+        assert sums[1] == pytest.approx(0.5)
+        assert sums[2] == pytest.approx(1.0)
+
+    def test_in_prob_sums_isolated_node(self):
+        g = from_edge_list([(0, 1, 0.3)], n=3)
+        assert g.in_prob_sums()[2] == 0.0
+
+    def test_in_prob_sums_cached(self):
+        g = simple_graph()
+        assert g.in_prob_sums() is g.in_prob_sums()
+
+    def test_validate_lt_passes(self):
+        simple_graph().validate_lt()
+
+    def test_validate_lt_fails_on_oversum(self):
+        g = from_edge_list([(0, 2, 0.7), (1, 2, 0.7)])
+        with pytest.raises(WeightError, match="sums <= 1"):
+            g.validate_lt()
+
+    def test_validate_lt_requires_weights(self):
+        g = from_edge_list([(0, 1)])
+        with pytest.raises(WeightError):
+            g.validate_lt()
+
+    def test_reweighted_with_callable(self):
+        g = simple_graph()
+        g2 = g.reweighted(lambda s, t: np.full(s.shape[0], 0.1))
+        assert g2.edge_probability(0, 1) == pytest.approx(0.1)
+        # Original untouched.
+        assert g.edge_probability(0, 1) == 0.5
+
+    def test_reweighted_with_array(self):
+        g = simple_graph()
+        _, _, probs = g.edge_array()
+        g2 = g.reweighted(probs * 0.5)
+        assert g2.edge_probability(2, 0) == pytest.approx(0.5)
+
+    def test_repr(self):
+        assert "n=3" in repr(simple_graph())
+
+    def test_equality(self):
+        assert simple_graph() == simple_graph()
+        assert simple_graph() != from_edge_list([(0, 1, 0.5)])
+        assert simple_graph().__eq__(42) is NotImplemented
+
+
+class TestUndirectedBuild:
+    def test_undirected_doubles_edges(self):
+        g = from_edge_list([(0, 1, 0.2)], undirected=True)
+        assert g.m == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.edge_probability(1, 0) == pytest.approx(0.2)
+        assert g.undirected_origin
+
+    def test_from_edge_array(self):
+        g = from_edge_array([0, 1], [1, 2], [0.1, 0.2])
+        assert g.m == 2
+        assert g.n == 3
+
+
+@st.composite
+def edge_sets(draw):
+    n = draw(st.integers(2, 12))
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=1, max_size=25, unique=True)
+    )
+    return n, edges
+
+
+class TestCSRInvariants:
+    @given(edge_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_and_degree_sums(self, n_edges):
+        n, edges = n_edges
+        g = from_edge_list(edges, n=n)
+        assert g.m == len(edges)
+        # Offsets are monotone and end at m.
+        assert np.all(np.diff(g.out_offsets) >= 0)
+        assert np.all(np.diff(g.in_offsets) >= 0)
+        assert g.out_offsets[-1] == g.m
+        assert g.in_offsets[-1] == g.m
+        # Degree sums agree.
+        assert g.out_degree().sum() == g.m
+        assert g.in_degree().sum() == g.m
+        # Each input edge is present, in both CSR directions.
+        for u, v in edges:
+            assert g.has_edge(u, v)
+            sources, _ = g.in_neighbors(v)
+            assert u in sources.tolist()
+
+    @given(edge_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_out_targets_sorted_per_row(self, n_edges):
+        n, edges = n_edges
+        g = from_edge_list(edges, n=n)
+        for u in range(n):
+            targets, _ = g.out_neighbors(u)
+            assert np.all(np.diff(targets) > 0)

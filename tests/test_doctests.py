@@ -1,0 +1,34 @@
+"""Execute the doctest examples embedded in module docstrings.
+
+Docstring examples rot silently unless executed; this module runs the
+ones that are deterministic and fast.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.opim
+import repro.core.session
+import repro.diffusion.triggering
+import repro.sampling.alias
+import repro.utils.timer
+import repro.weighted.sampler
+
+MODULES = [
+    repro.sampling.alias,
+    repro.utils.timer,
+    repro.diffusion.triggering,
+    repro.core.opim,
+    repro.core.session,
+    repro.weighted.sampler,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module}"
+    assert results.attempted > 0, f"no doctests found in {module}"

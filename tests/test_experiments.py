@@ -1,0 +1,258 @@
+"""Tests for the experiment harness, figure definitions and reporting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments.figures import figure1, figure2, figure6, table1, table2
+from repro.experiments.harness import (
+    ExperimentResult,
+    Series,
+    checkpoint_grid,
+    conventional_comparison,
+    online_guarantee_curves,
+)
+from repro.experiments.reporting import format_result, format_series, format_table
+from repro.graph.generators import power_law_graph
+from repro.graph.weights import assign_wc_weights
+
+
+@pytest.fixture(scope="module")
+def exp_graph():
+    return assign_wc_weights(power_law_graph(150, 5, seed=21, name="exp"))
+
+
+class TestSeries:
+    def test_add_and_points(self):
+        s = Series("x")
+        s.add(1, 2.0)
+        s.add(2, 3.0)
+        assert s.points() == [(1.0, 2.0), (2.0, 3.0)]
+
+
+class TestCheckpointGrid:
+    def test_doubling(self):
+        assert checkpoint_grid(1000, 4) == [1000, 2000, 4000, 8000]
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            checkpoint_grid(1, 3)
+        with pytest.raises(ParameterError):
+            checkpoint_grid(1000, 0)
+
+
+class TestOnlineCurves:
+    @pytest.fixture(scope="class")
+    def result(self, exp_graph):
+        return online_guarantee_curves(
+            exp_graph,
+            "IC",
+            k=3,
+            checkpoints=[200, 400, 800],
+            repetitions=2,
+            seed=5,
+        )
+
+    def test_all_seven_algorithms_present(self, result):
+        assert set(result.labels()) == {
+            "OPIM0",
+            "OPIM+",
+            "OPIM'",
+            "Borgs",
+            "IMM",
+            "SSA-Fix",
+            "D-SSA-Fix",
+        }
+
+    def test_x_axis_is_checkpoints(self, result):
+        assert result.series["OPIM+"].x == [200.0, 400.0, 800.0]
+
+    def test_opim_plus_dominates_vanilla(self, result):
+        for plus, vanilla in zip(
+            result.series["OPIM+"].y, result.series["OPIM0"].y
+        ):
+            assert plus >= vanilla - 1e-12
+
+    def test_borgs_is_negligible(self, result):
+        assert max(result.series["Borgs"].y) < 1e-3
+
+    def test_adoptions_capped_below_1_minus_1_over_e(self, result):
+        ceiling = 1 - 1 / math.e
+        for name in ("IMM", "SSA-Fix", "D-SSA-Fix"):
+            assert max(result.series[name].y) <= ceiling + 1e-12
+
+    def test_opim_curves_monotone(self, result):
+        ys = result.series["OPIM+"].y
+        assert all(b >= a - 0.05 for a, b in zip(ys, ys[1:]))
+
+    def test_optional_groups_excludable(self, exp_graph):
+        result = online_guarantee_curves(
+            exp_graph,
+            "IC",
+            k=3,
+            checkpoints=[200],
+            repetitions=1,
+            seed=6,
+            include_adoptions=False,
+            include_borgs=False,
+        )
+        assert set(result.labels()) == {"OPIM0", "OPIM+", "OPIM'"}
+
+    def test_metadata(self, result):
+        assert result.metadata["k"] == 3
+        assert result.metadata["model"] == "IC"
+        assert result.metadata["repetitions"] == 2
+
+
+class TestConventionalComparison:
+    @pytest.fixture(scope="class")
+    def panels(self, exp_graph):
+        return conventional_comparison(
+            exp_graph,
+            "IC",
+            k=3,
+            epsilons=[0.3, 0.5],
+            repetitions=1,
+            seed=8,
+            spread_samples=200,
+        )
+
+    def test_three_panels(self, panels):
+        assert set(panels) == {"spread", "rr_sets", "time"}
+
+    def test_all_algorithms_present(self, panels):
+        assert set(panels["spread"].labels()) == {
+            "OPIM-C0",
+            "OPIM-C'",
+            "OPIM-C+",
+            "IMM",
+            "SSA-Fix",
+            "D-SSA-Fix",
+        }
+
+    def test_spreads_similar_across_algorithms(self, panels):
+        """Figure 6(a)/7(a): all algorithms yield similar spreads."""
+        spreads = [panels["spread"].series[a].y[0] for a in panels["spread"].labels()]
+        assert max(spreads) <= 1.7 * min(spreads)
+
+    def test_opimc_plus_uses_fewest_samples(self, panels):
+        rr = {a: panels["rr_sets"].series[a].y[0] for a in panels["rr_sets"].labels()}
+        assert rr["OPIM-C+"] <= rr["IMM"]
+        assert rr["OPIM-C+"] <= rr["OPIM-C0"]
+
+    def test_algorithm_subset(self, exp_graph):
+        panels = conventional_comparison(
+            exp_graph,
+            "IC",
+            k=2,
+            epsilons=[0.5],
+            repetitions=1,
+            seed=9,
+            spread_samples=100,
+            algorithms=("OPIM-C+", "IMM"),
+        )
+        assert set(panels["spread"].labels()) == {"OPIM-C+", "IMM"}
+
+    def test_unknown_algorithm_rejected(self, exp_graph):
+        with pytest.raises(ParameterError):
+            conventional_comparison(
+                exp_graph, "IC", 2, [0.5], algorithms=("NOPE",)
+            )
+
+
+class TestFigureDefinitions:
+    def test_figure1_near_one(self):
+        result = figure1()
+        for series in result.series.values():
+            assert min(series.y) > 0.7
+            assert max(series.y) <= 1.0 + 1e-9
+
+    def test_figure1_custom_grid(self):
+        result = figure1(deltas=(0.01,), coverage_r1_grid=[100.0, 1000.0])
+        assert len(result.series) == 1
+        assert result.series["delta=0.01"].x == [100.0, 1000.0]
+
+    def test_figure2_smoke(self):
+        panels = figure2(
+            checkpoints=[200, 400],
+            datasets=["pokec-sim"],
+            k=3,
+            repetitions=1,
+            scale=0.03,
+            include_adoptions=False,
+        )
+        assert "pokec-sim" in panels
+        assert panels["pokec-sim"].series["OPIM+"].y[-1] > 0
+
+    def test_figure6_smoke(self):
+        panels = figure6(
+            epsilons=[0.5], k=3, repetitions=1, scale=0.02, spread_samples=100
+        )
+        assert set(panels) == {"spread", "rr_sets", "time"}
+
+    def test_table1_rows(self):
+        rows = table1(dataset="pokec-sim", k=5, num_rr_sets=2000, scale=0.05)
+        assert [r["Algorithm"] for r in rows] == ["OPIM0", "OPIM+", "OPIM'"]
+        for row in rows:
+            assert row["Measured query time (s)"] > 0
+            assert "O(" in row["Time complexity"]
+
+    def test_table2_rows(self):
+        rows = table2(scale=0.02)
+        assert len(rows) == 4
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert len(set(len(line) for line in lines[1:])) <= 2
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_format_table_column_subset(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 0.000001}, {"v": 123456.0}, {"v": 0.5}])
+        assert "e-06" in text
+        assert "e+05" in text or "123456" in text
+
+    def test_format_series(self):
+        result = ExperimentResult("id", "Title", "x", "y")
+        series = Series("algo")
+        series.add(1, 0.5)
+        result.series["algo"] = series
+        text = format_series(result)
+        assert "Title" in text
+        assert "algo" in text
+
+    def test_format_series_with_error_bars(self):
+        result = ExperimentResult("id", "Title", "x", "y")
+        series = Series("algo")
+        series.add(1, 0.5, 0.05)
+        result.series["algo"] = series
+        text = format_series(result, show_err=True)
+        assert "±" in text
+        # Default rendering stays clean for stable bench outputs.
+        assert "±" not in format_series(result)
+
+    def test_format_series_empty(self):
+        result = ExperimentResult("id", "Title", "x", "y")
+        assert "(no series)" in format_series(result)
+
+    def test_format_result_dispatch(self):
+        result = ExperimentResult("id", "T1", "x", "y")
+        series = Series("a")
+        series.add(1, 1.0)
+        result.series["a"] = series
+        assert "T1" in format_result(result)
+        assert "T1" in format_result({"panel": result})
+        assert "T1" in format_result([result])

@@ -1,0 +1,93 @@
+"""Smoke tests for the remaining figure runners at miniature scale.
+
+figure2/figure6 have dedicated tests; these cover the 3/4/5/7 variants
+plus pickling (which multiprocessing relies on) so every experiment
+entry point is exercised in CI-sized time.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.experiments.figures import figure3, figure4, figure5, figure7
+
+
+class TestFigureRunners:
+    def test_figure3_smoke(self):
+        panels = figure3(
+            checkpoints=[200, 400],
+            ks=(1, 3),
+            repetitions=1,
+            scale=0.02,
+            include_adoptions=False,
+        )
+        assert set(panels) == {"twitter-sim:k=1", "twitter-sim:k=3"}
+        for panel in panels.values():
+            assert panel.series["OPIM+"].y[-1] >= panel.series["OPIM0"].y[-1] - 1e-9
+
+    def test_figure4_smoke(self):
+        panels = figure4(
+            checkpoints=[200],
+            datasets=["pokec-sim"],
+            k=3,
+            repetitions=1,
+            scale=0.03,
+            include_adoptions=False,
+        )
+        assert "pokec-sim" in panels
+        assert panels["pokec-sim"].metadata["model"] == "IC"
+
+    def test_figure5_smoke(self):
+        panels = figure5(
+            checkpoints=[200],
+            ks=(2,),
+            repetitions=1,
+            scale=0.02,
+            include_adoptions=False,
+        )
+        (panel,) = panels.values()
+        assert panel.series["OPIM+"].y[0] > 0
+
+    def test_figure7_smoke(self):
+        panels = figure7(
+            epsilons=[0.5], k=3, repetitions=1, scale=0.015, spread_samples=50
+        )
+        assert set(panels) == {"spread", "rr_sets", "time"}
+        assert panels["spread"].metadata["model"] == "IC"
+
+    def test_k_capped_at_n(self):
+        # k=1000 on a tiny scale must silently cap at n.
+        panels = figure3(
+            checkpoints=[200],
+            ks=(1000,),
+            repetitions=1,
+            scale=0.01,
+            include_adoptions=False,
+        )
+        (panel,) = panels.values()
+        assert panel.metadata["k"] <= 200
+
+
+class TestPicklability:
+    """Multiprocess generation requires the core types to pickle."""
+
+    def test_digraph_round_trip(self, medium_graph):
+        clone = pickle.loads(pickle.dumps(medium_graph))
+        assert clone == medium_graph
+        assert clone.in_prob_sums().shape == (medium_graph.n,)
+
+    def test_collection_round_trip(self, medium_graph):
+        from repro.sampling.generator import RRSampler
+
+        collection = RRSampler(medium_graph, "IC", seed=1).new_collection(50)
+        clone = pickle.loads(pickle.dumps(collection))
+        assert len(clone) == 50
+        assert clone.coverage([0]) == collection.coverage([0])
+
+    def test_results_round_trip(self):
+        from repro.core.results import IMResult, OnlineSnapshot
+
+        snap = OnlineSnapshot(seeds=[1], alpha=0.5, variant="greedy", num_rr_sets=10)
+        assert pickle.loads(pickle.dumps(snap)) == snap
+        result = IMResult("X", [0], 1, 0.1, 0.1, 5, 0.1)
+        assert pickle.loads(pickle.dumps(result)).algorithm == "X"

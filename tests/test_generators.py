@@ -1,0 +1,168 @@
+"""Tests for the random-graph generators and deterministic fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    power_law_graph,
+    small_world,
+    star_graph,
+    two_cliques,
+)
+
+
+def _no_self_loops_or_duplicates(g):
+    sources, targets, _ = g.edge_array()
+    assert np.all(sources != targets)
+    codes = sources * g.n + targets
+    assert len(np.unique(codes)) == len(codes)
+
+
+class TestErdosRenyi:
+    def test_size_and_density(self):
+        g = erdos_renyi(500, 8.0, seed=1)
+        assert g.n == 500
+        # Expected m = 4000; allow generous tolerance.
+        assert 3200 <= g.m <= 4800
+
+    def test_simple_graph(self):
+        _no_self_loops_or_duplicates(erdos_renyi(100, 5.0, seed=2))
+
+    def test_deterministic(self):
+        assert erdos_renyi(50, 3.0, seed=5) == erdos_renyi(50, 3.0, seed=5)
+
+    @pytest.mark.parametrize("n,d", [(1, 1.0), (10, 0.0), (10, 10.0)])
+    def test_invalid_params(self, n, d):
+        with pytest.raises(ParameterError):
+            erdos_renyi(n, d)
+
+
+class TestPowerLaw:
+    def test_size(self):
+        g = power_law_graph(400, 10.0, seed=3)
+        assert g.n == 400
+        assert 0.8 * 4000 <= g.m <= 4000
+
+    def test_heavy_tail(self):
+        g = power_law_graph(2000, 10.0, exponent=2.1, seed=4)
+        in_deg = g.in_degree()
+        # Heavy tail: max degree far above the mean.
+        assert in_deg.max() > 8 * in_deg.mean()
+
+    def test_simple_graph(self):
+        _no_self_loops_or_duplicates(power_law_graph(150, 6.0, seed=5))
+
+    def test_reciprocal_edges(self):
+        g = power_law_graph(300, 8.0, seed=6, reciprocal=0.9)
+        sources, targets, _ = g.edge_array()
+        pairs = set(zip(sources.tolist(), targets.tolist()))
+        reciprocated = sum((v, u) in pairs for u, v in pairs)
+        assert reciprocated / len(pairs) > 0.3
+
+    def test_deterministic(self):
+        assert power_law_graph(80, 4.0, seed=9) == power_law_graph(80, 4.0, seed=9)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 1, "avg_degree": 2.0},
+            {"n": 10, "avg_degree": -1.0},
+            {"n": 10, "avg_degree": 2.0, "exponent": 0.5},
+            {"n": 10, "avg_degree": 2.0, "reciprocal": 1.5},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ParameterError):
+            power_law_graph(**kwargs)
+
+
+class TestSmallWorld:
+    def test_no_rewire_is_ring(self):
+        g = small_world(10, neighbors=2, rewire=0.0, seed=1)
+        assert g.m == 20
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)
+        assert g.has_edge(9, 0) and g.has_edge(9, 1)
+
+    def test_rewire_changes_structure(self):
+        g = small_world(200, neighbors=3, rewire=0.5, seed=2)
+        ring = small_world(200, neighbors=3, rewire=0.0, seed=2)
+        assert g != ring
+
+    def test_simple_graph(self):
+        _no_self_loops_or_duplicates(small_world(100, neighbors=4, rewire=0.3, seed=3))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 2, "neighbors": 1},
+            {"n": 10, "neighbors": 0},
+            {"n": 10, "neighbors": 10},
+            {"n": 10, "neighbors": 2, "rewire": -0.1},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ParameterError):
+            small_world(**kwargs)
+
+
+class TestFixtures:
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.m == 20
+        assert np.all(g.in_degree() == 4)
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.m == 5
+        assert g.has_edge(4, 0)
+        assert np.all(g.out_degree() == 1)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.m == 5
+        assert g.out_degree(0) == 5
+        assert np.all(g.in_degree()[1:] == 1)
+
+    def test_two_cliques_with_bridge(self):
+        g = two_cliques(3, bridge=True)
+        assert g.n == 6
+        assert g.m == 2 * 6 + 1
+        assert g.has_edge(0, 3)
+
+    def test_two_cliques_without_bridge(self):
+        g = two_cliques(3, bridge=False)
+        assert g.m == 12
+        assert not g.has_edge(0, 3)
+
+    @pytest.mark.parametrize("ctor", [complete_graph, cycle_graph, star_graph])
+    def test_too_small(self, ctor):
+        with pytest.raises(ParameterError):
+            ctor(1)
+
+    def test_two_cliques_too_small(self):
+        with pytest.raises(ParameterError):
+            two_cliques(1)
+
+
+class TestGeneratorProperties:
+    @given(
+        n=st.integers(10, 60),
+        d=st.floats(1.0, 5.0),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_power_law_always_simple(self, n, d, seed):
+        _no_self_loops_or_duplicates(power_law_graph(n, d, seed=seed))
+
+    @given(n=st.integers(10, 60), seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_small_world_always_simple(self, n, seed):
+        _no_self_loops_or_duplicates(small_world(n, neighbors=3, rewire=0.2, seed=seed))

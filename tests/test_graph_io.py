@@ -1,0 +1,96 @@
+"""Tests for edge-list IO (SNAP-style text files)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph.build import from_edge_list
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+@pytest.fixture
+def weighted_graph():
+    return from_edge_list(
+        [(0, 1, 0.5), (1, 2, 0.25), (2, 0, 0.125)], name="triangle"
+    )
+
+
+class TestRoundTrip:
+    def test_weighted_round_trip(self, weighted_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(weighted_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded == weighted_graph
+
+    def test_unweighted_round_trip(self, tmp_path):
+        g = from_edge_list([(0, 1), (1, 2)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded.m == 2
+        assert not loaded.weighted
+
+    def test_gzip_round_trip(self, weighted_graph, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        write_edge_list(weighted_graph, path)
+        assert read_edge_list(path) == weighted_graph
+
+    def test_name_defaults_to_stem(self, weighted_graph, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        write_edge_list(weighted_graph, path)
+        assert read_edge_list(path).name == "mygraph"
+
+    def test_explicit_name(self, weighted_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(weighted_graph, path)
+        assert read_edge_list(path, name="other").name == "other"
+
+
+class TestParsing:
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# SNAP header\n\n0 1\n# inline comment\n1 2\n")
+        g = read_edge_list(path)
+        assert g.m == 2
+
+    def test_undirected_read(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, undirected=True)
+        assert g.m == 2
+        assert g.undirected_origin
+
+    def test_bad_column_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError, match="expected"):
+            read_edge_list(path)
+
+    def test_mixed_rows_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2 0.5\n")
+        with pytest.raises(GraphFormatError, match="mixed"):
+            read_edge_list(path)
+
+    def test_non_integer_node(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_error_reports_line_number(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\nbroken\n")
+        with pytest.raises(GraphFormatError, match=":2"):
+            read_edge_list(path)
+
+    def test_header_written(self, weighted_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(weighted_graph, path, header=True)
+        assert path.read_text().startswith("# triangle")
+
+    def test_no_header(self, weighted_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(weighted_graph, path, header=False)
+        assert not path.read_text().startswith("#")

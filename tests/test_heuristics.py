@@ -1,0 +1,139 @@
+"""Tests for the degree-based seed-selection heuristics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.heuristics import (
+    degree_discount_ic,
+    k_core_seeds,
+    max_degree,
+    random_seeds,
+    single_discount,
+)
+from repro.diffusion.spread import monte_carlo_spread
+from repro.exceptions import ParameterError
+from repro.graph.build import from_edge_list
+from repro.graph.generators import star_graph, two_cliques
+
+
+ALL_HEURISTICS = [
+    lambda g, k: random_seeds(g, k, seed=1),
+    lambda g, k: max_degree(g, k),
+    lambda g, k: single_discount(g, k),
+    lambda g, k: degree_discount_ic(g, k),
+    lambda g, k: k_core_seeds(g, k),
+]
+
+
+@pytest.mark.parametrize("heuristic", ALL_HEURISTICS)
+class TestCommonContract:
+    def test_k_unique_seeds(self, heuristic, medium_graph):
+        result = heuristic(medium_graph, 7)
+        assert len(result.seeds) == 7
+        assert len(set(result.seeds)) == 7
+        assert all(0 <= s < medium_graph.n for s in result.seeds)
+
+    def test_invalid_k(self, heuristic, medium_graph):
+        with pytest.raises(ParameterError):
+            heuristic(medium_graph, 0)
+
+
+class TestMaxDegree:
+    def test_picks_hub(self):
+        g = star_graph(10)
+        assert max_degree(g, 1).seeds == [0]
+
+    def test_tie_break_by_id(self):
+        g = from_edge_list([(0, 2), (1, 2), (0, 3), (1, 3)])
+        assert max_degree(g, 2).seeds == [0, 1]
+
+
+class TestSingleDiscount:
+    def test_diversifies_across_cliques(self):
+        """After taking one clique's hub, the discount steers the
+        second pick to the other clique."""
+        g = two_cliques(6, bridge=False)
+        result = single_discount(g, 2)
+        sides = {s // 6 for s in result.seeds}
+        assert sides == {0, 1}
+
+    def test_matches_max_degree_on_star(self):
+        g = star_graph(8)
+        assert single_discount(g, 1).seeds == max_degree(g, 1).seeds
+
+
+class TestDegreeDiscount:
+    def test_diversifies_across_cliques(self):
+        g = two_cliques(6, bridge=False)
+        result = degree_discount_ic(g, 2, p=0.1)
+        sides = {s // 6 for s in result.seeds}
+        assert sides == {0, 1}
+
+    def test_invalid_p(self, medium_graph):
+        with pytest.raises(ParameterError):
+            degree_discount_ic(medium_graph, 2, p=1.5)
+
+
+class TestKCoreSeeds:
+    def test_prefers_core_over_peripheral_hub(self):
+        """A star hub has huge degree but core number 1; a small clique
+        has modest degree but deeper core."""
+        from repro.graph.build import from_edge_list
+
+        edges = []
+        # Clique on {0..4} (both directions): total degree 8 each.
+        for u in range(5):
+            for v in range(5):
+                if u != v:
+                    edges.append((u, v))
+        # Star hub 5 with 30 out-only leaves: total degree 30, core 1.
+        for leaf in range(6, 36):
+            edges.append((5, leaf))
+        g = from_edge_list(edges)
+        result = k_core_seeds(g, 3)
+        assert set(result.seeds) <= set(range(5))
+
+    def test_name(self, medium_graph):
+        assert k_core_seeds(medium_graph, 2).algorithm == "KCore"
+
+
+class TestQualityOrdering:
+    def test_degree_heuristics_beat_random(self, medium_graph):
+        """On a heavy-tailed WC graph, degree-informed picks should
+        clearly out-spread uniform random picks."""
+        k = 5
+        random_spread = monte_carlo_spread(
+            medium_graph,
+            random_seeds(medium_graph, k, seed=2).seeds,
+            "IC",
+            num_samples=600,
+            seed=3,
+        ).mean
+        degree_spread = monte_carlo_spread(
+            medium_graph,
+            max_degree(medium_graph, k).seeds,
+            "IC",
+            num_samples=600,
+            seed=3,
+        ).mean
+        assert degree_spread > random_spread
+
+    def test_ris_beats_heuristics_or_ties(self, medium_graph):
+        """RIS selection should be at least as good as the best degree
+        heuristic (it optimizes spread directly)."""
+        from repro.core.opimc import opim_c
+
+        k = 5
+        ris = opim_c(medium_graph, "IC", k=k, epsilon=0.2, delta=0.1, seed=4)
+        ris_spread = monte_carlo_spread(
+            medium_graph, ris.seeds, "IC", num_samples=800, seed=5
+        ).mean
+        heuristic_spread = monte_carlo_spread(
+            medium_graph,
+            degree_discount_ic(medium_graph, k).seeds,
+            "IC",
+            num_samples=800,
+            seed=5,
+        ).mean
+        assert ris_spread >= 0.9 * heuristic_spread

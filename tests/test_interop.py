@@ -1,0 +1,121 @@
+"""Tests for networkx interoperability."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.build import from_edge_list
+from repro.graph.interop import from_networkx, to_networkx
+
+
+class TestFromNetworkx:
+    def test_directed_weighted(self):
+        nxg = nx.DiGraph()
+        nxg.add_edge("a", "b", probability=0.5)
+        nxg.add_edge("b", "c", probability=0.25)
+        graph, ordering = from_networkx(nxg)
+        assert graph.n == 3
+        assert graph.m == 2
+        assert graph.weighted
+        a, b = ordering.index("a"), ordering.index("b")
+        assert graph.edge_probability(a, b) == 0.5
+
+    def test_unweighted(self):
+        nxg = nx.DiGraph()
+        nxg.add_edge(0, 1)
+        graph, _ = from_networkx(nxg)
+        assert not graph.weighted
+
+    def test_undirected_symmetrized(self):
+        nxg = nx.Graph()
+        nxg.add_edge("x", "y", probability=0.3)
+        graph, ordering = from_networkx(nxg)
+        assert graph.m == 2
+        x, y = ordering.index("x"), ordering.index("y")
+        assert graph.edge_probability(x, y) == 0.3
+        assert graph.edge_probability(y, x) == 0.3
+        assert graph.undirected_origin
+
+    def test_isolated_nodes_kept(self):
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(["a", "b", "c"])
+        nxg.add_edge("a", "b")
+        graph, ordering = from_networkx(nxg)
+        assert graph.n == 3
+        assert len(ordering) == 3
+
+    def test_mixed_weights_rejected(self):
+        nxg = nx.DiGraph()
+        nxg.add_edge(0, 1, probability=0.5)
+        nxg.add_edge(1, 2)
+        with pytest.raises(GraphError, match="all-or-none"):
+            from_networkx(nxg)
+
+    def test_multigraph_rejected(self):
+        with pytest.raises(GraphError, match="multigraph"):
+            from_networkx(nx.MultiDiGraph())
+
+    def test_weight_attribute_none_ignores_attrs(self):
+        nxg = nx.DiGraph()
+        nxg.add_edge(0, 1, probability=0.5)
+        graph, _ = from_networkx(nxg, weight_attribute=None)
+        assert not graph.weighted
+
+    def test_custom_attribute(self):
+        nxg = nx.DiGraph()
+        nxg.add_edge(0, 1, act_prob=0.4)
+        graph, _ = from_networkx(nxg, weight_attribute="act_prob")
+        assert graph.edge_probability(0, 1) == 0.4
+
+
+class TestToNetworkx:
+    def test_weighted_round_trip(self):
+        original = from_edge_list(
+            [(0, 1, 0.5), (1, 2, 0.25), (2, 0, 0.75)], name="tri"
+        )
+        nxg = to_networkx(original)
+        back, ordering = from_networkx(nxg)
+        assert ordering == [0, 1, 2]
+        assert back == original
+
+    def test_unweighted_export(self):
+        g = from_edge_list([(0, 1)])
+        nxg = to_networkx(g)
+        assert "probability" not in nxg.edges[0, 1]
+
+    def test_labels(self):
+        g = from_edge_list([(0, 1, 0.5)])
+        nxg = to_networkx(g, labels=["alice", "bob"])
+        assert nxg.has_edge("alice", "bob")
+
+    def test_label_length_checked(self):
+        g = from_edge_list([(0, 1, 0.5)])
+        with pytest.raises(GraphError):
+            to_networkx(g, labels=["only-one"])
+
+    def test_full_round_trip_via_labels(self):
+        nxg = nx.DiGraph()
+        nxg.add_edge("u", "v", probability=0.2)
+        nxg.add_edge("v", "w", probability=0.9)
+        graph, ordering = from_networkx(nxg)
+        back = to_networkx(graph, labels=ordering)
+        assert set(back.edges()) == set(nxg.edges())
+        assert back.edges["u", "v"]["probability"] == 0.2
+
+
+class TestEndToEndViaNetworkx:
+    def test_opim_on_karate_club(self):
+        """A classic networkx graph through the whole pipeline."""
+        from repro.core.opim import OnlineOPIM
+        from repro.graph.weights import assign_wc_weights
+
+        nxg = nx.karate_club_graph()
+        graph, ordering = from_networkx(nxg, weight_attribute=None)
+        graph = assign_wc_weights(graph)
+        algo = OnlineOPIM(graph, "IC", k=3, delta=0.05, seed=1)
+        algo.extend(4000)
+        snap = algo.query()
+        assert snap.alpha > 0.3
+        assert len(snap.seeds) == 3

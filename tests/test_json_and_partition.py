@@ -1,0 +1,117 @@
+"""Tests for experiment JSON export and the planted-partition model."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments.figures import figure1
+from repro.experiments.harness import ExperimentResult, Series
+from repro.experiments.reporting import save_results_json
+from repro.graph.generators import planted_partition
+
+
+class TestJSONExport:
+    def _panel(self):
+        panel = ExperimentResult("exp", "T", "x", "y", metadata={"k": 3})
+        series = Series("a")
+        series.add(1, 0.5, 0.01)
+        panel.series["a"] = series
+        return panel
+
+    def test_series_to_dict(self):
+        d = self._panel().series["a"].to_dict()
+        assert d == {"label": "a", "x": [1.0], "y": [0.5], "y_err": [0.01]}
+
+    def test_result_to_dict(self):
+        d = self._panel().to_dict()
+        assert d["experiment_id"] == "exp"
+        assert d["metadata"] == {"k": 3}
+        assert d["series"][0]["label"] == "a"
+
+    def test_save_single(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_results_json(self._panel(), path)
+        payload = json.loads(path.read_text())
+        assert payload["title"] == "T"
+
+    def test_save_dict(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_results_json({"p1": self._panel()}, path)
+        payload = json.loads(path.read_text())
+        assert "p1" in payload
+
+    def test_save_list(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_results_json([self._panel(), self._panel()], path)
+        assert len(json.loads(path.read_text())) == 2
+
+    def test_round_trip_with_real_figure(self, tmp_path):
+        result = figure1(deltas=(0.01,))
+        path = tmp_path / "fig1.json"
+        save_results_json(result, path)
+        payload = json.loads(path.read_text())
+        series = payload["series"][0]
+        assert len(series["x"]) == len(series["y"]) == 9
+
+
+class TestPlantedPartition:
+    def test_size(self):
+        g = planted_partition(4, 25, 0.2, 0.01, seed=1)
+        assert g.n == 100
+
+    def test_block_density_dominates(self):
+        g = planted_partition(3, 30, 0.3, 0.01, seed=2)
+        sources, targets, _ = g.edge_array()
+        within = np.sum((sources // 30) == (targets // 30))
+        across = sources.size - within
+        assert within > across
+
+    def test_no_cross_edges_when_p_out_zero(self):
+        g = planted_partition(3, 10, 0.4, 0.0, seed=3)
+        sources, targets, _ = g.edge_array()
+        assert np.all((sources // 10) == (targets // 10))
+
+    def test_simple_graph(self):
+        g = planted_partition(2, 40, 0.3, 0.05, seed=4)
+        sources, targets, _ = g.edge_array()
+        assert np.all(sources != targets)
+        codes = sources * g.n + targets
+        assert len(np.unique(codes)) == len(codes)
+
+    def test_deterministic(self):
+        assert planted_partition(2, 10, 0.3, 0.1, seed=5) == planted_partition(
+            2, 10, 0.3, 0.1, seed=5
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"communities": 0, "size": 5, "p_in": 0.5, "p_out": 0.1},
+            {"communities": 2, "size": 1, "p_in": 0.5, "p_out": 0.1},
+            {"communities": 2, "size": 5, "p_in": 0.1, "p_out": 0.5},
+            {"communities": 2, "size": 5, "p_in": 1.5, "p_out": 0.1},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ParameterError):
+            planted_partition(**kwargs)
+
+    def test_single_community(self):
+        g = planted_partition(1, 20, 0.2, 0.0, seed=6)
+        assert g.n == 20
+
+    def test_opim_diversifies_on_partition(self):
+        """End-to-end: OPIM spreads its seeds across communities."""
+        from repro.core.opim import OnlineOPIM
+        from repro.graph.weights import assign_wc_weights
+
+        g = assign_wc_weights(planted_partition(4, 40, 0.25, 0.002, seed=7))
+        algo = OnlineOPIM(g, "IC", k=4, delta=0.1, seed=8)
+        algo.extend(6000)
+        snap = algo.query()
+        communities = {s // 40 for s in snap.seeds}
+        assert len(communities) >= 3

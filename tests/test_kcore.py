@@ -1,0 +1,85 @@
+"""Tests for k-core decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.build import from_edge_list
+from repro.graph.generators import complete_graph, cycle_graph, power_law_graph, star_graph
+from repro.graph.kcore import core_numbers, degeneracy, k_core_nodes
+
+
+def naive_core_numbers(graph):
+    """Reference: repeatedly strip nodes of minimum total degree."""
+    n = graph.n
+    alive = np.ones(n, dtype=bool)
+    degree = (graph.in_degree() + graph.out_degree()).astype(np.int64)
+    core = np.zeros(n, dtype=np.int64)
+    level = 0
+    for _ in range(n):
+        candidates = np.flatnonzero(alive)
+        v = candidates[np.argmin(degree[candidates])]
+        level = max(level, int(degree[v]))
+        core[v] = level
+        alive[v] = False
+        for w in graph.out_neighbors(v)[0]:
+            if alive[w]:
+                degree[w] -= 1
+        for w in graph.in_neighbors(v)[0]:
+            if alive[w]:
+                degree[w] -= 1
+    return core
+
+
+class TestCoreNumbers:
+    def test_cycle_is_2_core(self):
+        # Directed cycle: each node has total degree 2 and the whole
+        # cycle survives 2-core peeling.
+        assert core_numbers(cycle_graph(6)).tolist() == [2] * 6
+
+    def test_star_leaves_are_1_core(self):
+        core = core_numbers(star_graph(6))
+        assert core[0] == 1  # the hub peels once all leaves are gone
+        assert np.all(core[1:] == 1)
+
+    def test_complete_graph(self):
+        # K_4 directed: total degree 6 per node; core number 6.
+        assert core_numbers(complete_graph(4)).tolist() == [6] * 4
+
+    def test_empty_graph(self):
+        assert core_numbers(from_edge_list([], n=3)).tolist() == [0, 0, 0]
+
+    def test_zero_node_graph(self):
+        assert core_numbers(from_edge_list([], n=0)).size == 0
+
+    def test_core_with_pendant(self):
+        # Triangle (core 2 in undirected view -> total degree 2 each
+        # when edges are one-directional) plus a pendant node.
+        g = from_edge_list([(0, 1), (1, 2), (2, 0), (2, 3)])
+        core = core_numbers(g)
+        assert core[3] == 1
+        assert core[0] == core[1] == core[2] == 2
+
+    @given(
+        n=st.integers(5, 30),
+        d=st.floats(1.0, 4.0),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_naive(self, n, d, seed):
+        g = power_law_graph(n, d, seed=seed)
+        assert core_numbers(g).tolist() == naive_core_numbers(g).tolist()
+
+
+class TestDerived:
+    def test_k_core_nodes(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 0), (2, 3)])
+        assert sorted(k_core_nodes(g, 2).tolist()) == [0, 1, 2]
+        assert sorted(k_core_nodes(g, 1).tolist()) == [0, 1, 2, 3]
+        assert k_core_nodes(g, 3).size == 0
+
+    def test_degeneracy(self):
+        assert degeneracy(cycle_graph(5)) == 2
+        assert degeneracy(from_edge_list([], n=4)) == 0

@@ -1,0 +1,115 @@
+"""Tests for RR-collection serialization and OPIM checkpoint/restore."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.opim import OnlineOPIM
+from repro.core.persistence import load_opim, save_opim
+from repro.exceptions import GraphFormatError, ParameterError
+from repro.sampling.collection import RRCollection
+from repro.sampling.serialize import load_collection, save_collection
+
+
+class TestCollectionSerialization:
+    def test_round_trip(self, tmp_path):
+        c = RRCollection(10)
+        c.extend([np.array([0, 1]), np.array([5]), np.array([2, 3, 4])])
+        path = tmp_path / "c.npz"
+        save_collection(c, path)
+        loaded = load_collection(path)
+        assert len(loaded) == 3
+        assert loaded.n == 10
+        assert loaded.get(0).tolist() == [0, 1]
+        assert loaded.get(2).tolist() == [2, 3, 4]
+        assert loaded.coverage([5]) == 1
+
+    def test_empty_collection_round_trip(self, tmp_path):
+        c = RRCollection(4)
+        path = tmp_path / "c.npz"
+        save_collection(c, path)
+        assert len(load_collection(path)) == 0
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "c.npz"
+        path.write_bytes(b"not an npz")
+        with pytest.raises(GraphFormatError):
+            load_collection(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "c.npz"
+        np.savez(
+            path,
+            version=np.int64(999),
+            n=np.int64(3),
+            rr_offsets=np.array([0]),
+            rr_nodes=np.array([], dtype=np.int32),
+        )
+        with pytest.raises(GraphFormatError, match="version"):
+            load_collection(path)
+
+
+class TestOPIMCheckpoint:
+    def test_restore_resumes_identically(self, medium_graph, tmp_path):
+        """A restored session must produce byte-identical futures: the
+        same RR sets, the same seeds, the same guarantee."""
+        original = OnlineOPIM(medium_graph, "IC", k=3, delta=0.1, seed=77)
+        original.extend(800)
+        save_opim(original, tmp_path / "ckpt")
+        restored = load_opim(medium_graph, tmp_path / "ckpt")
+
+        original.extend(400)
+        restored.extend(400)
+        a = original.query()
+        b = restored.query()
+        assert a.seeds == b.seeds
+        assert a.alpha == pytest.approx(b.alpha)
+        assert a.edges_examined == b.edges_examined
+        assert a.num_rr_sets == b.num_rr_sets
+
+    def test_metadata_restored(self, medium_graph, tmp_path):
+        original = OnlineOPIM(
+            medium_graph, "LT", k=5, delta=0.07, bound="vanilla", seed=3
+        )
+        original.extend(200)
+        save_opim(original, tmp_path / "ckpt")
+        restored = load_opim(medium_graph, tmp_path / "ckpt")
+        assert restored.k == 5
+        assert restored.delta == pytest.approx(0.07)
+        assert restored.bound == "vanilla"
+        assert restored.sampler.model == "LT"
+        assert restored.num_rr_sets == 200
+
+    def test_graph_mismatch_rejected(self, medium_graph, small_graph, tmp_path):
+        original = OnlineOPIM(medium_graph, "IC", k=3, delta=0.1, seed=1)
+        original.extend(100)
+        save_opim(original, tmp_path / "ckpt")
+        with pytest.raises(ParameterError, match="checkpoint"):
+            load_opim(small_graph, tmp_path / "ckpt")
+
+    def test_missing_checkpoint(self, medium_graph, tmp_path):
+        with pytest.raises(GraphFormatError, match="meta.json"):
+            load_opim(medium_graph, tmp_path / "nothing")
+
+    def test_bad_version(self, medium_graph, tmp_path):
+        original = OnlineOPIM(medium_graph, "IC", k=3, delta=0.1, seed=1)
+        original.extend(100)
+        directory = tmp_path / "ckpt"
+        save_opim(original, directory)
+        meta = json.loads((directory / "meta.json").read_text())
+        meta["version"] = 42
+        (directory / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(GraphFormatError, match="version"):
+            load_opim(medium_graph, directory)
+
+    def test_elapsed_carried_over(self, medium_graph, tmp_path):
+        original = OnlineOPIM(medium_graph, "IC", k=3, delta=0.1, seed=1)
+        original.extend(200)
+        save_opim(original, tmp_path / "ckpt")
+        restored = load_opim(medium_graph, tmp_path / "ckpt")
+        assert restored.timer.elapsed == pytest.approx(
+            original.timer.elapsed, abs=1e-6
+        )

@@ -1,0 +1,92 @@
+"""Tests for the spread-vs-k experiment and the reproduction driver."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments.reproduce import PRESETS, experiment_ids, run_all
+from repro.experiments.spread_curve import spread_vs_k_experiment
+
+
+class TestSpreadVsK:
+    @pytest.fixture(scope="class")
+    def result(self, medium_graph):
+        return spread_vs_k_experiment(
+            medium_graph,
+            "IC",
+            ks=(1, 3, 6),
+            rr_sets=3000,
+            eval_samples=200,
+            seed=5,
+        )
+
+    def test_series_present(self, result):
+        assert set(result.labels()) == {"OPIM+", "MaxDegree", "Random"}
+
+    def test_curves_monotone_in_k(self, result):
+        """Spread never decreases with budget (CRN makes this exact)."""
+        for series in result.series.values():
+            assert all(b >= a for a, b in zip(series.y, series.y[1:]))
+
+    def test_opim_beats_random(self, result):
+        assert result.series["OPIM+"].y[-1] > result.series["Random"].y[-1]
+
+    def test_diminishing_returns(self, result):
+        """Concavity of the OPIM curve: per-seed gains shrink."""
+        ys = result.series["OPIM+"].y
+        ks = result.series["OPIM+"].x
+        first_rate = (ys[1] - ys[0]) / (ks[1] - ks[0])
+        last_rate = (ys[2] - ys[1]) / (ks[2] - ks[1])
+        assert last_rate <= first_rate + 1e-9
+
+    def test_error_bars_recorded(self, result):
+        assert len(result.series["OPIM+"].y_err) == 3
+
+    def test_invalid_params(self, medium_graph):
+        with pytest.raises(ParameterError):
+            spread_vs_k_experiment(medium_graph, "IC", ks=(0, 2))
+        with pytest.raises(ParameterError):
+            spread_vs_k_experiment(medium_graph, "IC", ks=(2,), rr_sets=101)
+
+
+class TestRunAll:
+    def test_presets_known(self):
+        assert set(PRESETS) == {"smoke", "paper"}
+
+    def test_experiment_ids_cover_all_paper_items(self):
+        ids = experiment_ids()
+        for item in (
+            "figure1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure7",
+            "table1",
+            "table2",
+        ):
+            assert item in ids
+
+    def test_subset_run_writes_files_and_manifest(self, tmp_path):
+        runtimes = run_all(
+            tmp_path / "out", preset="smoke", seed=1, only=["figure1", "table2"]
+        )
+        assert set(runtimes) == {"figure1", "table2"}
+        assert (tmp_path / "out" / "figure1.txt").exists()
+        assert (tmp_path / "out" / "table2.txt").exists()
+        manifest = json.loads((tmp_path / "out" / "manifest.json").read_text())
+        assert manifest["preset"] == "smoke"
+        assert manifest["experiments"] == ["figure1", "table2"]
+        assert set(manifest["runtimes_seconds"]) == {"figure1", "table2"}
+
+    def test_unknown_preset(self, tmp_path):
+        with pytest.raises(ParameterError):
+            run_all(tmp_path, preset="galactic")
+
+    def test_unknown_experiment(self, tmp_path):
+        with pytest.raises(ParameterError):
+            run_all(tmp_path, only=["figure99"])

@@ -1,0 +1,79 @@
+"""Tests for the result record types and snapshot semantics."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.results import IMResult, OnlineSnapshot
+
+
+class TestOnlineSnapshot:
+    def _snapshot(self, **overrides):
+        base = dict(
+            seeds=[1, 2],
+            alpha=0.5,
+            variant="greedy",
+            num_rr_sets=100,
+            theta1=50,
+            theta2=50,
+            sigma_low=10.0,
+            sigma_up=20.0,
+            coverage_r1=30,
+            coverage_r2=25,
+            edges_examined=1234,
+            elapsed=0.5,
+        )
+        base.update(overrides)
+        return OnlineSnapshot(**base)
+
+    def test_frozen(self):
+        snap = self._snapshot()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            snap.alpha = 0.9
+
+    def test_defaults(self):
+        snap = OnlineSnapshot(
+            seeds=[0], alpha=0.1, variant="borgs", num_rr_sets=10
+        )
+        assert snap.theta1 == 0
+        assert snap.sigma_low == 0.0
+        assert snap.elapsed == 0.0
+
+    def test_fields_consistent(self):
+        snap = self._snapshot()
+        assert snap.theta1 + snap.theta2 == snap.num_rr_sets
+        assert snap.sigma_low <= snap.sigma_up
+        assert snap.alpha == pytest.approx(
+            snap.sigma_low / snap.sigma_up, abs=1e-12
+        )
+
+
+class TestIMResult:
+    def test_frozen(self):
+        result = IMResult(
+            algorithm="X",
+            seeds=[0],
+            k=1,
+            epsilon=0.1,
+            delta=0.1,
+            num_rr_sets=5,
+            elapsed=0.1,
+        )
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.k = 2
+
+    def test_extra_defaults_to_empty_dict(self):
+        a = IMResult("X", [0], 1, 0.1, 0.1, 5, 0.1)
+        b = IMResult("Y", [1], 1, 0.1, 0.1, 5, 0.1)
+        # Each instance must get its own dict (dataclass factory).
+        assert a.extra == {}
+        assert a.extra is not b.extra
+
+    def test_optional_fields(self):
+        result = IMResult(
+            "X", [0], 1, 0.1, 0.1, 5, 0.1, alpha_achieved=0.4, iterations=3
+        )
+        assert result.alpha_achieved == 0.4
+        assert result.iterations == 3

@@ -1,0 +1,316 @@
+"""Tests for RR-set sampling: alias tables, IC/LT samplers, collections,
+and the streaming RRSampler facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion.spread import exact_spread_ic
+from repro.exceptions import ParameterError
+from repro.graph.build import from_edge_list
+from repro.graph.generators import complete_graph, cycle_graph
+from repro.graph.weights import assign_constant_weights
+from repro.sampling.alias import AliasTable, build_alias_arrays
+from repro.sampling.collection import RRCollection
+from repro.sampling.generator import RRSampler
+from repro.sampling.rrset_ic import Scratch, sample_rr_set_ic
+from repro.sampling.rrset_lt import LTAliasTables, sample_rr_set_lt
+
+
+class TestAliasTable:
+    def test_uniform_weights(self, rng):
+        table = AliasTable(np.ones(4))
+        draws = table.sample(8000, seed=rng)
+        counts = np.bincount(draws, minlength=4) / 8000
+        assert np.allclose(counts, 0.25, atol=0.03)
+
+    def test_skewed_weights(self, rng):
+        table = AliasTable([1.0, 9.0])
+        draws = table.sample(8000, seed=rng)
+        assert np.mean(draws) == pytest.approx(0.9, abs=0.02)
+
+    def test_single_outcome(self):
+        table = AliasTable([3.0])
+        assert table.sample(seed=1) == 0
+
+    def test_scalar_sample(self):
+        table = AliasTable([1.0, 1.0])
+        value = table.sample(seed=5)
+        assert value in (0, 1)
+
+    def test_probabilities_reconstruction_exact(self):
+        weights = np.array([1.0, 2.0, 3.0, 4.0])
+        table = AliasTable(weights)
+        assert np.allclose(table.probabilities(), weights / weights.sum())
+
+    @given(
+        weights=st.lists(
+            st.floats(0.01, 100.0, allow_nan=False), min_size=1, max_size=12
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_reconstruction_property(self, weights):
+        weights = np.asarray(weights)
+        table = AliasTable(weights)
+        assert np.allclose(
+            table.probabilities(), weights / weights.sum(), atol=1e-9
+        )
+
+    @pytest.mark.parametrize(
+        "weights", [[], [-1.0], [0.0], [float("nan")], [float("inf")]]
+    )
+    def test_invalid_weights(self, weights):
+        with pytest.raises(ParameterError):
+            build_alias_arrays(np.asarray(weights, dtype=float))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ParameterError):
+            build_alias_arrays(np.ones((2, 2)))
+
+    def test_zero_weight_entry_never_sampled(self):
+        table = AliasTable([0.0, 1.0])
+        draws = table.sample(2000, seed=3)
+        assert np.all(draws == 1)
+
+
+class TestICSampler:
+    def test_root_always_included(self, tiny_weighted_graph, rng):
+        nodes, _ = sample_rr_set_ic(tiny_weighted_graph, 3, rng)
+        assert nodes[0] == 3
+
+    def test_certain_edges_give_ancestors(self, line_graph, rng):
+        # p = 1 everywhere: RR set of node 3 is all its ancestors.
+        nodes, edges = sample_rr_set_ic(line_graph, 3, rng)
+        assert sorted(nodes.tolist()) == [0, 1, 2, 3]
+        assert edges == 3
+
+    def test_zero_edges_gives_singleton(self, rng):
+        g = assign_constant_weights(cycle_graph(4), 0.0)
+        nodes, edges = sample_rr_set_ic(g, 2, rng)
+        assert nodes.tolist() == [2]
+        assert edges == 1  # the root's single in-edge was examined
+
+    def test_no_duplicate_nodes(self, cliques_graph, rng):
+        for _ in range(50):
+            nodes, _ = sample_rr_set_ic(cliques_graph, 0, rng)
+            assert len(nodes) == len(set(nodes.tolist()))
+
+    def test_scratch_reuse_isolated_between_samples(self, cliques_graph, rng):
+        scratch = Scratch(cliques_graph.n)
+        first, _ = sample_rr_set_ic(cliques_graph, 0, rng, scratch)
+        second, _ = sample_rr_set_ic(cliques_graph, 5, rng, scratch)
+        assert second[0] == 5
+
+    def test_edges_examined_counts_inspected_edges(self, rng):
+        g = assign_constant_weights(complete_graph(5), 0.0)
+        _, edges = sample_rr_set_ic(g, 0, rng)
+        assert edges == 4  # in-degree of the root, all failing
+
+
+class TestLTSampler:
+    @pytest.fixture
+    def wc_cycle_tables(self, wc_cycle):
+        return LTAliasTables(wc_cycle)
+
+    def test_walk_is_a_path(self, wc_cycle, wc_cycle_tables, rng):
+        nodes, _ = sample_rr_set_lt(wc_cycle, 0, rng, wc_cycle_tables)
+        assert len(nodes) == len(set(nodes.tolist()))
+        assert nodes[0] == 0
+
+    def test_wc_cycle_walk_stops_at_cycle(self, wc_cycle, wc_cycle_tables, rng):
+        # Continuation probability is 1 on every node, so the walk only
+        # stops by revisiting: the RR set is the entire cycle.
+        nodes, edges = sample_rr_set_lt(wc_cycle, 0, rng, wc_cycle_tables)
+        assert sorted(nodes.tolist()) == list(range(6))
+        assert edges == 6
+
+    def test_no_in_edges_singleton(self, rng):
+        g = from_edge_list([(0, 1, 0.5)], n=3)
+        tables = LTAliasTables(g)
+        nodes, edges = sample_rr_set_lt(g, 0, rng, tables)
+        assert nodes.tolist() == [0]
+        assert edges == 0
+
+    def test_stop_probability(self, rng):
+        # Node 1 has one in-edge weight 0.3: walk continues w.p. 0.3.
+        g = from_edge_list([(0, 1, 0.3)])
+        tables = LTAliasTables(g)
+        lengths = [
+            sample_rr_set_lt(g, 1, rng, tables)[0].size for _ in range(4000)
+        ]
+        assert np.mean([x == 2 for x in lengths]) == pytest.approx(0.3, abs=0.03)
+
+    def test_in_neighbor_choice_proportional(self, rng):
+        g = from_edge_list([(0, 2, 0.75), (1, 2, 0.25)])
+        tables = LTAliasTables(g)
+        picks = [tables.sample_in_neighbor(2, rng) for _ in range(4000)]
+        assert np.mean([p == 0 for p in picks]) == pytest.approx(0.75, abs=0.03)
+
+    def test_invalid_lt_graph_rejected(self):
+        g = from_edge_list([(0, 2, 0.7), (1, 2, 0.7)])
+        with pytest.raises(Exception):
+            LTAliasTables(g)
+
+
+class TestRRCollection:
+    def test_append_and_len(self):
+        c = RRCollection(5)
+        c.append(np.array([0, 1]))
+        c.append(np.array([2]))
+        assert len(c) == 2
+        assert c.total_size == 3
+
+    def test_empty_rr_set_rejected(self):
+        c = RRCollection(5)
+        with pytest.raises(ParameterError):
+            c.append(np.array([], dtype=np.int32))
+
+    def test_invalid_n(self):
+        with pytest.raises(ParameterError):
+            RRCollection(0)
+
+    def test_coverage_manual(self):
+        c = RRCollection(6)
+        c.extend([np.array([0, 1]), np.array([1, 2]), np.array([3])])
+        assert c.coverage([1]) == 2
+        assert c.coverage([0, 3]) == 2
+        assert c.coverage([5]) == 0
+        assert c.coverage([]) == 0
+
+    def test_coverage_fraction(self):
+        c = RRCollection(4)
+        c.extend([np.array([0]), np.array([1])])
+        assert c.coverage_fraction([0]) == 0.5
+        assert RRCollection(4).coverage_fraction([0]) == 0.0
+
+    def test_estimate_spread(self):
+        c = RRCollection(10)
+        c.extend([np.array([0]), np.array([0]), np.array([1]), np.array([2])])
+        # Lambda({0}) = 2 of 4 -> spread = 10 * 2/4 = 5.
+        assert c.estimate_spread([0]) == pytest.approx(5.0)
+
+    def test_estimate_spread_empty_collection(self):
+        with pytest.raises(ParameterError):
+            RRCollection(4).estimate_spread([0])
+
+    def test_seed_out_of_range(self):
+        c = RRCollection(3)
+        c.append(np.array([0]))
+        with pytest.raises(ParameterError):
+            c.coverage([7])
+
+    def test_node_coverage_counts(self):
+        c = RRCollection(4)
+        c.extend([np.array([0, 1]), np.array([1]), np.array([1, 3])])
+        assert c.node_coverage_counts().tolist() == [1, 3, 0, 1]
+
+    def test_rr_sets_containing(self):
+        c = RRCollection(4)
+        c.extend([np.array([0, 1]), np.array([1]), np.array([2])])
+        assert sorted(c.rr_sets_containing(1).tolist()) == [0, 1]
+        assert c.rr_sets_containing(3).size == 0
+
+    def test_incremental_build(self):
+        c = RRCollection(4)
+        c.append(np.array([0]))
+        assert c.coverage([0]) == 1
+        c.append(np.array([0, 1]))  # after a build
+        assert c.coverage([0]) == 2
+        assert c.coverage([1]) == 1
+
+    def test_get_and_sets(self):
+        c = RRCollection(4)
+        c.append(np.array([2, 3]))
+        assert c.get(0).tolist() == [2, 3]
+        assert len(c.sets()) == 1
+
+    @given(
+        data=st.lists(
+            st.lists(st.integers(0, 7), min_size=1, max_size=4, unique=True),
+            min_size=1,
+            max_size=15,
+        ),
+        seeds=st.lists(st.integers(0, 7), min_size=0, max_size=3, unique=True),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_coverage_matches_naive(self, data, seeds):
+        c = RRCollection(8)
+        for nodes in data:
+            c.append(np.array(nodes, dtype=np.int32))
+        naive = sum(1 for nodes in data if set(nodes) & set(seeds))
+        assert c.coverage(seeds) == naive
+
+
+class TestRRSampler:
+    def test_models_dispatch(self, medium_graph):
+        for model in ("IC", "LT", "ic", "lt"):
+            sampler = RRSampler(medium_graph, model, seed=1)
+            nodes = sampler.sample_one()
+            assert nodes.size >= 1
+
+    def test_unknown_model(self, medium_graph):
+        with pytest.raises(ParameterError):
+            RRSampler(medium_graph, "XYZ")
+
+    def test_unweighted_graph_rejected(self):
+        with pytest.raises(ParameterError):
+            RRSampler(from_edge_list([(0, 1)]), "IC")
+
+    def test_fill_and_counters(self, medium_graph):
+        sampler = RRSampler(medium_graph, "IC", seed=2)
+        c = sampler.new_collection(100)
+        assert len(c) == 100
+        assert sampler.sets_generated == 100
+        assert sampler.edges_examined > 0
+
+    def test_explicit_root(self, medium_graph):
+        sampler = RRSampler(medium_graph, "IC", seed=3)
+        nodes = sampler.sample_one(root=5)
+        assert nodes[0] == 5
+
+    def test_root_out_of_range(self, medium_graph):
+        sampler = RRSampler(medium_graph, "IC", seed=3)
+        with pytest.raises(ParameterError):
+            sampler.sample_one(root=10**6)
+
+    def test_negative_count(self, medium_graph):
+        sampler = RRSampler(medium_graph, "IC", seed=3)
+        with pytest.raises(ParameterError):
+            sampler.fill(sampler.new_collection(), -1)
+
+    def test_mismatched_collection(self, medium_graph, tiny_weighted_graph):
+        sampler = RRSampler(medium_graph, "IC", seed=3)
+        wrong = RRCollection(tiny_weighted_graph.n)
+        with pytest.raises(ParameterError):
+            sampler.fill(wrong, 1)
+
+    def test_deterministic_given_seed(self, medium_graph):
+        a = RRSampler(medium_graph, "LT", seed=77).sample_one()
+        b = RRSampler(medium_graph, "LT", seed=77).sample_one()
+        assert np.array_equal(a, b)
+
+
+class TestLemma31Unbiasedness:
+    """sigma(S) = n * Pr[S covers a random RR set] (Lemma 3.1)."""
+
+    @pytest.mark.parametrize("seed_set", [[0], [3], [0, 3]])
+    def test_ic_rr_estimate_matches_exact(self, tiny_weighted_graph, seed_set):
+        sampler = RRSampler(tiny_weighted_graph, "IC", seed=11)
+        collection = sampler.new_collection(30000)
+        exact = exact_spread_ic(tiny_weighted_graph, seed_set)
+        estimate = collection.estimate_spread(seed_set)
+        assert estimate == pytest.approx(exact, rel=0.05)
+
+    def test_lt_rr_estimate_matches_mc(self, small_graph):
+        from repro.diffusion.spread import monte_carlo_spread
+
+        sampler = RRSampler(small_graph, "LT", seed=13)
+        collection = sampler.new_collection(15000)
+        seeds = [int(np.argmax(collection.node_coverage_counts()))]
+        estimate = collection.estimate_spread(seeds)
+        mc = monte_carlo_spread(small_graph, seeds, "LT", num_samples=8000, seed=14)
+        low, high = mc.confidence_interval(z=4.0)
+        assert low * 0.95 <= estimate <= high * 1.05

@@ -1,0 +1,62 @@
+"""Tests for graph summary statistics (Table 2 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.build import from_edge_list
+from repro.graph.generators import complete_graph, star_graph
+from repro.graph.stats import degree_histogram, summarize
+
+
+class TestSummarize:
+    def test_directed_counts(self):
+        summary = summarize(complete_graph(4, name="k4"))
+        assert summary.name == "k4"
+        assert summary.n == 4
+        assert summary.m == 12
+        assert summary.type == "directed"
+        assert summary.avg_degree == pytest.approx(3.0)
+
+    def test_undirected_convention(self):
+        g = from_edge_list([(0, 1), (1, 2)], undirected=True, name="path")
+        summary = summarize(g)
+        # 2 undirected edges stored as 4 arcs.
+        assert summary.m == 2
+        assert summary.type == "undirected"
+        assert summary.avg_degree == pytest.approx(4 / 3)
+
+    def test_max_degrees(self):
+        summary = summarize(star_graph(5))
+        assert summary.max_out_degree == 4
+        assert summary.max_in_degree == 1
+
+    def test_isolated_nodes(self):
+        g = from_edge_list([(0, 1)], n=4)
+        assert summarize(g).isolated_nodes == 2
+
+    def test_as_row_columns(self):
+        row = summarize(complete_graph(3)).as_row()
+        assert set(row) == {"Dataset", "n", "m", "Type", "Avg. degree"}
+
+    def test_empty_graph(self):
+        g = from_edge_list([], n=0)
+        summary = summarize(g)
+        assert summary.avg_degree == 0.0
+        assert summary.isolated_nodes == 0
+
+
+class TestDegreeHistogram:
+    def test_in_histogram(self):
+        h = degree_histogram(star_graph(5), "in")
+        # hub has in-degree 0; four leaves have in-degree 1.
+        assert h.tolist() == [1, 4]
+
+    def test_out_histogram(self):
+        h = degree_histogram(star_graph(5), "out")
+        assert h[0] == 4  # leaves
+        assert h[4] == 1  # hub
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            degree_histogram(star_graph(3), "sideways")

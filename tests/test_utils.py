@@ -1,0 +1,237 @@
+"""Tests for repro.utils: rng, timer, validation, arrays."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.utils.arrays import gather_slice_index, gather_slices
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_delta,
+    check_epsilon,
+    check_k,
+    check_positive,
+    check_probability,
+)
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, 10)
+        b = as_generator(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 10**9)
+        b = as_generator(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_numpy_integer_accepted(self):
+        gen = as_generator(np.int64(5))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            as_generator("not-a-seed")
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+
+    def test_children_are_independent(self):
+        g1, g2 = spawn_generators(3, 2)
+        assert g1.integers(0, 10**9) != g2.integers(0, 10**9)
+
+    def test_reproducible_from_int(self):
+        a = [g.integers(0, 10**9) for g in spawn_generators(11, 3)]
+        b = [g.integers(0, 10**9) for g in spawn_generators(11, 3)]
+        assert a == b
+
+    def test_from_generator_reproducible_given_state(self):
+        a = [g.integers(0, 10**9) for g in spawn_generators(np.random.default_rng(4), 3)]
+        b = [g.integers(0, 10**9) for g in spawn_generators(np.random.default_rng(4), 3)]
+        assert a == b
+
+    def test_zero_count(self):
+        assert spawn_generators(1, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(1, -1)
+
+    def test_from_seed_sequence(self):
+        gens = spawn_generators(np.random.SeedSequence(9), 2)
+        assert len(gens) == 2
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        first = t.elapsed
+        assert first >= 0.01
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= first + 0.01
+
+    def test_start_twice_raises(self):
+        t = Timer().start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_unstarted_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_running_flag(self):
+        t = Timer()
+        assert not t.running
+        t.start()
+        assert t.running
+        t.stop()
+        assert not t.running
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+    def test_elapsed_while_running_grows(self):
+        t = Timer().start()
+        e1 = t.elapsed
+        time.sleep(0.005)
+        assert t.elapsed > e1
+        t.stop()
+
+    def test_repr_mentions_state(self):
+        t = Timer()
+        assert "stopped" in repr(t)
+        t.start()
+        assert "running" in repr(t)
+        t.stop()
+
+
+class TestValidation:
+    def test_check_k_valid(self):
+        assert check_k(3, 10) == 3
+
+    @pytest.mark.parametrize("k", [0, -1, 11])
+    def test_check_k_out_of_range(self, k):
+        with pytest.raises(ParameterError):
+            check_k(k, 10)
+
+    def test_check_k_rejects_bool(self):
+        with pytest.raises(ParameterError):
+            check_k(True, 10)
+
+    def test_check_k_rejects_float(self):
+        with pytest.raises(ParameterError):
+            check_k(2.0, 10)
+
+    @pytest.mark.parametrize("eps", [0.01, 0.5, 0.999])
+    def test_check_epsilon_valid(self, eps):
+        assert check_epsilon(eps) == eps
+
+    @pytest.mark.parametrize("eps", [0.0, 1.0, -0.1, float("nan"), float("inf")])
+    def test_check_epsilon_invalid(self, eps):
+        with pytest.raises(ParameterError):
+            check_epsilon(eps)
+
+    @pytest.mark.parametrize("delta", [1e-9, 0.5])
+    def test_check_delta_valid(self, delta):
+        assert check_delta(delta) == delta
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, 2.0])
+    def test_check_delta_invalid(self, delta):
+        with pytest.raises(ParameterError):
+            check_delta(delta)
+
+    def test_check_probability_boundaries_allowed(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+
+    def test_check_probability_invalid(self):
+        with pytest.raises(ParameterError):
+            check_probability(1.5)
+
+    def test_check_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+        with pytest.raises(ParameterError):
+            check_positive(0.0, "x")
+        with pytest.raises(ParameterError):
+            check_positive(float("inf"), "x")
+
+
+def _naive_gather(offsets, data, rows):
+    pieces = [data[offsets[r] : offsets[r + 1]] for r in rows]
+    if not pieces:
+        return data[:0]
+    return np.concatenate(pieces) if pieces else data[:0]
+
+
+class TestGatherSlices:
+    def test_empty_rows(self):
+        offsets = np.array([0, 2, 4])
+        data = np.array([10, 11, 12, 13])
+        assert gather_slices(offsets, data, np.array([], dtype=np.int64)).size == 0
+
+    def test_single_row(self):
+        offsets = np.array([0, 2, 4])
+        data = np.array([10, 11, 12, 13])
+        assert gather_slices(offsets, data, np.array([1])).tolist() == [12, 13]
+
+    def test_rows_with_empty_slices(self):
+        offsets = np.array([0, 0, 3, 3])
+        data = np.array([5, 6, 7])
+        out = gather_slices(offsets, data, np.array([0, 1, 2]))
+        assert out.tolist() == [5, 6, 7]
+
+    def test_all_empty_slices(self):
+        offsets = np.array([0, 0, 0])
+        data = np.empty(0, dtype=np.int64)
+        assert gather_slices(offsets, data, np.array([0, 1])).size == 0
+
+    @given(
+        sizes=st.lists(st.integers(0, 5), min_size=1, max_size=8),
+        data_seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive(self, sizes, data_seed):
+        offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        gen = np.random.default_rng(data_seed)
+        data = gen.integers(0, 100, size=int(offsets[-1]))
+        rows = gen.permutation(len(sizes))
+        expected = _naive_gather(offsets, data, rows)
+        actual = gather_slices(offsets, data, rows)
+        assert np.array_equal(actual, expected)
+
+    def test_gather_slice_index_row_of(self):
+        offsets = np.array([0, 2, 2, 5])
+        index, row_of = gather_slice_index(offsets, np.array([0, 2]))
+        assert index.tolist() == [0, 1, 2, 3, 4]
+        assert row_of.tolist() == [0, 0, 2, 2, 2]

@@ -1,0 +1,74 @@
+"""Tests for the guarantee-validity experiment module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diffusion.spread import exact_spread_ic
+from repro.exceptions import ParameterError
+from repro.experiments.validity import (
+    brute_force_optimum,
+    guarantee_validity_experiment,
+)
+from repro.graph.build import from_edge_list
+from repro.graph.weights import assign_constant_weights
+from repro.graph.generators import complete_graph
+
+
+class TestBruteForceOptimum:
+    def test_matches_manual_enumeration(self, tiny_weighted_graph):
+        import itertools
+
+        manual = max(
+            exact_spread_ic(tiny_weighted_graph, combo)
+            for combo in itertools.combinations(range(5), 2)
+        )
+        assert brute_force_optimum(tiny_weighted_graph, 2) == pytest.approx(manual)
+
+    def test_k1_is_best_singleton(self, tiny_weighted_graph):
+        best = max(
+            exact_spread_ic(tiny_weighted_graph, [v]) for v in range(5)
+        )
+        assert brute_force_optimum(tiny_weighted_graph, 1) == pytest.approx(best)
+
+
+class TestValidityExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        graph = from_edge_list(
+            [(0, 1, 0.5), (0, 2, 0.5), (1, 3, 0.4), (2, 3, 0.4), (3, 4, 0.9)],
+            name="tiny",
+        )
+        return guarantee_validity_experiment(
+            graph, k=2, deltas=(0.2, 0.4), trials=30, rr_sets=300, seed=11
+        )
+
+    def test_series_present(self, result):
+        assert set(result.labels()) == {"observed", "delta (allowed)"}
+
+    def test_failures_within_delta(self, result):
+        observed = result.series["observed"]
+        for delta, freq in zip(observed.x, observed.y):
+            slack = 4.0 * (delta * (1 - delta) / 30) ** 0.5
+            assert freq <= delta + slack
+
+    def test_opt_recorded(self, result):
+        assert result.metadata["opt"] > 1.0
+
+    def test_opt_can_be_supplied(self):
+        graph = from_edge_list([(0, 1, 0.5)], name="edge")
+        result = guarantee_validity_experiment(
+            graph, k=1, deltas=(0.5,), trials=5, rr_sets=100, seed=1, opt=1.5
+        )
+        assert result.metadata["opt"] == 1.5
+
+    def test_large_graph_rejected(self):
+        g = assign_constant_weights(complete_graph(6), 0.1)  # 30 edges
+        with pytest.raises(ParameterError, match="m <= 20"):
+            guarantee_validity_experiment(g, k=1)
+
+    def test_invalid_params(self, tiny_weighted_graph):
+        with pytest.raises(ParameterError):
+            guarantee_validity_experiment(tiny_weighted_graph, trials=0)
+        with pytest.raises(ParameterError):
+            guarantee_validity_experiment(tiny_weighted_graph, rr_sets=101)

@@ -1,0 +1,103 @@
+"""Tests for the edge-weight assignment schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError, WeightError
+from repro.graph.generators import complete_graph, cycle_graph, star_graph
+from repro.graph.weights import (
+    TRIVALENCY_LEVELS,
+    assign_constant_weights,
+    assign_trivalency_weights,
+    assign_uniform_weights,
+    assign_wc_weights,
+)
+
+
+class TestWCWeights:
+    def test_probability_is_inverse_in_degree(self):
+        g = assign_wc_weights(complete_graph(5))
+        # Every node has in-degree 4.
+        for u, v, p in g.edges():
+            assert p == pytest.approx(0.25)
+
+    def test_in_prob_sums_are_one(self):
+        g = assign_wc_weights(complete_graph(6))
+        assert np.allclose(g.in_prob_sums(), 1.0)
+
+    def test_always_lt_valid(self):
+        assign_wc_weights(star_graph(9)).validate_lt()
+
+    def test_star_weights(self):
+        g = assign_wc_weights(star_graph(4))
+        # Leaves have in-degree 1 -> p = 1.
+        for u, v, p in g.edges():
+            assert p == 1.0
+
+    def test_original_untouched(self):
+        base = cycle_graph(4)
+        assign_wc_weights(base)
+        assert not base.weighted
+
+
+class TestConstantWeights:
+    def test_value_applied(self):
+        g = assign_constant_weights(cycle_graph(4), 0.37)
+        for _u, _v, p in g.edges():
+            assert p == pytest.approx(0.37)
+
+    def test_default(self):
+        g = assign_constant_weights(cycle_graph(3))
+        assert g.edge_probability(0, 1) == pytest.approx(0.1)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ParameterError):
+            assign_constant_weights(cycle_graph(3), 1.2)
+
+
+class TestUniformWeights:
+    def test_range_respected(self):
+        g = assign_uniform_weights(complete_graph(8), 0.2, 0.4, seed=1)
+        _s, _t, probs = g.edge_array()
+        assert probs.min() >= 0.2
+        assert probs.max() <= 0.4
+
+    def test_deterministic_with_seed(self):
+        a = assign_uniform_weights(cycle_graph(5), seed=3)
+        b = assign_uniform_weights(cycle_graph(5), seed=3)
+        assert a == b
+
+    def test_low_above_high_rejected(self):
+        with pytest.raises(WeightError):
+            assign_uniform_weights(cycle_graph(3), 0.5, 0.1)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ParameterError):
+            assign_uniform_weights(cycle_graph(3), -0.1, 0.5)
+
+
+class TestTrivalencyWeights:
+    def test_levels_used(self):
+        g = assign_trivalency_weights(complete_graph(10), seed=2)
+        _s, _t, probs = g.edge_array()
+        assert set(np.round(probs, 6)) <= set(TRIVALENCY_LEVELS)
+
+    def test_all_levels_appear_on_large_graph(self):
+        g = assign_trivalency_weights(complete_graph(15), seed=2)
+        _s, _t, probs = g.edge_array()
+        assert set(np.round(probs, 6)) == set(TRIVALENCY_LEVELS)
+
+    def test_custom_levels(self):
+        g = assign_trivalency_weights(cycle_graph(6), levels=[0.5], seed=1)
+        for _u, _v, p in g.edges():
+            assert p == 0.5
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(WeightError):
+            assign_trivalency_weights(cycle_graph(3), levels=[])
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ParameterError):
+            assign_trivalency_weights(cycle_graph(3), levels=[2.0])
