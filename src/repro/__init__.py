@@ -51,6 +51,7 @@ from repro.core import (
 )
 from repro.datasets import load_dataset
 from repro.diffusion import monte_carlo_spread
+from repro.obs import NULL_REGISTRY, MetricsRegistry, TraceRecorder
 from repro.graph import (
     DiGraph,
     assign_constant_weights,
@@ -103,4 +104,8 @@ __all__ = [
     # evaluation
     "monte_carlo_spread",
     "load_dataset",
+    # observability
+    "MetricsRegistry",
+    "TraceRecorder",
+    "NULL_REGISTRY",
 ]

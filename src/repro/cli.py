@@ -52,21 +52,74 @@ from repro.experiments.ablations import (
     delta_split_ablation,
 )
 from repro.experiments.reproduce import PRESETS, experiment_ids, run_all
+from repro.obs import MetricsRegistry, TraceRecorder
 
+# Solver signature: (graph, model, k, epsilon, delta, seed, registry).
+# Only the OPIM-C family consumes the registry; the baselines and
+# heuristics ignore it (their internals are not instrumented).
 _SOLVERS = {
-    "opim-c": lambda g, m, k, e, d, s: opim_c(g, m, k, e, delta=d, seed=s),
-    "opim-c0": lambda g, m, k, e, d, s: opim_c(
-        g, m, k, e, delta=d, seed=s, bound="vanilla"
+    "opim-c": lambda g, m, k, e, d, s, r: opim_c(
+        g, m, k, e, delta=d, seed=s, registry=r
     ),
-    "imm": lambda g, m, k, e, d, s: imm(g, m, k, e, delta=d, seed=s),
-    "tim": lambda g, m, k, e, d, s: tim_plus(g, m, k, e, delta=d, seed=s),
-    "ssa": lambda g, m, k, e, d, s: ssa_fix(g, m, k, e, delta=d, seed=s),
-    "dssa": lambda g, m, k, e, d, s: dssa_fix(g, m, k, e, delta=d, seed=s),
-    "degree": lambda g, m, k, e, d, s: max_degree(g, k),
-    "degree-discount": lambda g, m, k, e, d, s: degree_discount_ic(g, k),
-    "single-discount": lambda g, m, k, e, d, s: single_discount(g, k),
-    "random": lambda g, m, k, e, d, s: random_seeds(g, k, seed=s),
+    "opim-c0": lambda g, m, k, e, d, s, r: opim_c(
+        g, m, k, e, delta=d, seed=s, bound="vanilla", registry=r
+    ),
+    "imm": lambda g, m, k, e, d, s, r: imm(g, m, k, e, delta=d, seed=s),
+    "tim": lambda g, m, k, e, d, s, r: tim_plus(g, m, k, e, delta=d, seed=s),
+    "ssa": lambda g, m, k, e, d, s, r: ssa_fix(g, m, k, e, delta=d, seed=s),
+    "dssa": lambda g, m, k, e, d, s, r: dssa_fix(g, m, k, e, delta=d, seed=s),
+    "degree": lambda g, m, k, e, d, s, r: max_degree(g, k),
+    "degree-discount": lambda g, m, k, e, d, s, r: degree_discount_ic(g, k),
+    "single-discount": lambda g, m, k, e, d, s, r: single_discount(g, k),
+    "random": lambda g, m, k, e, d, s, r: random_seeds(g, k, seed=s),
 }
+
+
+def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL trace of phase spans, counters, and alpha "
+        "rows to PATH (schema: docs/observability.md)",
+    )
+    subparser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics-registry summary after the run",
+    )
+
+
+def _make_observability(args: argparse.Namespace):
+    """Build (registry, recorder) from --trace/--metrics, else (None, None)."""
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", False)
+    if not trace and not metrics:
+        return None, None
+    if trace:
+        # Fail fast on an unwritable path instead of after the run.
+        with open(trace, "w", encoding="utf-8"):
+            pass
+    recorder = TraceRecorder() if trace else None
+    return MetricsRegistry(sink=recorder), recorder
+
+
+def _finish_observability(args: argparse.Namespace, registry, recorder) -> None:
+    if recorder is not None:
+        recorder.to_jsonl(args.trace)
+        print(f"trace       : {len(recorder.events)} events -> {args.trace}")
+    if registry is not None and getattr(args, "metrics", False):
+        summary = registry.summary()
+        print("metrics     :")
+        for name, value in sorted(summary["counters"].items()):
+            print(f"  {name:36s} {value}")
+        for name, value in sorted(summary["gauges"].items()):
+            print(f"  {name:36s} {value:.6g}")
+        for name, stats in sorted(summary["stats"].items()):
+            print(
+                f"  {name:36s} count={stats['count']} "
+                f"total={stats['total']:.4g} mean={stats['mean']:.4g}"
+            )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -90,6 +143,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=6,
         help="number of doubling checkpoints starting at 1000 RR sets",
     )
+    _add_observability_flags(online)
 
     solve = sub.add_parser("solve", help="run one conventional IM algorithm")
     solve.add_argument("--algorithm", default="opim-c", choices=sorted(_SOLVERS))
@@ -101,6 +155,7 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--scale", type=float, default=1.0)
     solve.add_argument("--seed", type=int, default=2018)
     solve.add_argument("--spread-samples", type=int, default=2000)
+    _add_observability_flags(solve)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure/table")
     figure.add_argument(
@@ -110,6 +165,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     figure.add_argument("--scale", type=float, default=0.25)
     figure.add_argument("--repetitions", type=int, default=1)
+    _add_observability_flags(figure)
 
     session = sub.add_parser(
         "session", help="run an interactive-style session to an alpha target"
@@ -122,6 +178,7 @@ def _build_parser() -> argparse.ArgumentParser:
     session.add_argument("--alpha-target", type=float, default=0.75)
     session.add_argument("--rr-budget", type=int, default=500_000)
     session.add_argument("--step", type=int, default=2000)
+    _add_observability_flags(session)
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate every table/figure into a directory"
@@ -146,8 +203,24 @@ def _cmd_datasets() -> int:
 
 
 def _cmd_online(args: argparse.Namespace) -> int:
+    registry, recorder = _make_observability(args)
     graph = load_dataset(args.dataset, scale=args.scale)
-    algo = OnlineOPIM(graph, args.model, k=min(args.k, graph.n), seed=args.seed)
+    if registry is not None:
+        registry.record(
+            "meta",
+            command="online",
+            dataset=graph.name,
+            model=args.model,
+            k=min(args.k, graph.n),
+            seed=args.seed,
+        )
+    algo = OnlineOPIM(
+        graph,
+        args.model,
+        k=min(args.k, graph.n),
+        seed=args.seed,
+        registry=registry,
+    )
     print(f"dataset={graph.name} n={graph.n} m={graph.m} model={args.model}")
     budget = 1000
     for _ in range(args.checkpoints):
@@ -163,14 +236,33 @@ def _cmd_online(args: argparse.Namespace) -> int:
         )
         print(f"RR sets {budget:>8d}: {line}  (t={algo.timer.elapsed:.2f}s)")
         budget *= 2
+    _finish_observability(args, registry, recorder)
     return 0
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    registry, recorder = _make_observability(args)
     graph = load_dataset(args.dataset, scale=args.scale)
+    if registry is not None:
+        registry.record(
+            "meta",
+            command="solve",
+            algorithm=args.algorithm,
+            dataset=graph.name,
+            model=args.model,
+            k=min(args.k, graph.n),
+            epsilon=args.epsilon,
+            seed=args.seed,
+        )
     solver = _SOLVERS[args.algorithm]
     result = solver(
-        graph, args.model, min(args.k, graph.n), args.epsilon, args.delta, args.seed
+        graph,
+        args.model,
+        min(args.k, graph.n),
+        args.epsilon,
+        args.delta,
+        args.seed,
+        registry,
     )
     spread = monte_carlo_spread(
         graph, result.seeds, args.model, num_samples=args.spread_samples, seed=1
@@ -182,11 +274,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"iterations  : {result.iterations}")
     print(f"time        : {result.elapsed:.2f}s")
     print(f"est. spread : {spread.mean:.1f} (+- {1.96 * spread.std_error:.1f})")
+    _finish_observability(args, registry, recorder)
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     which = args.which
+    # Figures 2-7 thread the registry through the harness; figure 1,
+    # the tables, and the ablations are analytic/uninstrumented, so a
+    # --trace there records only the "meta" event.
+    registry, recorder = _make_observability(args)
+    if registry is not None:
+        registry.record("meta", command="figure", which=which, scale=args.scale)
     if which == "1":
         print(format_result(figure1(), x_format=".3g"))
     elif which == "t1":
@@ -195,7 +294,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(format_table(table2()))
     elif which in {"2", "3", "4", "5"}:
         runner = {"2": figure2, "3": figure3, "4": figure4, "5": figure5}[which]
-        kwargs = dict(scale=args.scale, repetitions=args.repetitions)
+        kwargs = dict(
+            scale=args.scale, repetitions=args.repetitions, registry=registry
+        )
         if which in {"3", "5"}:
             kwargs["ks"] = (1, 10, 100)
         print(format_result(runner(**kwargs)))
@@ -209,14 +310,35 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         )
     else:
         runner = {"6": figure6, "7": figure7}[which]
-        print(format_result(runner(scale=args.scale, repetitions=args.repetitions)))
+        print(
+            format_result(
+                runner(
+                    scale=args.scale,
+                    repetitions=args.repetitions,
+                    registry=registry,
+                )
+            )
+        )
+    _finish_observability(args, registry, recorder)
     return 0
 
 
 def _cmd_session(args: argparse.Namespace) -> int:
+    registry, recorder = _make_observability(args)
     graph = load_dataset(args.dataset, scale=args.scale)
+    if registry is not None:
+        registry.record(
+            "meta",
+            command="session",
+            dataset=graph.name,
+            model=args.model,
+            k=min(args.k, graph.n),
+            alpha_target=args.alpha_target,
+            seed=args.seed,
+        )
     session = OPIMSession(
-        graph, args.model, k=min(args.k, graph.n), seed=args.seed
+        graph, args.model, k=min(args.k, graph.n), seed=args.seed,
+        registry=registry,
     )
     result = session.run_until(
         alpha_target=args.alpha_target,
@@ -229,6 +351,7 @@ def _cmd_session(args: argparse.Namespace) -> int:
         )
     print(f"stopped: {result.stop.kind} ({result.stop.detail})")
     print(f"seeds  : {result.snapshot.seeds}")
+    _finish_observability(args, registry, recorder)
     return 0
 
 

@@ -41,6 +41,7 @@ from repro.maxcover.bounds import (
     coverage_upper_bound_leskovec,
 )
 from repro.maxcover.greedy import GreedyResult, greedy_max_coverage
+from repro.obs import resolve_registry
 from repro.sampling.generator import RRSampler
 from repro.utils.rng import SeedLike
 from repro.utils.timer import Timer
@@ -67,6 +68,10 @@ class OnlineOPIM:
         Default bound variant for :meth:`query`.
     seed:
         RNG seed / generator for the sampling stream.
+    registry:
+        Optional :class:`~repro.obs.MetricsRegistry` for phase tracing
+        and counters; every query also appends one telemetry row to
+        :attr:`alpha_trajectory` and emits an ``alpha_row`` event.
 
     Examples
     --------
@@ -88,6 +93,7 @@ class OnlineOPIM:
         bound: str = "greedy",
         seed: SeedLike = None,
         sampler=None,
+        registry=None,
     ) -> None:
         check_k(k, graph.n)
         if delta is None:
@@ -101,6 +107,7 @@ class OnlineOPIM:
         self.k = k
         self.delta = float(delta)
         self.bound = bound
+        self.obs = resolve_registry(registry)
         if sampler is not None:
             # Custom sampler injection (e.g. a TriggeringRRSampler for
             # a non-IC/LT triggering model, per the paper's Section 6).
@@ -108,10 +115,12 @@ class OnlineOPIM:
                 raise ParameterError("sampler must be bound to the same graph")
             self.sampler = sampler
         else:
-            self.sampler = RRSampler(graph, model, seed=seed)
+            self.sampler = RRSampler(graph, model, seed=seed, registry=self.obs)
         self.r1 = self.sampler.new_collection()
         self.r2 = self.sampler.new_collection()
         self.timer = Timer()
+        #: Telemetry rows (one dict per snapshot taken), in query order.
+        self.alpha_trajectory: list = []
         self._greedy_cache: Optional[Tuple[int, GreedyResult]] = None
 
     # ------------------------------------------------------------------
@@ -134,7 +143,7 @@ class OnlineOPIM:
             raise ParameterError(
                 f"count must be even to keep |R1| == |R2|, got {count}"
             )
-        with self.timer:
+        with self.timer, self.obs.trace("opim/extend"):
             self.sampler.fill(self.r1, count // 2)
             self.sampler.fill(self.r2, count // 2)
 
@@ -155,7 +164,8 @@ class OnlineOPIM:
             )
         size = len(self.r1)
         if self._greedy_cache is None or self._greedy_cache[0] != size:
-            result = greedy_max_coverage(self.r1, self.k)
+            with self.obs.trace("greedy"):
+                result = greedy_max_coverage(self.r1, self.k, registry=self.obs)
             self._greedy_cache = (size, result)
         return self._greedy_cache[1]
 
@@ -195,14 +205,14 @@ class OnlineOPIM:
                 f"delta1 + delta2 = {delta1 + delta2} exceeds delta = {self.delta}"
             )
 
-        with self.timer:
+        with self.timer, self.obs.trace("opim/query"):
             greedy = self._run_greedy()
             snapshot = self._snapshot(greedy, variant, delta1, delta2)
         return snapshot
 
     def query_all(self) -> Dict[str, OnlineSnapshot]:
         """Evaluate all three bound variants on the shared greedy pass."""
-        with self.timer:
+        with self.timer, self.obs.trace("opim/query_all"):
             greedy = self._run_greedy()
             d = self.delta / 2.0
             snapshots = {
@@ -230,6 +240,18 @@ class OnlineOPIM:
         coverage_upper = self._coverage_upper(greedy, variant)
         sigma_up = sigma_upper_bound(coverage_upper, theta1, n, delta1)
         alpha = approximation_guarantee(sigma_low, sigma_up)
+        row = {
+            "algorithm": "OPIM",
+            "variant": variant,
+            "query": len(self.alpha_trajectory) + 1,
+            "theta1": theta1,
+            "theta2": theta2,
+            "sigma_low": sigma_low,
+            "sigma_up": sigma_up,
+            "alpha": alpha,
+        }
+        self.alpha_trajectory.append(row)
+        self.obs.record("alpha_row", **row)
         return OnlineSnapshot(
             seeds=list(greedy.seeds),
             alpha=alpha,
@@ -243,4 +265,8 @@ class OnlineOPIM:
             coverage_r2=coverage_r2,
             edges_examined=self.sampler.edges_examined,
             elapsed=self.timer.elapsed,
+            metadata={
+                "alpha_row": row,
+                "alpha_trajectory": list(self.alpha_trajectory),
+            },
         )

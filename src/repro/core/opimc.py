@@ -42,6 +42,7 @@ from repro.maxcover.bounds import (
     coverage_upper_bound_leskovec,
 )
 from repro.maxcover.greedy import greedy_max_coverage
+from repro.obs import resolve_registry
 from repro.sampling.generator import RRSampler
 from repro.utils.rng import SeedLike
 from repro.utils.timer import Timer
@@ -55,7 +56,13 @@ _VARIANT_NAMES = {
 
 
 class OPIMC:
-    """Reusable OPIM-C runner bound to a graph and diffusion model."""
+    """Reusable OPIM-C runner bound to a graph and diffusion model.
+
+    ``registry`` is an optional :class:`~repro.obs.MetricsRegistry`;
+    when given, every run emits nested phase spans
+    (``opimc/iter_<i>/sampling`` / ``greedy`` / ``bounds``), sampling
+    counters, and one ``alpha_row`` event per doubling iteration.
+    """
 
     def __init__(
         self,
@@ -64,6 +71,7 @@ class OPIMC:
         bound: str = "greedy",
         seed: SeedLike = None,
         fast: bool = False,
+        registry=None,
     ) -> None:
         if bound not in _VARIANT_NAMES:
             raise ParameterError(
@@ -73,14 +81,19 @@ class OPIMC:
         self.model = model
         self.bound = bound
         self.fast = bool(fast)
+        self.obs = resolve_registry(registry)
         self._seed = seed
 
     def _make_sampler(self):
         if self.fast:
             from repro.sampling.batch import BatchRRSampler
 
-            return BatchRRSampler(self.graph, self.model, seed=self._seed)
-        return RRSampler(self.graph, self.model, seed=self._seed)
+            return BatchRRSampler(
+                self.graph, self.model, seed=self._seed, registry=self.obs
+            )
+        return RRSampler(
+            self.graph, self.model, seed=self._seed, registry=self.obs
+        )
 
     def _coverage_upper(self, greedy_result, variant: str) -> float:
         if variant == "vanilla":
@@ -112,8 +125,11 @@ class OPIMC:
             delta = 1.0 / graph.n
         check_delta(delta)
 
+        obs = self.obs
+        algorithm = _VARIANT_NAMES[self.bound]
+        trajectory = []
         timer = Timer()
-        with timer:
+        with timer, obs.trace("opimc"):
             t_max = theta_max(graph.n, k, epsilon, delta)
             t_0 = max(1, math.ceil(theta_0(graph.n, k, epsilon, delta)))
             i_max = i_max_iterations(graph.n, k, epsilon, delta)
@@ -128,33 +144,53 @@ class OPIMC:
             alpha = 0.0
             greedy_result = None
             for iteration in range(1, i_max + 1):
-                grow = size - len(r1)
-                if rr_budget is not None and (
-                    sampler.sets_generated + 2 * grow > rr_budget
-                ):
-                    raise BudgetExceededError(
-                        f"OPIM-C would exceed the RR budget of {rr_budget}",
-                        num_rr_sets=sampler.sets_generated,
-                    )
-                sampler.fill(r1, grow)
-                sampler.fill(r2, grow)
+                with obs.trace(f"iter_{iteration}"):
+                    grow = size - len(r1)
+                    if rr_budget is not None and (
+                        sampler.sets_generated + 2 * grow > rr_budget
+                    ):
+                        raise BudgetExceededError(
+                            f"OPIM-C would exceed the RR budget of {rr_budget}",
+                            num_rr_sets=sampler.sets_generated,
+                        )
+                    with obs.trace("sampling"):
+                        sampler.fill(r1, grow)
+                        sampler.fill(r2, grow)
 
-                greedy_result = greedy_max_coverage(r1, k)
-                coverage_r2 = r2.coverage(greedy_result.seeds)
-                sigma_low = sigma_lower_bound(
-                    coverage_r2, len(r2), graph.n, delta_iter
-                )
-                coverage_upper = self._coverage_upper(greedy_result, self.bound)
-                sigma_up = sigma_upper_bound(
-                    coverage_upper, len(r1), graph.n, delta_iter
-                )
-                alpha = approximation_guarantee(sigma_low, sigma_up)
+                    with obs.trace("greedy"):
+                        greedy_result = greedy_max_coverage(r1, k, registry=obs)
+                    with obs.trace("bounds"):
+                        coverage_r2 = r2.coverage(greedy_result.seeds)
+                        sigma_low = sigma_lower_bound(
+                            coverage_r2, len(r2), graph.n, delta_iter
+                        )
+                        coverage_upper = self._coverage_upper(
+                            greedy_result, self.bound
+                        )
+                        sigma_up = sigma_upper_bound(
+                            coverage_upper, len(r1), graph.n, delta_iter
+                        )
+                        alpha = approximation_guarantee(sigma_low, sigma_up)
+
+                    row = {
+                        "algorithm": algorithm,
+                        "iteration": iteration,
+                        "theta1": len(r1),
+                        "theta2": len(r2),
+                        "sigma_low": sigma_low,
+                        "sigma_up": sigma_up,
+                        "alpha": alpha,
+                        "target": target,
+                    }
+                    trajectory.append(row)
+                    obs.record("alpha_row", **row)
                 if alpha >= target or iteration == i_max:
                     break
                 size = min(size * 2, max(1, math.ceil(t_max)))
 
+        obs.set_gauge("opimc.alpha_achieved", alpha)
         return IMResult(
-            algorithm=_VARIANT_NAMES[self.bound],
+            algorithm=algorithm,
             seeds=list(greedy_result.seeds),
             k=k,
             epsilon=epsilon,
@@ -169,6 +205,7 @@ class OPIMC:
                 "theta_0": t_0,
                 "i_max": i_max,
                 "target_alpha": target,
+                "alpha_trajectory": trajectory,
             },
         )
 
@@ -183,13 +220,15 @@ def opim_c(
     seed: SeedLike = None,
     rr_budget: Optional[int] = None,
     fast: bool = False,
+    registry=None,
 ) -> IMResult:
     """One-shot functional interface to :class:`OPIMC`.
 
     ``fast=True`` swaps in the batched RR sampler
     (:class:`~repro.sampling.batch.BatchRRSampler`) — same output
-    distribution, roughly 3-5x faster sampling.
+    distribution, roughly 3-5x faster sampling.  ``registry`` injects a
+    :class:`~repro.obs.MetricsRegistry` for phase tracing and counters.
     """
-    return OPIMC(graph, model, bound=bound, seed=seed, fast=fast).run(
-        k, epsilon, delta=delta, rr_budget=rr_budget
-    )
+    return OPIMC(
+        graph, model, bound=bound, seed=seed, fast=fast, registry=registry
+    ).run(k, epsilon, delta=delta, rr_budget=rr_budget)

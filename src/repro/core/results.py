@@ -34,6 +34,11 @@ class OnlineSnapshot:
         Cumulative edge-traversal cost of sampling so far.
     elapsed:
         Wall-clock seconds of algorithm work so far.
+    metadata:
+        Observability payload.  OPIM populates ``"alpha_row"`` (this
+        snapshot's ``(theta1, theta2, sigma_low, sigma_up, alpha)``
+        telemetry row) and ``"alpha_trajectory"`` (every row recorded
+        so far on the producing algorithm instance).
     """
 
     seeds: List[int]
@@ -48,6 +53,7 @@ class OnlineSnapshot:
     coverage_r2: int = 0
     edges_examined: int = 0
     elapsed: float = 0.0
+    metadata: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -56,6 +62,11 @@ class IMResult:
 
     ``seeds`` carries a ``(1 - 1/e - epsilon)``-approximation guarantee
     w.p. >= ``1 - delta`` (per the respective algorithm's analysis).
+
+    OPIM-C additionally stores its doubling-loop telemetry under
+    ``extra["alpha_trajectory"]``: one
+    ``{iteration, theta1, theta2, sigma_low, sigma_up, alpha}`` row per
+    iteration, matching the ``alpha_row`` trace events.
     """
 
     algorithm: str

@@ -72,10 +72,11 @@ class OPIMSession:
         delta: Optional[float] = None,
         bound: str = "greedy",
         seed: SeedLike = None,
+        registry=None,
     ) -> None:
         self._online = OnlineOPIM(
             graph, model, k=k, delta=delta if delta is not None else 1.0 / graph.n,
-            bound=bound, seed=seed,
+            bound=bound, seed=seed, registry=registry,
         )
         self.queries_made = 0
         self.history: List[OnlineSnapshot] = []
@@ -93,6 +94,11 @@ class OPIMSession:
     def online(self) -> OnlineOPIM:
         """The underlying single-query algorithm (advanced use)."""
         return self._online
+
+    @property
+    def alpha_trajectory(self) -> List[dict]:
+        """Telemetry rows of every snapshot taken through this session."""
+        return self._online.alpha_trajectory
 
     def extend(self, count: int) -> None:
         self._online.extend(count)
@@ -117,6 +123,13 @@ class OPIMSession:
         )
         self.queries_made += 1
         self.history.append(snapshot)
+        self._online.obs.record(
+            "session_query",
+            query=self.queries_made,
+            query_delta=query_delta,
+            num_rr_sets=snapshot.num_rr_sets,
+            alpha=snapshot.alpha,
+        )
         return snapshot
 
     def run_until(

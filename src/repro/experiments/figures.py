@@ -77,6 +77,7 @@ def _online_figure(
     scale: float,
     seed: SeedLike,
     include_adoptions: bool,
+    registry=None,
 ) -> Dict[str, ExperimentResult]:
     panels: Dict[str, ExperimentResult] = {}
     for dataset in datasets:
@@ -91,6 +92,7 @@ def _online_figure(
                 repetitions=repetitions,
                 seed=seed,
                 include_adoptions=include_adoptions,
+                registry=registry,
             )
             key = f"{dataset}:k={k_eff}" if len(ks) > 1 else dataset
             panel.experiment_id = f"{figure_id}:{key}"
@@ -106,12 +108,13 @@ def figure2(
     scale: float = 1.0,
     seed: SeedLike = 2018,
     include_adoptions: bool = True,
+    registry=None,
 ) -> Dict[str, ExperimentResult]:
     """Figure 2: guarantee vs. #RR sets, LT model, k=50, four graphs."""
     checkpoints = checkpoints or checkpoint_grid(1000, 7)
     return _online_figure(
         "figure2", "LT", datasets, [k], checkpoints,
-        repetitions, scale, seed, include_adoptions,
+        repetitions, scale, seed, include_adoptions, registry=registry,
     )
 
 
@@ -122,12 +125,13 @@ def figure3(
     scale: float = 1.0,
     seed: SeedLike = 2018,
     include_adoptions: bool = True,
+    registry=None,
 ) -> Dict[str, ExperimentResult]:
     """Figure 3: guarantee vs. #RR sets on Twitter-sim, LT, varying k."""
     checkpoints = checkpoints or checkpoint_grid(1000, 7)
     return _online_figure(
         "figure3", "LT", ["twitter-sim"], ks, checkpoints,
-        repetitions, scale, seed, include_adoptions,
+        repetitions, scale, seed, include_adoptions, registry=registry,
     )
 
 
@@ -139,12 +143,13 @@ def figure4(
     scale: float = 1.0,
     seed: SeedLike = 2018,
     include_adoptions: bool = True,
+    registry=None,
 ) -> Dict[str, ExperimentResult]:
     """Figure 4: the Figure 2 experiment under the IC model."""
     checkpoints = checkpoints or checkpoint_grid(1000, 7)
     return _online_figure(
         "figure4", "IC", datasets, [k], checkpoints,
-        repetitions, scale, seed, include_adoptions,
+        repetitions, scale, seed, include_adoptions, registry=registry,
     )
 
 
@@ -155,12 +160,13 @@ def figure5(
     scale: float = 1.0,
     seed: SeedLike = 2018,
     include_adoptions: bool = True,
+    registry=None,
 ) -> Dict[str, ExperimentResult]:
     """Figure 5: the Figure 3 experiment under the IC model."""
     checkpoints = checkpoints or checkpoint_grid(1000, 7)
     return _online_figure(
         "figure5", "IC", ["twitter-sim"], ks, checkpoints,
-        repetitions, scale, seed, include_adoptions,
+        repetitions, scale, seed, include_adoptions, registry=registry,
     )
 
 
@@ -174,6 +180,7 @@ def figure6(
     scale: float = 0.1,
     seed: SeedLike = 2018,
     spread_samples: int = 2000,
+    registry=None,
 ) -> Dict[str, ExperimentResult]:
     """Figure 6: conventional IM on Twitter-sim under LT.
 
@@ -192,6 +199,7 @@ def figure6(
         repetitions=repetitions,
         seed=seed,
         spread_samples=spread_samples,
+        registry=registry,
     )
 
 
@@ -202,6 +210,7 @@ def figure7(
     scale: float = 0.1,
     seed: SeedLike = 2018,
     spread_samples: int = 2000,
+    registry=None,
 ) -> Dict[str, ExperimentResult]:
     """Figure 7: the Figure 6 experiment under the IC model."""
     graph = load_dataset("twitter-sim", scale=scale)
@@ -213,6 +222,7 @@ def figure7(
         repetitions=repetitions,
         seed=seed,
         spread_samples=spread_samples,
+        registry=registry,
     )
 
 

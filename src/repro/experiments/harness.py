@@ -30,6 +30,7 @@ from repro.core.opimc import opim_c
 from repro.diffusion.spread import monte_carlo_spread
 from repro.exceptions import ParameterError
 from repro.graph.digraph import DiGraph
+from repro.obs import resolve_registry
 from repro.utils.rng import SeedLike, spawn_generators
 
 #: Display names matching the paper's figure legends.
@@ -122,6 +123,7 @@ def online_guarantee_curves(
     seed: SeedLike = None,
     include_adoptions: bool = True,
     include_borgs: bool = True,
+    registry=None,
 ) -> ExperimentResult:
     """Reported guarantee vs. #RR sets for all seven online algorithms.
 
@@ -130,9 +132,14 @@ def online_guarantee_curves(
     Every algorithm is checkpointed at exactly the budgets in
     *checkpoints* and every repetition uses an independent RNG stream;
     curves carry the mean over repetitions.
+
+    ``registry`` (optional :class:`~repro.obs.MetricsRegistry`) is
+    threaded into the OPIM runners and wraps each repetition in a
+    ``harness/online/rep_<i>`` span.
     """
     if delta is None:
         delta = 1.0 / graph.n
+    obs = resolve_registry(registry)
     checkpoints = sorted(int(c) for c in checkpoints)
     labels = list(OPIM_VARIANT_LABELS.values())
     if include_borgs:
@@ -147,39 +154,42 @@ def online_guarantee_curves(
     for rep, rep_rng in enumerate(rep_rngs):
         rngs = spawn_generators(rep_rng, 2 + len(ADOPTED_ALGORITHMS))
 
-        # Our OPIM family shares one sampling stream across variants.
-        online = OnlineOPIM(graph, model, k=k, delta=delta, seed=rngs[0])
-        for idx, budget in enumerate(checkpoints):
-            online.extend_to(budget)
-            snapshots = online.query_all()
-            for variant, label in OPIM_VARIANT_LABELS.items():
-                samples[label][rep, idx] = snapshots[variant].alpha
-
-        if include_borgs:
-            borgs = BorgsOnline(graph, model, k=k, delta=delta, seed=rngs[1])
+        with obs.trace(f"harness/online/rep_{rep}"):
+            # Our OPIM family shares one sampling stream across variants.
+            online = OnlineOPIM(
+                graph, model, k=k, delta=delta, seed=rngs[0], registry=obs
+            )
             for idx, budget in enumerate(checkpoints):
-                borgs.extend_to(budget)
-                samples["Borgs"][rep, idx] = borgs.query().alpha
+                online.extend_to(budget)
+                snapshots = online.query_all()
+                for variant, label in OPIM_VARIANT_LABELS.items():
+                    samples[label][rep, idx] = snapshots[variant].alpha
 
-        if include_adoptions:
-            max_budget = checkpoints[-1]
-            for alg_idx, (name, run) in enumerate(ADOPTED_ALGORITHMS.items()):
-                alg_rng = rngs[2 + alg_idx]
-
-                def invoke(epsilon: float, rr_cap: Optional[int], _run=run):
-                    return _run(
-                        graph,
-                        model,
-                        k,
-                        epsilon,
-                        delta=delta,
-                        seed=alg_rng,
-                        rr_budget=rr_cap,
-                    )
-
-                curve = OPIMAdoption(name, invoke).run(max_budget)
+            if include_borgs:
+                borgs = BorgsOnline(graph, model, k=k, delta=delta, seed=rngs[1])
                 for idx, budget in enumerate(checkpoints):
-                    samples[name][rep, idx] = curve.guarantee_at(budget)
+                    borgs.extend_to(budget)
+                    samples["Borgs"][rep, idx] = borgs.query().alpha
+
+            if include_adoptions:
+                max_budget = checkpoints[-1]
+                for alg_idx, (name, run) in enumerate(ADOPTED_ALGORITHMS.items()):
+                    alg_rng = rngs[2 + alg_idx]
+
+                    def invoke(epsilon: float, rr_cap: Optional[int], _run=run):
+                        return _run(
+                            graph,
+                            model,
+                            k,
+                            epsilon,
+                            delta=delta,
+                            seed=alg_rng,
+                            rr_budget=rr_cap,
+                        )
+
+                    curve = OPIMAdoption(name, invoke).run(max_budget)
+                    for idx, budget in enumerate(checkpoints):
+                        samples[name][rep, idx] = curve.guarantee_at(budget)
 
     result = ExperimentResult(
         experiment_id="online-guarantees",
@@ -223,15 +233,20 @@ def conventional_comparison(
     seed: SeedLike = None,
     spread_samples: int = 2000,
     algorithms: Sequence[str] = CONVENTIONAL_ALGORITHMS,
+    registry=None,
 ) -> Dict[str, ExperimentResult]:
     """Spread / RR-set count / runtime vs. epsilon (Figures 6–7).
 
     Returns three panels keyed ``"spread"``, ``"rr_sets"`` and
     ``"time"``.  The paper's panel (b) plots running time; RR-set
     counts are included as the hardware-independent equivalent.
+
+    ``registry`` is threaded into the OPIM-C runs and wraps every
+    ``(algorithm, epsilon)`` cell in a ``harness/conventional/...`` span.
     """
     if delta is None:
         delta = 1.0 / graph.n
+    obs = resolve_registry(registry)
     for name in algorithms:
         if name not in CONVENTIONAL_ALGORITHMS:
             raise ParameterError(f"unknown algorithm {name!r}")
@@ -249,20 +264,24 @@ def conventional_comparison(
         for alg_idx, name in enumerate(algorithms):
             alg_rng = rngs[alg_idx]
             for eps_idx, epsilon in enumerate(epsilons):
-                if name in _OPIMC_BOUNDS:
-                    result = opim_c(
-                        graph,
-                        model,
-                        k,
-                        epsilon,
-                        delta=delta,
-                        bound=_OPIMC_BOUNDS[name],
-                        seed=alg_rng,
-                    )
-                else:
-                    result = ADOPTED_ALGORITHMS[name](
-                        graph, model, k, epsilon, delta=delta, seed=alg_rng
-                    )
+                with obs.trace(
+                    f"harness/conventional/{name}/eps_{epsilon:g}"
+                ):
+                    if name in _OPIMC_BOUNDS:
+                        result = opim_c(
+                            graph,
+                            model,
+                            k,
+                            epsilon,
+                            delta=delta,
+                            bound=_OPIMC_BOUNDS[name],
+                            seed=alg_rng,
+                            registry=obs,
+                        )
+                    else:
+                        result = ADOPTED_ALGORITHMS[name](
+                            graph, model, k, epsilon, delta=delta, seed=alg_rng
+                        )
                 estimate = monte_carlo_spread(
                     graph,
                     result.seeds,

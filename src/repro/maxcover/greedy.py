@@ -28,6 +28,7 @@ from typing import List
 import numpy as np
 
 from repro.exceptions import ParameterError
+from repro.obs import resolve_registry
 from repro.sampling.collection import RRCollection
 from repro.utils.validation import check_k
 
@@ -80,11 +81,19 @@ def _top_k_sum(values: np.ndarray, k: int) -> int:
     return int(part[values.shape[0] - k :].sum())
 
 
-def greedy_max_coverage(collection: RRCollection, k: int) -> GreedyResult:
+def greedy_max_coverage(
+    collection: RRCollection, k: int, registry=None
+) -> GreedyResult:
     """Run greedy maximum coverage selecting *k* seeds.
 
     Ties are broken toward the smallest node id, making the output
     deterministic for a fixed collection.
+
+    ``registry`` (optional :class:`~repro.obs.MetricsRegistry`) receives
+    the ``maxcover.greedy_runs`` / ``maxcover.coverage_evals`` /
+    ``maxcover.marginal_updates`` counters: one coverage evaluation per
+    node per argmax pass (``k * n`` per run), and one marginal update
+    per member of every freshly covered RR set.
 
     Raises
     ------
@@ -116,6 +125,7 @@ def greedy_max_coverage(collection: RRCollection, k: int) -> GreedyResult:
     prefix_coverages: List[int] = [0]
     prefix_topk_sums: List[int] = [_top_k_sum(cov, k)]
     total_covered = 0
+    marginal_updates = 0
 
     for _ in range(k):
         u = int(np.argmax(np.where(selected, np.int64(-1), cov)))
@@ -144,10 +154,15 @@ def greedy_max_coverage(collection: RRCollection, k: int) -> GreedyResult:
                 )
                 members = rr_nodes[index]
                 np.subtract.at(cov, members, 1)
+                marginal_updates += total
 
         prefix_coverages.append(total_covered)
         prefix_topk_sums.append(_top_k_sum(cov, k))
 
+    obs = resolve_registry(registry)
+    obs.count("maxcover.greedy_runs")
+    obs.count("maxcover.coverage_evals", k * n)
+    obs.count("maxcover.marginal_updates", marginal_updates)
     return GreedyResult(
         seeds=seeds,
         coverage=total_covered,

@@ -1,0 +1,146 @@
+"""Structured event sink: accumulate, summarize, export as JSONL.
+
+A :class:`TraceRecorder` receives every event a
+:class:`~repro.obs.registry.MetricsRegistry` emits.  Event schema
+(documented in ``docs/observability.md``): every event is a flat dict
+with a ``"type"`` key plus type-specific fields.
+
+``"span"``
+    ``phase`` (slash path, e.g. ``"opimc/iter_3/sampling"``),
+    ``depth`` (1-based nesting depth), ``elapsed`` (seconds), and
+    ``counters`` (dict of counter deltas attributable to the span).
+``"alpha_row"``
+    One row of the online-guarantee trajectory:
+    ``algorithm``, ``iteration`` (or ``query``), ``theta1`` (|R1|),
+    ``theta2`` (|R2|), ``sigma_low``, ``sigma_up``, ``alpha``, and
+    optionally ``variant`` / ``target``.
+``"meta"``
+    Free-form run-level context (command line, dataset, parameters).
+
+Helpers :func:`events_per_second` and :func:`throughput_summary` turn
+counter totals into rates for benchmark reporting.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import IO, Dict, List, Optional, Union
+
+__all__ = [
+    "TraceRecorder",
+    "events_per_second",
+    "throughput_summary",
+]
+
+
+class TraceRecorder:
+    """Append-only in-memory sink of structured observability events."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.events: List[dict] = []
+
+    def record(self, kind: str, **fields) -> None:
+        event = {"type": kind}
+        event.update(fields)
+        with self._lock:
+            self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- filtered views -------------------------------------------------
+    def of_type(self, kind: str) -> List[dict]:
+        return [e for e in self.events if e.get("type") == kind]
+
+    def spans(self) -> List[dict]:
+        return self.of_type("span")
+
+    def alpha_rows(self) -> List[dict]:
+        """The guarantee trajectory: per-iteration / per-query α rows."""
+        return self.of_type("alpha_row")
+
+    # -- export / import ------------------------------------------------
+    def to_jsonl(self, target: Union[str, IO[str]]) -> None:
+        """Write one JSON object per line to a path or open text file."""
+        if hasattr(target, "write"):
+            for event in self.events:
+                target.write(json.dumps(event) + "\n")
+            return
+        with open(target, "w", encoding="utf-8") as handle:
+            self.to_jsonl(handle)
+
+    @classmethod
+    def from_jsonl(cls, source: Union[str, IO[str]]) -> "TraceRecorder":
+        """Rebuild a recorder from a JSONL export (round-trips events)."""
+        recorder = cls()
+        if hasattr(source, "read"):
+            lines = source.read().splitlines()
+        else:
+            with open(source, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        for line in lines:
+            line = line.strip()
+            if line:
+                recorder.events.append(json.loads(line))
+        return recorder
+
+    # -- summaries ------------------------------------------------------
+    def summary(self) -> dict:
+        """Event counts by type plus total span time by phase."""
+        by_type: Dict[str, int] = {}
+        span_time: Dict[str, float] = {}
+        for event in self.events:
+            kind = event.get("type", "?")
+            by_type[kind] = by_type.get(kind, 0) + 1
+            if kind == "span":
+                phase = event.get("phase", "?")
+                span_time[phase] = span_time.get(phase, 0.0) + float(
+                    event.get("elapsed", 0.0)
+                )
+        return {
+            "num_events": len(self.events),
+            "events_by_type": by_type,
+            "span_seconds_by_phase": span_time,
+        }
+
+    def __repr__(self) -> str:
+        return f"TraceRecorder(events={len(self.events)})"
+
+
+def events_per_second(count: float, elapsed: float) -> float:
+    """Rate helper: ``count / elapsed``, 0.0 when no time elapsed."""
+    if elapsed <= 0.0:
+        return 0.0
+    return count / elapsed
+
+
+def throughput_summary(
+    registry, elapsed: float, counters: Optional[Dict[str, str]] = None
+) -> dict:
+    """Per-second rates for a registry's counters over *elapsed* seconds.
+
+    Parameters
+    ----------
+    registry:
+        A :class:`~repro.obs.registry.MetricsRegistry` (or anything with
+        ``counter_values()``).
+    elapsed:
+        Wall-clock seconds the counters accumulated over.
+    counters:
+        Optional mapping of counter name -> output key; defaults to
+        every counter, keyed ``<name>_per_second``.
+
+    Returns a dict with ``elapsed``, the raw counter totals, and the
+    derived rates — the payload ``benchmarks/bench_microbenchmarks.py``
+    writes to ``BENCH_observability.json``.
+    """
+    values = registry.counter_values()
+    if counters is None:
+        counters = {name: f"{name}_per_second" for name in values}
+    rates = {
+        key: events_per_second(values.get(name, 0), elapsed)
+        for name, key in counters.items()
+    }
+    return {"elapsed": elapsed, "totals": dict(values), "rates": rates}

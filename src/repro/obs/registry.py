@@ -1,0 +1,419 @@
+"""Metrics registry: counters, gauges, running stats, and trace spans.
+
+The registry is the single injection point for all instrumentation in
+the package: hot paths (RR-set samplers, greedy max coverage, the OPIM
+runners) accept a ``registry`` argument and report into it.  Two
+implementations share one duck type:
+
+* :class:`MetricsRegistry` — the real thing: thread-safe counters,
+  gauges, running statistics, and nesting :meth:`~MetricsRegistry.trace`
+  spans that forward structured events to an attached sink (usually a
+  :class:`~repro.obs.recorder.TraceRecorder`).
+* :class:`NullRegistry` — a stateless no-op twin.  Its methods do
+  nothing and its spans are reusable singletons, so instrumented code
+  pays only an attribute lookup and a no-op call when observability is
+  off.  The module-level :data:`NULL_REGISTRY` is the default wired
+  into every instrumented code path.
+
+Naming conventions: counters use dotted names (``sampling.rr_sets``,
+``maxcover.coverage_evals``); span phases use slash-separated paths
+built from the nesting of ``trace`` calls (``opimc/iter_3/sampling``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "RunningStats",
+    "RRSetStats",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "resolve_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = lock
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self._value})"
+
+
+class Gauge:
+    """A point-in-time value metric (last write wins)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self._value})"
+
+
+class RunningStats:
+    """Histogram-style aggregate: count / total / min / max / mean.
+
+    Used both for span durations (seconds) and for per-RR-set size
+    distributions (nodes and edges per reverse BFS).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        if self.count == 0:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"RunningStats({self.name!r}, {self.as_dict()})"
+
+
+class _Span:
+    """One live ``trace`` span; created by :meth:`MetricsRegistry.trace`.
+
+    On exit it observes its duration under ``span:<path>`` in the
+    registry's stats and, when a sink is attached, emits a ``span``
+    event carrying the wall-clock duration plus the deltas of every
+    counter that moved while the span was open.
+    """
+
+    __slots__ = ("_registry", "name", "path", "depth", "_t0", "_counters_before")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self.name = name
+        self.path = ""
+        self.depth = 0
+        self._t0 = 0.0
+        self._counters_before: Dict[str, int] = {}
+
+    def __enter__(self) -> "_Span":
+        registry = self._registry
+        stack = registry._span_stack()
+        stack.append(self.name)
+        self.path = "/".join(stack)
+        self.depth = len(stack)
+        self._counters_before = registry.counter_values()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self._t0
+        registry = self._registry
+        registry._span_stack().pop()
+        registry.stats(f"span:{self.path}").observe(elapsed)
+        before = self._counters_before
+        deltas = {
+            name: value - before.get(name, 0)
+            for name, value in registry.counter_values().items()
+            if value != before.get(name, 0)
+        }
+        registry.record(
+            "span",
+            phase=self.path,
+            depth=self.depth,
+            elapsed=elapsed,
+            counters=deltas,
+        )
+
+
+class MetricsRegistry:
+    """Thread-safe home for counters, gauges, stats, and trace spans.
+
+    Parameters
+    ----------
+    sink:
+        Optional event sink with a ``record(kind, **fields)`` method —
+        normally a :class:`~repro.obs.recorder.TraceRecorder`.  Span
+        events and algorithm events (for example the per-iteration
+        ``alpha_row`` rows of OPIM-C) flow into it.
+    """
+
+    enabled = True
+
+    def __init__(self, sink=None) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._stats: Dict[str, RunningStats] = {}
+        self._local = threading.local()
+        self.sink = sink
+
+    # -- metric accessors (create-or-get) ------------------------------
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(
+                    name, Counter(name, self._lock)
+                )
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge(name, self._lock))
+        return gauge
+
+    def stats(self, name: str) -> RunningStats:
+        stats = self._stats.get(name)
+        if stats is None:
+            with self._lock:
+                stats = self._stats.setdefault(
+                    name, RunningStats(name, self._lock)
+                )
+        return stats
+
+    # -- shortcuts ------------------------------------------------------
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.stats(name).observe(value)
+
+    # -- tracing --------------------------------------------------------
+    def _span_stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def trace(self, phase: str) -> _Span:
+        """Open a nesting span; usable as a context manager.
+
+        Nested calls build slash-separated paths::
+
+            with registry.trace("opimc"):
+                with registry.trace("iter_1"):
+                    with registry.trace("sampling"):
+                        ...  # recorded as "opimc/iter_1/sampling"
+        """
+        return _Span(self, phase)
+
+    def current_path(self) -> str:
+        """Slash-joined path of the currently open spans ('' at root)."""
+        return "/".join(self._span_stack())
+
+    def record(self, kind: str, **fields) -> None:
+        """Forward a structured event to the attached sink, if any."""
+        if self.sink is not None:
+            self.sink.record(kind, **fields)
+
+    # -- introspection --------------------------------------------------
+    def counter_values(self) -> Dict[str, int]:
+        return {name: c.value for name, c in self._counters.items()}
+
+    def gauge_values(self) -> Dict[str, float]:
+        return {name: g.value for name, g in self._gauges.items()}
+
+    def summary(self) -> dict:
+        """A JSON-serializable snapshot of every metric."""
+        return {
+            "counters": self.counter_values(),
+            "gauges": self.gauge_values(),
+            "stats": {name: s.as_dict() for name, s in self._stats.items()},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, stats={len(self._stats)})"
+        )
+
+
+class _NullMetric:
+    """Shared no-op stand-in for Counter / Gauge / RunningStats."""
+
+    __slots__ = ()
+
+    name = ""
+    value = 0
+    count = 0
+    total = 0.0
+    min = 0.0
+    max = 0.0
+    mean = 0.0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def as_dict(self) -> dict:
+        return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+
+
+class _NullSpan:
+    """Reusable no-op context manager returned by ``NullRegistry.trace``."""
+
+    __slots__ = ()
+
+    name = ""
+    path = ""
+    depth = 0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+_NULL_SPAN = _NullSpan()
+
+
+class NullRegistry:
+    """No-op registry: the default when observability is not requested.
+
+    Every method is a constant-time no-op and every accessor returns a
+    shared inert singleton, so instrumented hot paths stay within noise
+    of their uninstrumented cost (see ``tests/test_obs.py``'s overhead
+    guard).
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    sink = None
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def stats(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def count(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def trace(self, phase: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current_path(self) -> str:
+        return ""
+
+    def record(self, kind: str, **fields) -> None:
+        pass
+
+    def counter_values(self) -> Dict[str, int]:
+        return {}
+
+    def gauge_values(self) -> Dict[str, float]:
+        return {}
+
+    def summary(self) -> dict:
+        return {"counters": {}, "gauges": {}, "stats": {}}
+
+    def __repr__(self) -> str:
+        return "NullRegistry()"
+
+
+#: The process-wide default no-op registry.
+NULL_REGISTRY = NullRegistry()
+
+
+class RRSetStats:
+    """Per-RR-set size-distribution hook for the scalar samplers.
+
+    The scalar RR-set functions (``sample_rr_set_ic`` / ``_lt`` /
+    ``_triggering``) accept one of these as an optional ``stats``
+    argument; when present they observe the node count and the edge
+    count of every sampled RR set, feeding the ``sampling.rr_nodes`` /
+    ``sampling.rr_edges`` distributions.  Samplers only allocate it
+    when bound to an enabled registry, so the default path carries a
+    single ``is not None`` check per RR set.
+    """
+
+    __slots__ = ("nodes", "edges")
+
+    def __init__(self, registry, prefix: str = "sampling") -> None:
+        self.nodes = registry.stats(f"{prefix}.rr_nodes")
+        self.edges = registry.stats(f"{prefix}.rr_edges")
+
+    def observe_set(self, num_nodes: int, num_edges: int) -> None:
+        self.nodes.observe(num_nodes)
+        self.edges.observe(num_edges)
+
+
+def resolve_registry(registry: Optional[object]):
+    """``registry`` if given, else the shared :data:`NULL_REGISTRY`."""
+    return NULL_REGISTRY if registry is None else registry

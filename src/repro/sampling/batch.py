@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.exceptions import ParameterError
 from repro.graph.digraph import DiGraph
+from repro.obs import resolve_registry
 from repro.sampling.collection import RRCollection
 from repro.sampling.rrset_lt import LTAliasTables
 from repro.utils.rng import SeedLike, as_generator
@@ -176,6 +177,7 @@ class BatchRRSampler:
         model: str,
         seed: SeedLike = None,
         batch_size: int = 256,
+        registry=None,
     ) -> None:
         model = model.upper()
         if model not in ("IC", "LT"):
@@ -192,7 +194,9 @@ class BatchRRSampler:
         self.batch_size = int(batch_size)
         self.edges_examined = 0
         self.sets_generated = 0
+        self.nodes_touched = 0
         self.universe_weight = float(graph.n)
+        self.obs = resolve_registry(registry)
         self._lt_tables: Optional[LTAliasTables] = None
         if model == "LT":
             self._lt_tables = LTAliasTables(graph)
@@ -207,6 +211,12 @@ class BatchRRSampler:
                 self.graph, roots, self.rng, self._lt_tables
             )
         self.edges_examined += edges
+        nodes = sum(s.shape[0] for s in sets)
+        self.nodes_touched += nodes
+        obs = self.obs
+        obs.count("sampling.rr_sets", len(sets))
+        obs.count("sampling.edges", edges)
+        obs.count("sampling.nodes", nodes)
         self._buffer.extend(reversed(sets))
 
     def sample_one(self, root: Optional[int] = None) -> np.ndarray:

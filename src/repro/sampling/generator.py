@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.exceptions import ParameterError
 from repro.graph.digraph import DiGraph
+from repro.obs import RRSetStats, resolve_registry
 from repro.sampling.collection import RRCollection
 from repro.sampling.rrset_ic import Scratch, sample_rr_set_ic
 from repro.sampling.rrset_lt import LTAliasTables, sample_rr_set_lt
@@ -34,9 +35,21 @@ class RRSampler:
     seed:
         RNG seed or generator; all randomness of this sampler flows
         through it.
+    registry:
+        Optional :class:`~repro.obs.MetricsRegistry`.  When given, the
+        sampler maintains the ``sampling.rr_sets`` / ``sampling.edges``
+        / ``sampling.nodes`` counters and the per-RR-set size
+        distributions; by default the no-op registry is used and the
+        hot path is unchanged.
     """
 
-    def __init__(self, graph: DiGraph, model: str, seed: SeedLike = None) -> None:
+    def __init__(
+        self,
+        graph: DiGraph,
+        model: str,
+        seed: SeedLike = None,
+        registry=None,
+    ) -> None:
         model = model.upper()
         if model not in MODELS:
             raise ParameterError(f"model must be one of {MODELS}, got {model!r}")
@@ -49,9 +62,12 @@ class RRSampler:
         self.rng = as_generator(seed)
         self.edges_examined = 0
         self.sets_generated = 0
+        self.nodes_touched = 0
         #: The scale factor in spread estimates and bounds ("n" in the
         #: paper; subclasses with non-uniform roots override it).
         self.universe_weight = float(graph.n)
+        self.obs = resolve_registry(registry)
+        self._rr_stats = RRSetStats(self.obs) if self.obs.enabled else None
         self._scratch = Scratch(graph.n)
         self._lt_tables: Optional[LTAliasTables] = None
         if model == "LT":
@@ -65,14 +81,20 @@ class RRSampler:
             raise ParameterError(f"root {root} out of range [0, {self.graph.n})")
         if self.model == "IC":
             nodes, edges = sample_rr_set_ic(
-                self.graph, root, self.rng, self._scratch
+                self.graph, root, self.rng, self._scratch, self._rr_stats
             )
         else:
             nodes, edges = sample_rr_set_lt(
-                self.graph, root, self.rng, self._lt_tables, self._scratch
+                self.graph,
+                root,
+                self.rng,
+                self._lt_tables,
+                self._scratch,
+                self._rr_stats,
             )
         self.edges_examined += edges
         self.sets_generated += 1
+        self.nodes_touched += nodes.shape[0]
         return nodes
 
     def fill(self, collection: RRCollection, count: int) -> None:
@@ -83,8 +105,14 @@ class RRSampler:
             raise ParameterError(
                 "collection node universe does not match the sampler's graph"
             )
+        edges_before = self.edges_examined
+        nodes_before = self.nodes_touched
         for _ in range(count):
             collection.append(self.sample_one())
+        obs = self.obs
+        obs.count("sampling.rr_sets", count)
+        obs.count("sampling.edges", self.edges_examined - edges_before)
+        obs.count("sampling.nodes", self.nodes_touched - nodes_before)
 
     def new_collection(self, count: int = 0) -> RRCollection:
         """Create a collection over this graph, optionally pre-filled."""

@@ -40,6 +40,7 @@ def sample_rr_set_ic(
     root: int,
     rng: np.random.Generator,
     scratch: Scratch = None,
+    stats=None,
 ) -> Tuple[np.ndarray, int]:
     """Sample one IC-model RR set rooted at *root*.
 
@@ -48,6 +49,10 @@ def sample_rr_set_ic(
     (nodes, edges_examined):
         ``nodes`` is an int32 array whose first element is *root*;
         ``edges_examined`` counts every in-edge whose coin was flipped.
+
+    ``stats`` is an optional :class:`repro.obs.RRSetStats` hook that
+    observes the node/edge count of the sampled set (only passed when a
+    metrics registry is enabled).
     """
     if scratch is None:
         scratch = Scratch(graph.n)
@@ -84,4 +89,6 @@ def sample_rr_set_ic(
         queue[tail : tail + fresh.size] = fresh
         tail += fresh.size
 
+    if stats is not None:
+        stats.observe_set(tail, edges_examined)
     return queue[:tail].copy(), edges_examined

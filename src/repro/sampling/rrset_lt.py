@@ -77,12 +77,15 @@ def sample_rr_set_lt(
     rng: np.random.Generator,
     tables: LTAliasTables,
     scratch: Scratch = None,
+    stats=None,
 ) -> Tuple[np.ndarray, int]:
     """Sample one LT-model RR set rooted at *root*.
 
     Returns ``(nodes, edges_examined)`` where the edge count increments
     once per walk step (each step examines one sampled in-edge in O(1),
-    per the alias-method analysis in Appendix A).
+    per the alias-method analysis in Appendix A).  ``stats`` is an
+    optional :class:`repro.obs.RRSetStats` hook observing the walk's
+    node/edge counts (only passed when a metrics registry is enabled).
     """
     if scratch is None:
         scratch = Scratch(graph.n)
@@ -110,4 +113,6 @@ def sample_rr_set_lt(
         length += 1
         u = w
 
+    if stats is not None:
+        stats.observe_set(length, edges_examined)
     return path[:length].copy(), edges_examined

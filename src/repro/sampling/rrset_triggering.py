@@ -114,6 +114,7 @@ def sample_rr_set_triggering(
     rng: np.random.Generator,
     triggering_sets: TriggeringSetSampler,
     scratch: Scratch = None,
+    stats=None,
 ) -> Tuple[np.ndarray, int]:
     """Sample one RR set under the triggering model given by
     *triggering_sets*, rooted at *root*.
@@ -151,6 +152,8 @@ def sample_rr_set_triggering(
         queue[tail : tail + fresh.size] = fresh
         tail += fresh.size
 
+    if stats is not None:
+        stats.observe_set(tail, edges_examined)
     return queue[:tail].copy(), edges_examined
 
 
@@ -168,7 +171,9 @@ class TriggeringRRSampler:
         graph: DiGraph,
         triggering_sets: TriggeringSetSampler,
         seed=None,
+        registry=None,
     ) -> None:
+        from repro.obs import RRSetStats, resolve_registry
         from repro.utils.rng import as_generator
 
         self.graph = graph
@@ -177,7 +182,10 @@ class TriggeringRRSampler:
         self.rng = as_generator(seed)
         self.edges_examined = 0
         self.sets_generated = 0
+        self.nodes_touched = 0
         self.universe_weight = float(graph.n)
+        self.obs = resolve_registry(registry)
+        self._rr_stats = RRSetStats(self.obs) if self.obs.enabled else None
         self._scratch = Scratch(graph.n)
 
     def sample_one(self, root=None) -> np.ndarray:
@@ -186,10 +194,16 @@ class TriggeringRRSampler:
         elif not 0 <= root < self.graph.n:
             raise ParameterError(f"root {root} out of range [0, {self.graph.n})")
         nodes, edges = sample_rr_set_triggering(
-            self.graph, root, self.rng, self.triggering_sets, self._scratch
+            self.graph,
+            root,
+            self.rng,
+            self.triggering_sets,
+            self._scratch,
+            self._rr_stats,
         )
         self.edges_examined += edges
         self.sets_generated += 1
+        self.nodes_touched += nodes.shape[0]
         return nodes
 
     def fill(self, collection, count: int) -> None:
@@ -199,8 +213,14 @@ class TriggeringRRSampler:
             raise ParameterError(
                 "collection node universe does not match the sampler's graph"
             )
+        edges_before = self.edges_examined
+        nodes_before = self.nodes_touched
         for _ in range(count):
             collection.append(self.sample_one())
+        obs = self.obs
+        obs.count("sampling.rr_sets", count)
+        obs.count("sampling.edges", self.edges_examined - edges_before)
+        obs.count("sampling.nodes", self.nodes_touched - nodes_before)
 
     def new_collection(self, count: int = 0):
         from repro.sampling.collection import RRCollection

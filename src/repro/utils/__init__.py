@@ -1,4 +1,8 @@
-"""Shared utilities: RNG discipline, timers, validation, logging."""
+"""Shared utilities: RNG discipline, timers, and validation.
+
+Logging and metrics live in :mod:`repro.obs`
+(:func:`repro.obs.configure_logging`, :class:`repro.obs.MetricsRegistry`).
+"""
 
 from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.timer import Timer

@@ -171,6 +171,35 @@ class TestOPIMCEfficiency:
         assert result.num_rr_sets <= 10**7
 
 
+class TestOPIMCTelemetry:
+    def test_alpha_trajectory_one_row_per_iteration(self, medium_graph):
+        result = opim_c(medium_graph, "IC", k=5, epsilon=0.3, delta=0.05, seed=21)
+        trajectory = result.extra["alpha_trajectory"]
+        assert len(trajectory) == result.iterations
+        assert [row["iteration"] for row in trajectory] == list(
+            range(1, result.iterations + 1)
+        )
+
+    def test_alpha_trajectory_monotone_in_samples(self, medium_graph):
+        """Each doubling iteration draws strictly more RR sets, and the
+        recorded rows keep |R1| == |R2| (the paper's invariant)."""
+        result = opim_c(medium_graph, "IC", k=5, epsilon=0.2, delta=0.05, seed=22)
+        trajectory = result.extra["alpha_trajectory"]
+        thetas = [row["theta1"] for row in trajectory]
+        assert all(a < b for a, b in zip(thetas, thetas[1:]))
+        for row in trajectory:
+            assert row["theta1"] == row["theta2"]
+            assert row["sigma_low"] <= row["sigma_up"]
+            assert 0.0 <= row["alpha"] <= 1.0
+
+    def test_alpha_trajectory_matches_result(self, medium_graph):
+        result = opim_c(medium_graph, "IC", k=5, epsilon=0.3, delta=0.05, seed=23)
+        last = result.extra["alpha_trajectory"][-1]
+        assert last["alpha"] == pytest.approx(result.alpha_achieved)
+        assert last["theta1"] + last["theta2"] == result.num_rr_sets
+        assert last["target"] == pytest.approx(result.extra["target_alpha"])
+
+
 class TestOPIMCQuality:
     def test_approximation_holds_on_exact_instance(self, tiny_weighted_graph):
         """Seed quality must meet (1 - 1/e - eps) * OPT with frequency
