@@ -1,0 +1,45 @@
+"""reprolint — AST-based invariant linter for statistical correctness.
+
+The type system cannot see the invariants OPIM's guarantee rests on:
+R1/R2 sample independence, the ``delta/(3 i_max)`` failure-budget
+split, injected deterministic RNGs.  This package checks them
+statically, at review time:
+
+* a pluggable rule engine (:class:`LintEngine`) with six repo-specific
+  rules (``RPR101``-``RPR106``; catalog in ``docs/static-analysis.md``);
+* ``# repro: noqa[RULE-ID]`` line suppressions;
+* a committed baseline (``.reprolint-baseline.json``) so only *new*
+  violations fail CI;
+* text and JSON reporters.
+
+Entry points: ``python -m repro.analysis [paths]`` and
+``repro-opim lint [paths]``.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.cli import main
+from repro.analysis.engine import (
+    FileContext,
+    LintEngine,
+    LintReport,
+    run_lint,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.reporters import render_json, render_text, report_to_dict
+from repro.analysis.rules import ALL_RULES, get_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "Severity",
+    "get_rules",
+    "main",
+    "render_json",
+    "render_text",
+    "report_to_dict",
+    "run_lint",
+]

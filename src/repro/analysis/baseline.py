@@ -1,0 +1,94 @@
+"""Committed-baseline support.
+
+A baseline file records known, accepted findings so that ``repro lint``
+fails only on *new* violations.  Entries are stored in human-auditable
+form (rule / path / message); matching is count-aware — if the baseline
+records one occurrence and the tree now has two, the second one is
+reported as new.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from repro.analysis.findings import Finding, Severity
+
+PathLike = Union[str, Path]
+
+BASELINE_VERSION = 1
+
+#: Default committed baseline filename, looked up in the current
+#: working directory by the CLI.
+DEFAULT_BASELINE_NAME = ".reprolint-baseline.json"
+
+
+def _entry_fingerprint(rule: str, path: str, message: str) -> str:
+    return Finding(
+        path=path,
+        line=0,
+        col=0,
+        rule_id=rule,
+        severity=Severity.INFO,
+        message=message,
+    ).fingerprint
+
+
+class Baseline:
+    """An accepted-findings multiset keyed by finding fingerprint."""
+
+    def __init__(self, counts: "Counter[str]" = None) -> None:
+        self.counts: Counter = Counter(counts or {})
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(Counter(f.fingerprint for f in findings))
+
+    @classmethod
+    def load(cls, path: PathLike) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {data.get('version')!r}"
+            )
+        counts: Counter = Counter()
+        for entry in data.get("findings", []):
+            counts[
+                _entry_fingerprint(
+                    str(entry["rule"]), str(entry["path"]), str(entry["message"])
+                )
+            ] += 1
+        return cls(counts)
+
+    @staticmethod
+    def write(path: PathLike, findings: Iterable[Finding]) -> int:
+        """Serialize *findings* as the new baseline; returns entry count."""
+        entries = [
+            {"rule": f.rule_id, "path": f.path, "message": f.message}
+            for f in sorted(findings)
+        ]
+        payload = {"version": BASELINE_VERSION, "findings": entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        return len(entries)
+
+    def partition(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split *findings* into ``(new, baselined)``."""
+        remaining = Counter(self.counts)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            if remaining.get(finding.fingerprint, 0) > 0:
+                remaining[finding.fingerprint] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined

@@ -1,0 +1,133 @@
+"""Command-line entry point: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 — clean (no findings beyond the baseline); 1 — new
+findings (or parse errors); 2 — usage errors (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.engine import LintEngine
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import ALL_RULES, get_rules
+
+
+def build_parser(prog: str = "repro-lint") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "reprolint: AST-based statistical-correctness linter for the "
+            "OPIM reproduction (rule catalog: docs/static-analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src/ if present, else .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also print findings matched by the baseline",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _default_paths() -> List[str]:
+    return ["src"] if Path("src").is_dir() else ["."]
+
+
+def main(argv: Optional[List[str]] = None, prog: str = "repro-lint") -> int:
+    args = build_parser(prog=prog).parse_args(argv)
+
+    if args.list_rules:
+        for cls in ALL_RULES:
+            print(f"{cls.rule_id}  {cls.name:28s} [{cls.severity}]")
+            print(f"        {cls.description}")
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    try:
+        engine = LintEngine(rules=get_rules(select))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    paths = args.paths or _default_paths()
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE_NAME).exists():
+        baseline_path = DEFAULT_BASELINE_NAME
+
+    if args.write_baseline:
+        report = engine.run(paths, baseline=None)
+        target = baseline_path or DEFAULT_BASELINE_NAME
+        count = Baseline.write(target, report.findings)
+        print(f"reprolint: wrote {count} finding(s) to {target}")
+        return 0
+
+    baseline = None
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except FileNotFoundError:
+            print(
+                f"error: baseline file not found: {baseline_path}",
+                file=sys.stderr,
+            )
+            return 2
+
+    try:
+        report = engine.run(paths, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, show_baselined=args.show_baselined))
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""Lint engine: file discovery, parsing, rule dispatch, reporting glue.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only) so it
+can run in any environment the library itself runs in — including CI
+images without the ``lint`` extra installed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import get_rules
+from repro.analysis.rules.base import Rule
+from repro.analysis.suppressions import is_suppressed, noqa_lines
+
+PathLike = Union[str, Path]
+
+#: rule id reserved for files the parser rejects.
+PARSE_ERROR_RULE = "RPR000"
+
+_SKIP_DIR_PREFIXES = (".",)
+_SKIP_DIR_NAMES = {"__pycache__", "build", "dist"}
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one parsed file."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+
+    @property
+    def path_parts(self) -> Tuple[str, ...]:
+        return PurePosixPath(self.display_path).parts
+
+
+@dataclass
+class LintReport:
+    """Outcome of one engine run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def _display_path(path: Path) -> str:
+    """Stable, cwd-relative posix path for messages and baselines."""
+    resolved = path.resolve()
+    try:
+        rel = resolved.relative_to(Path.cwd())
+    except ValueError:
+        rel = resolved
+    return rel.as_posix()
+
+
+def iter_python_files(paths: Sequence[PathLike]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                found.append(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = candidate.parts
+                if any(
+                    part in _SKIP_DIR_NAMES
+                    or part.startswith(_SKIP_DIR_PREFIXES)
+                    for part in parts[:-1]
+                ):
+                    continue
+                found.append(candidate)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return found
+
+
+class LintEngine:
+    """Run a set of rules over files, applying noqa suppressions."""
+
+    def __init__(self, rules: Optional[Iterable[Rule]] = None) -> None:
+        self.rules: List[Rule] = (
+            list(rules) if rules is not None else get_rules()
+        )
+
+    # ------------------------------------------------------------------
+    # Single-file interface (used heavily by tests)
+    # ------------------------------------------------------------------
+    def lint_source(
+        self, source: str, path: PathLike = "<string>"
+    ) -> Tuple[List[Finding], int]:
+        """Lint *source*; returns ``(findings, suppressed_count)``."""
+        display = (
+            _display_path(Path(path))
+            if path != "<string>"
+            else "<string>"
+        )
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            finding = Finding(
+                path=display,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                rule_id=PARSE_ERROR_RULE,
+                severity=Severity.ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+            return [finding], 0
+        ctx = FileContext(
+            path=Path(path), display_path=display, source=source, tree=tree
+        )
+        raw: List[Finding] = []
+        for rule in self.rules:
+            raw.extend(rule.check(ctx))
+        noqa = noqa_lines(source)
+        kept = [f for f in raw if not is_suppressed(f, noqa)]
+        kept.sort()
+        return kept, len(raw) - len(kept)
+
+    def lint_file(self, path: PathLike) -> Tuple[List[Finding], int]:
+        source = Path(path).read_text(encoding="utf-8")
+        return self.lint_source(source, path)
+
+    # ------------------------------------------------------------------
+    # Tree interface
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        paths: Sequence[PathLike],
+        baseline: Optional[Baseline] = None,
+    ) -> LintReport:
+        report = LintReport()
+        all_findings: List[Finding] = []
+        for path in iter_python_files(paths):
+            findings, suppressed = self.lint_file(path)
+            all_findings.extend(findings)
+            report.suppressed += suppressed
+            report.files_checked += 1
+        all_findings.sort()
+        if baseline is not None:
+            report.findings, report.baselined = baseline.partition(
+                all_findings
+            )
+        else:
+            report.findings = all_findings
+        return report
+
+
+def run_lint(
+    paths: Sequence[PathLike],
+    baseline_path: Optional[PathLike] = None,
+    select: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Convenience wrapper: lint *paths* with an optional baseline file."""
+    baseline = None
+    if baseline_path is not None and Path(baseline_path).exists():
+        baseline = Baseline.load(baseline_path)
+    engine = LintEngine(rules=get_rules(select))
+    return engine.run(paths, baseline=baseline)

@@ -1,0 +1,40 @@
+"""Text and JSON renderers for :class:`~repro.analysis.engine.LintReport`."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.analysis.engine import LintReport
+
+
+def report_to_dict(report: LintReport) -> Dict[str, Any]:
+    return {
+        "findings": [f.to_dict() for f in report.findings],
+        "baselined": [f.to_dict() for f in report.baselined],
+        "summary": {
+            "files_checked": report.files_checked,
+            "new": len(report.findings),
+            "baselined": len(report.baselined),
+            "suppressed": report.suppressed,
+            "exit_code": report.exit_code,
+        },
+    }
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report_to_dict(report), indent=2)
+
+
+def render_text(report: LintReport, show_baselined: bool = False) -> str:
+    lines = [f.render() for f in report.findings]
+    if show_baselined and report.baselined:
+        lines.append("-- baselined (accepted) --")
+        lines.extend(f.render() for f in report.baselined)
+    lines.append(
+        f"reprolint: {report.files_checked} file(s) checked, "
+        f"{len(report.findings)} new finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{report.suppressed} suppressed"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Rule registry.
+
+``ALL_RULES`` is the ordered tuple of rule classes the engine runs by
+default; :func:`get_rules` instantiates an optionally-filtered subset.
+Adding a rule means writing a :class:`~repro.analysis.rules.base.Rule`
+subclass and appending it here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Type
+
+from repro.analysis.rules.aliasing import AliasingRule
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules.delta_budget import DeltaBudgetRule
+from repro.analysis.rules.dtype_discipline import DtypeDisciplineRule
+from repro.analysis.rules.float_equality import FloatEqualityRule
+from repro.analysis.rules.rng_determinism import RngDeterminismRule
+from repro.analysis.rules.traceability import TraceabilityRule
+
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    AliasingRule,
+    DeltaBudgetRule,
+    RngDeterminismRule,
+    FloatEqualityRule,
+    DtypeDisciplineRule,
+    TraceabilityRule,
+)
+
+
+def get_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Instantiate the default rules, optionally filtered by id."""
+    if select is None:
+        return [cls() for cls in ALL_RULES]
+    wanted = {s.strip().upper() for s in select if s.strip()}
+    unknown = wanted - {cls.rule_id for cls in ALL_RULES}
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+    return [cls() for cls in ALL_RULES if cls.rule_id in wanted]
+
+
+__all__ = [
+    "ALL_RULES",
+    "AliasingRule",
+    "DeltaBudgetRule",
+    "DtypeDisciplineRule",
+    "FloatEqualityRule",
+    "RngDeterminismRule",
+    "Rule",
+    "TraceabilityRule",
+    "get_rules",
+]

@@ -1,0 +1,178 @@
+"""RPR101 — R1/R2 sample-independence (nominator/judge aliasing).
+
+OPIM's instance-specific guarantee (paper, Section 4.1) requires two
+*disjoint* RR-set collections: greedy selects the seed set on the
+nominators ``R1``; the spread lower bound judges that seed set on
+``R2``.  Reusing one collection for both roles invalidates the
+martingale analysis — exactly the bug class documented in Chen,
+"An Issue in the Martingale Analysis of IMM" (arXiv:1808.09363).
+
+The rule performs a light per-scope dataflow:
+
+* any expression passed as the collection argument of a registered
+  *nominator* call (``greedy_max_coverage``) is a nominator;
+* the receiver ``X`` of ``X.coverage(...)`` whose result reaches the
+  ``coverage`` argument of a registered *judge* call
+  (``sigma_lower_bound``) — directly or through one local assignment —
+  is a judge;
+* a structurally identical expression appearing in both roles within
+  one scope is flagged, as is any single call passing the same
+  expression to a paired nominator/judge keyword (``r1=``/``r2=``...).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.base import Rule
+from repro.analysis.visitors import (
+    dotted_name,
+    expr_key,
+    iter_scopes,
+    walk_scope,
+)
+
+#: function base name -> (positional index, keyword) of the nominator
+#: collection argument.
+NOMINATOR_CALLS: Dict[str, Tuple[int, str]] = {
+    "greedy_max_coverage": (0, "collection"),
+}
+
+#: function base name -> (positional index, keyword) of the judge
+#: coverage argument (a value derived from the judge collection).
+JUDGE_COVERAGE_CALLS: Dict[str, Tuple[int, str]] = {
+    "sigma_lower_bound": (0, "coverage"),
+}
+
+#: keyword spellings for paired nominator/judge parameters on one call.
+NOMINATOR_KEYWORDS = frozenset({"r1", "nominators", "nominator_collection"})
+JUDGE_KEYWORDS = frozenset({"r2", "judges", "judge_collection"})
+
+
+def _base_name(call: ast.Call) -> Optional[str]:
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    return name.rsplit(".", 1)[-1]
+
+
+def _argument(
+    call: ast.Call, position: int, keyword: str
+) -> Optional[ast.AST]:
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    if len(call.args) > position:
+        return call.args[position]
+    return None
+
+
+def _coverage_receiver(expr: ast.AST) -> Optional[str]:
+    """``X.coverage(...)`` (possibly behind an IfExp) -> key of ``X``."""
+    if isinstance(expr, ast.IfExp):
+        return _coverage_receiver(expr.body) or _coverage_receiver(expr.orelse)
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "coverage"
+    ):
+        return expr_key(expr.func.value)
+    return None
+
+
+class AliasingRule(Rule):
+    rule_id = "RPR101"
+    name = "r1-r2-aliasing"
+    severity = Severity.ERROR
+    description = (
+        "The same RR-set collection must not serve as both nominator "
+        "(greedy selection) and judge (spread lower bound)."
+    )
+
+    def check(self, ctx) -> List[Finding]:
+        findings: List[Finding] = []
+        for _scope, body in iter_scopes(ctx.tree):
+            findings.extend(self._check_scope(ctx, body))
+        return findings
+
+    def _check_scope(self, ctx, body: List[ast.stmt]) -> List[Finding]:
+        nominators: Dict[str, ast.AST] = {}
+        coverage_sources: Dict[str, str] = {}
+        judge_args: List[Tuple[ast.Call, ast.AST]] = []
+        findings: List[Finding] = []
+        seen: Set[int] = set()
+
+        # Pass 1: collect assignments, nominator uses, and judge call
+        # sites.  Resolution happens afterwards, so statement order
+        # within the scope does not matter.
+        for node in walk_scope(body):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                receiver = _coverage_receiver(node.value)
+                if isinstance(target, ast.Name) and receiver is not None:
+                    coverage_sources[target.id] = receiver
+            if not isinstance(node, ast.Call) or id(node) in seen:
+                continue
+            seen.add(id(node))
+            base = _base_name(node)
+            if base in NOMINATOR_CALLS:
+                arg = _argument(node, *NOMINATOR_CALLS[base])
+                if arg is not None:
+                    nominators.setdefault(expr_key(arg), node)
+            if base in JUDGE_COVERAGE_CALLS:
+                arg = _argument(node, *JUDGE_COVERAGE_CALLS[base])
+                if arg is not None:
+                    judge_args.append((node, arg))
+            findings.extend(self._check_paired_keywords(ctx, node))
+
+        # Pass 2: resolve each judge coverage argument to the
+        # collection it was computed from and compare roles.
+        judge_calls: List[Tuple[ast.Call, str]] = []
+        for call, arg in judge_args:
+            receiver = _coverage_receiver(arg)
+            if receiver is None and isinstance(arg, ast.Name):
+                receiver = coverage_sources.get(arg.id)
+            if receiver is not None:
+                judge_calls.append((call, receiver))
+
+        for call, receiver in judge_calls:
+            if receiver in nominators:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        call,
+                        f"R1/R2 aliasing: collection {receiver!r} feeds "
+                        "both the nominator (greedy selection) and the "
+                        "judge (sigma_lower_bound); use disjoint "
+                        "collections (cf. arXiv:1808.09363)",
+                    )
+                )
+        return findings
+
+    def _check_paired_keywords(self, ctx, call: ast.Call) -> List[Finding]:
+        nom = {
+            kw.arg: expr_key(kw.value)
+            for kw in call.keywords
+            if kw.arg in NOMINATOR_KEYWORDS
+        }
+        jud = {
+            kw.arg: expr_key(kw.value)
+            for kw in call.keywords
+            if kw.arg in JUDGE_KEYWORDS
+        }
+        findings: List[Finding] = []
+        for nom_name, nom_key in nom.items():
+            for jud_name, jud_key in jud.items():
+                if nom_key == jud_key:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            call,
+                            f"R1/R2 aliasing: the same expression "
+                            f"{nom_key!r} is passed to both "
+                            f"{nom_name}= and {jud_name}=",
+                        )
+                    )
+        return findings

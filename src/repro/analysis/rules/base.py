@@ -1,0 +1,45 @@
+"""Rule plug-in protocol.
+
+A rule is a class with a unique ``rule_id``, a default ``severity``,
+and a :meth:`Rule.check` method that inspects one parsed file
+(:class:`~repro.analysis.engine.FileContext`) and returns findings.
+Rules register themselves in :data:`repro.analysis.rules.ALL_RULES`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.analysis.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import FileContext
+
+
+class Rule:
+    """Base class for reprolint rules."""
+
+    rule_id: str = ""
+    name: str = ""
+    severity: Severity = Severity.WARNING
+    description: str = ""
+
+    def check(self, ctx: "FileContext") -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: "FileContext",
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        return Finding(
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            severity=severity or self.severity,
+            message=message,
+        )

@@ -1,0 +1,106 @@
+"""RPR102 — δ failure-budget discipline.
+
+OPIM-C's correctness argument splits the caller's failure probability
+``delta`` into ``delta_1 = delta_2 = delta / (3 i_max)`` per iteration
+(paper, Algorithm 2); the online algorithm uses ``delta / 2`` per side
+(Lemma 4.4).  These splits are exact budget accounting: a function that
+receives ``delta`` and then compares or rescales it against a hardcoded
+probability constant (``delta * 0.5``, ``if delta > 0.05``) silently
+changes the guarantee the caller believes it is buying.
+
+The rule flags any binary operation or comparison in which a
+``delta``-named parameter of the enclosing function appears as a
+top-level operand together with a float literal in ``[1e-9, 1)``.
+Literals below ``1e-9`` are treated as numerical tolerances (e.g.
+``delta1 + delta2 <= delta + 1e-12``) and exempted; integral factors
+like ``delta / 2`` are derived splits, not probabilities, and pass.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.base import Rule
+from repro.analysis.visitors import walk_scope
+
+_DELTA_PARAM = re.compile(r"^delta\d*$")
+
+#: Literals below this are numerical tolerances, not probabilities.
+TOLERANCE_CUTOFF = 1e-9
+
+
+def _delta_params(node: ast.AST) -> List[str]:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return []
+    args = node.args
+    names = [
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    ]
+    return [n for n in names if _DELTA_PARAM.match(n)]
+
+
+def _is_probability_literal(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and TOLERANCE_CUTOFF <= node.value < 1.0
+    )
+
+
+def _operands(node: ast.AST) -> List[ast.AST]:
+    if isinstance(node, ast.BinOp):
+        return [node.left, node.right]
+    if isinstance(node, ast.Compare):
+        return [node.left, *node.comparators]
+    return []
+
+
+class DeltaBudgetRule(Rule):
+    rule_id = "RPR102"
+    name = "delta-budget"
+    severity = Severity.ERROR
+    description = (
+        "delta parameters must be split symbolically, never combined "
+        "with hardcoded probability literals."
+    )
+
+    def check(self, ctx) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            params = _delta_params(node)
+            if not params:
+                continue
+            findings.extend(self._check_body(ctx, node.body, params))
+        return findings
+
+    def _check_body(self, ctx, body, params: List[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        wanted = set(params)
+        for node in walk_scope(list(body)):
+            operands = _operands(node)
+            if not operands:
+                continue
+            delta_names = [
+                op.id
+                for op in operands
+                if isinstance(op, ast.Name) and op.id in wanted
+            ]
+            literals = [
+                op.value for op in operands if _is_probability_literal(op)
+            ]
+            if delta_names and literals:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"failure budget {delta_names[0]!r} combined with "
+                        f"hardcoded probability literal {literals[0]!r}; "
+                        "derive sub-budgets symbolically "
+                        "(delta/2, delta/(3*i_max))",
+                    )
+                )
+        return findings

@@ -1,0 +1,70 @@
+"""RPR105 — explicit dtypes in hot-path array constructors.
+
+The RR-set kernels store node ids as ``int32``, adjacency offsets as
+``int64``, and probabilities as ``float64``; an implicit dtype from
+``np.array([...])`` is platform-dependent (``int32`` on Windows,
+``int64`` elsewhere) and a silent source of overflow and of 2x memory
+blow-ups when a default ``float64`` sneaks into an id array.  Inside
+the hot-path packages (``graph/``, ``sampling/``, ``maxcover/``) every
+``np.array`` / ``np.zeros`` / ``np.empty`` / ``np.ones`` / ``np.full``
+call must pass a dtype, either as ``dtype=`` or in the constructor's
+positional dtype slot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.base import Rule
+from repro.analysis.visitors import ImportMap
+
+#: canonical constructor -> index of its positional dtype slot.
+_CONSTRUCTORS = {
+    "numpy.array": 1,
+    "numpy.zeros": 1,
+    "numpy.empty": 1,
+    "numpy.ones": 1,
+    "numpy.full": 2,
+}
+
+#: a file is "hot path" when any of these package names appears in it.
+HOT_PATH_PARTS = frozenset({"graph", "sampling", "maxcover"})
+
+
+class DtypeDisciplineRule(Rule):
+    rule_id = "RPR105"
+    name = "dtype-discipline"
+    severity = Severity.WARNING
+    description = (
+        "Array constructors in graph/, sampling/, and maxcover/ must "
+        "pass an explicit dtype."
+    )
+
+    def check(self, ctx) -> List[Finding]:
+        if not HOT_PATH_PARTS & set(ctx.path_parts):
+            return []
+        imports = ImportMap(ctx.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = imports.resolve_call(node)
+            if canonical not in _CONSTRUCTORS:
+                continue
+            dtype_slot = _CONSTRUCTORS[canonical]
+            has_dtype = any(kw.arg == "dtype" for kw in node.keywords) or (
+                len(node.args) > dtype_slot
+            )
+            if not has_dtype:
+                short = canonical.replace("numpy.", "np.")
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"{short}(...) in a hot path without an explicit "
+                        "dtype; implicit dtypes are platform-dependent",
+                    )
+                )
+        return findings

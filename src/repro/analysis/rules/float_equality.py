@@ -1,0 +1,99 @@
+"""RPR104 — float-probability equality hygiene.
+
+Edge probabilities, spreads, and failure budgets are floats produced by
+chains of rounding arithmetic; exact ``==`` / ``!=`` against them is
+almost always a latent bug (the comparison silently flips when an
+upstream formula is re-associated).  The rule flags equality
+comparisons where a top-level operand is
+
+* a name or attribute that matches the probability lexicon
+  (``prob``/``weight``/``alpha``/``delta``/``epsilon``/... including
+  ``*_prob``-style suffixes), compared against anything numeric, or
+* a float literal strictly inside ``(0, 1)`` — a bare probability
+  constant — compared against anything.
+
+Comparisons against strings, ``None``, or booleans are ignored, as are
+attribute accesses like ``probs.shape`` whose final attribute is not
+itself probability-named (shape/size checks are integral and exact).
+Intentional exact comparisons take ``# repro: noqa[RPR104]``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.base import Rule
+
+_PROB_NAME = re.compile(
+    r"(?:^|_)(?:p|q|prob|probs|probability|probabilities|weight|weights|"
+    r"alpha|delta\d*|epsilon|eps|threshold)$"
+)
+
+
+def _identifier(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _is_prob_name(node: ast.AST) -> bool:
+    return bool(_PROB_NAME.search(_identifier(node)))
+
+
+def _is_prob_literal(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and 0.0 < node.value < 1.0
+    )
+
+
+def _is_non_numeric_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and (
+        node.value is None or isinstance(node.value, (str, bytes, bool))
+    )
+
+
+class FloatEqualityRule(Rule):
+    rule_id = "RPR104"
+    name = "float-probability-equality"
+    severity = Severity.WARNING
+    description = (
+        "No ==/!= on float-typed probability expressions; compare with "
+        "tolerances or ordered operators."
+    )
+
+    def check(self, ctx) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(_is_non_numeric_constant(op) for op in operands):
+                continue
+            prob_named = [op for op in operands if _is_prob_name(op)]
+            prob_literals = [op for op in operands if _is_prob_literal(op)]
+            if not prob_named and not prob_literals:
+                continue
+            subject = (
+                _identifier(prob_named[0])
+                if prob_named
+                else repr(prob_literals[0].value)  # type: ignore[attr-defined]
+            )
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"exact ==/!= on float probability expression "
+                    f"{subject!r}; use an ordered comparison or an "
+                    "explicit tolerance (math.isclose)",
+                )
+            )
+        return findings

@@ -1,0 +1,117 @@
+"""RPR103 — RNG determinism.
+
+Every stochastic component in this library must draw randomness from an
+injected ``numpy.random.Generator`` normalized through
+``repro.utils.rng``.  Three patterns break replayability and are
+flagged everywhere outside ``repro/utils/rng.py``:
+
+* calls to the legacy global-state API (``np.random.rand``,
+  ``np.random.seed``, ...) or to the stdlib ``random`` module's
+  module-level functions — hidden global state that cross-contaminates
+  independent runs;
+* ``np.random.default_rng()`` with no arguments — an OS-seeded
+  generator whose entropy is never recorded, so the run can never be
+  replayed;
+* *any* ``numpy.random`` / ``random`` call executed at module import
+  time, including seeded ones — import order becomes part of the seed.
+
+Constructing ``Generator`` / ``SeedSequence`` / bit-generator objects
+with explicit arguments inside a function is allowed (that is how
+deterministic child streams are derived).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.base import Rule
+from repro.analysis.visitors import ImportMap, attach_parents, is_module_level
+
+#: numpy.random attributes that construct explicit, seedable objects.
+_CONSTRUCTORS = frozenset(
+    {
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: stdlib ``random`` attributes that are instances, not global draws.
+_STDLIB_OK = frozenset({"Random", "SystemRandom"})
+
+
+def _exempt(ctx) -> bool:
+    return ctx.path_parts[-2:] == ("utils", "rng.py")
+
+
+class RngDeterminismRule(Rule):
+    rule_id = "RPR103"
+    name = "rng-determinism"
+    severity = Severity.ERROR
+    description = (
+        "No global-state RNG calls and no unseeded default_rng() "
+        "outside repro.utils.rng."
+    )
+
+    def check(self, ctx) -> List[Finding]:
+        if _exempt(ctx):
+            return []
+        attach_parents(ctx.tree)
+        imports = ImportMap(ctx.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = imports.resolve_call(node)
+            if canonical is None:
+                continue
+            message = self._classify(node, canonical)
+            if message is not None:
+                findings.append(self.finding(ctx, node, message))
+        return findings
+
+    def _classify(self, node: ast.Call, canonical: str) -> Optional[str]:
+        at_import = is_module_level(node)
+        if canonical.startswith("numpy.random."):
+            attr = canonical[len("numpy.random."):]
+            if attr == "default_rng":
+                if not node.args and not node.keywords:
+                    return (
+                        "unseeded default_rng(): the entropy is never "
+                        "recorded, so the run cannot be replayed; use "
+                        "repro.utils.rng.as_generator"
+                    )
+                if at_import:
+                    return (
+                        "module-level default_rng(): RNG state created "
+                        "at import time; construct generators inside "
+                        "the consuming function"
+                    )
+                return None
+            if attr in _CONSTRUCTORS:
+                if at_import:
+                    return (
+                        f"module-level numpy.random.{attr}: RNG objects "
+                        "must not be created at import time"
+                    )
+                return None
+            return (
+                f"legacy global-state call numpy.random.{attr}; inject "
+                "a numpy Generator via repro.utils.rng instead"
+            )
+        if canonical == "random" or canonical.startswith("random."):
+            attr = canonical.partition(".")[2]
+            if attr.split(".", 1)[0] in _STDLIB_OK and not at_import:
+                return None
+            return (
+                f"stdlib global-state call random.{attr or '()'}; inject "
+                "a numpy Generator via repro.utils.rng instead"
+            )
+        return None

@@ -1,0 +1,68 @@
+"""``# repro: noqa[RULE-ID]`` suppression comments.
+
+Syntax (on the line carrying the finding):
+
+* ``# repro: noqa`` — suppress every rule on this line;
+* ``# repro: noqa[RPR103]`` — suppress one rule;
+* ``# repro: noqa[RPR103, RPR105]`` — suppress several.
+
+Suppressions are scanned with :mod:`tokenize` so that ``#`` characters
+inside string literals never register as comments; on tokenizer failure
+(the linter may be pointed at files the parser itself rejected) a
+conservative per-line regex fallback is used.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Optional
+
+from repro.analysis.findings import Finding
+
+#: line -> None (suppress all rules) or the set of suppressed rule ids.
+NoqaMap = Dict[int, Optional[FrozenSet[str]]]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\[(?P<rules>[A-Za-z0-9,\s_-]+)\])?",
+)
+
+
+def _parse_comment(line: int, comment: str, result: NoqaMap) -> None:
+    match = _NOQA_RE.search(comment)
+    if not match:
+        return
+    rules = match.group("rules")
+    if rules is None:
+        result[line] = None
+        return
+    ids = frozenset(r.strip().upper() for r in rules.split(",") if r.strip())
+    previous = result.get(line, frozenset())
+    if previous is None or not ids:
+        result[line] = previous  # blanket noqa already wins
+    else:
+        result[line] = previous | ids
+
+
+def noqa_lines(source: str) -> NoqaMap:
+    """Map line numbers to their ``repro: noqa`` suppressions."""
+    result: NoqaMap = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                _parse_comment(tok.start[0], tok.string, result)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "#" in line:
+                _parse_comment(lineno, line, result)
+    return result
+
+
+def is_suppressed(finding: Finding, noqa: NoqaMap) -> bool:
+    """True when *finding*'s line carries a matching suppression."""
+    if finding.line not in noqa:
+        return False
+    rules = noqa[finding.line]
+    return rules is None or finding.rule_id.upper() in rules

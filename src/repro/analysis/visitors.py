@@ -1,0 +1,126 @@
+"""Shared AST utilities for reprolint rules.
+
+Rules in this package lean on three capabilities:
+
+* **parent links** (:func:`attach_parents`) — ``ast`` has no upward
+  pointers, but several rules need to know whether a call executes at
+  module import time or inside a function body;
+* **import-aware name resolution** (:class:`ImportMap`) — ``np.random
+  .default_rng`` / ``numpy.random.default_rng`` / ``from numpy.random
+  import default_rng`` must all resolve to the same canonical dotted
+  name, regardless of aliasing;
+* **scope iteration** (:func:`iter_scopes`) — dataflow-ish rules (e.g.
+  R1/R2 aliasing) reason per function body, excluding nested function
+  bodies which form their own scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+_PARENT = "_reprolint_parent"
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Annotate every node with a pointer to its parent."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            setattr(child, _PARENT, parent)
+
+
+def parent_of(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, _PARENT, None)
+
+
+def is_module_level(node: ast.AST) -> bool:
+    """True when *node* executes at import time (no enclosing function).
+
+    Class bodies count as module level: a call in a class body runs
+    when the module is imported.
+    """
+    current = parent_of(node)
+    while current is not None:
+        if isinstance(current, _FUNCTION_NODES):
+            return False
+        current = parent_of(current)
+    return True
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render a ``Name``/``Attribute`` chain as ``"a.b.c"``, else None."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def expr_key(node: ast.AST) -> str:
+    """Normalized textual key for structural expression comparison."""
+    return ast.unparse(node)
+
+
+class ImportMap:
+    """Resolve local call names to canonical dotted module paths."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        # ``import numpy.random`` binds ``numpy``.
+                        root = alias.name.split(".", 1)[0]
+                        self.aliases[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, dotted: str) -> str:
+        head, _, rest = dotted.partition(".")
+        canonical = self.aliases.get(head)
+        if canonical is None:
+            return dotted
+        return f"{canonical}.{rest}" if rest else canonical
+
+    def resolve_call(self, call: ast.Call) -> Optional[str]:
+        name = dotted_name(call.func)
+        return self.resolve(name) if name else None
+
+
+def iter_scopes(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, List[ast.stmt]]]:
+    """Yield ``(scope_node, body)`` for the module and every function.
+
+    Bodies are the scope's own statements; nested functions appear as
+    statements of their enclosing scope but their *bodies* are only
+    yielded with the nested scope itself.
+    """
+    yield tree, list(tree.body)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, list(node.body)
+
+
+def walk_scope(body: List[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements of one scope without descending into nested defs."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # The nested function is its own scope; iter_scopes yields
+            # its body separately.
+            continue
+        stack.extend(ast.iter_child_nodes(node))

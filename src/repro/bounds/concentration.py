@@ -85,7 +85,8 @@ def sigma_upper_bound(
 def approximation_guarantee(
     sigma_low: float, sigma_up: float, cap: float = 1.0
 ) -> float:
-    """``alpha = sigma_l(S*) / sigma_u(S^o)``, clamped to ``[0, cap]``.
+    """``alpha = sigma_l(S*) / sigma_u(S^o)`` (paper, Section 4.1),
+    clamped to ``[0, cap]``.
 
     ``sigma_l <= sigma(S*) <= sigma(S^o) <= sigma_u`` holds w.h.p., so
     the true ratio never exceeds 1; the cap only guards degenerate
@@ -100,7 +101,7 @@ def approximation_guarantee(
 # Lemma 4.4 — near-optimality of the delta/2 split (Figure 1)
 # ----------------------------------------------------------------------
 def lemma44_f(x: float, coverage_r2: float) -> float:
-    """``f(x) = (sqrt(Lambda_2 + 2x/9) - sqrt(x/2))^2 - x/18``.
+    """``f(x) = (sqrt(Lambda_2 + 2x/9) - sqrt(x/2))^2 - x/18`` (Lemma 4.4).
 
     Decreasing in ``x``; the numerator factor of the split ratio.
     """
@@ -111,7 +112,7 @@ def lemma44_f(x: float, coverage_r2: float) -> float:
 
 
 def lemma44_g(x: float, coverage_r1: float) -> float:
-    """``g(x) = (sqrt(Lambda_1/(1-1/e) + x/2) + sqrt(x/2))^2``.
+    """``g(x) = (sqrt(Lambda_1/(1-1/e) + x/2) + sqrt(x/2))^2`` (Lemma 4.4).
 
     Increasing in ``x``; the denominator factor of the split ratio.
     """

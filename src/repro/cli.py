@@ -180,6 +180,21 @@ def _build_parser() -> argparse.ArgumentParser:
     session.add_argument("--step", type=int, default=2000)
     _add_observability_flags(session)
 
+    lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the statistical-correctness static analyzer",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=None, help="files/directories (default: src/)"
+    )
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--select", default=None, metavar="IDS")
+    lint.add_argument("--baseline", default=None, metavar="PATH")
+    lint.add_argument("--no-baseline", action="store_true")
+    lint.add_argument("--write-baseline", action="store_true")
+    lint.add_argument("--show-baselined", action="store_true")
+    lint.add_argument("--list-rules", action="store_true")
+
     reproduce = sub.add_parser(
         "reproduce", help="regenerate every table/figure into a directory"
     )
@@ -355,6 +370,23 @@ def _cmd_session(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    forwarded: List[str] = list(args.paths or [])
+    forwarded += ["--format", args.format]
+    if args.select:
+        forwarded += ["--select", args.select]
+    if args.baseline:
+        forwarded += ["--baseline", args.baseline]
+    for flag in (
+        "no_baseline", "write_baseline", "show_baselined", "list_rules"
+    ):
+        if getattr(args, flag):
+            forwarded.append("--" + flag.replace("_", "-"))
+    return lint_main(forwarded, prog="repro-opim lint")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "datasets":
@@ -367,6 +399,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure(args)
     if args.command == "session":
         return _cmd_session(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "reproduce":
         runtimes = run_all(
             args.out, preset=args.preset, seed=args.seed, only=args.only

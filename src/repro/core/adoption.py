@@ -33,14 +33,16 @@ AlgorithmInvoker = Callable[[float, Optional[int]], IMResult]
 
 
 def adoption_epsilon(invocation: int) -> float:
-    """``eps_i = (1 - 1/e) / 2^(i-1)`` for the i-th execution (1-based)."""
+    """``eps_i = (1 - 1/e) / 2^(i-1)`` for the i-th execution (1-based),
+    per the OPIM-adoption schedule of Section 3.3."""
     if invocation < 1:
         raise ParameterError(f"invocation index must be >= 1, got {invocation}")
     return (1.0 - 1.0 / math.e) / (2.0 ** (invocation - 1))
 
 
 def adoption_guarantee(completed_invocations: int) -> float:
-    """Reported guarantee after *completed_invocations* executions.
+    """Reported guarantee after *completed_invocations* executions
+    (paper, Section 3.3).
 
     ``(1 - 1/e)(1 - 1/2^(i-1))`` for the best completed execution
     ``i``; 0.0 before any execution completes.

@@ -35,7 +35,8 @@ BORGS_CAP = 0.25
 
 
 def borgs_beta(gamma: int, n: int, m: int) -> float:
-    """``beta = gamma / (1492992 (n + m) ln n)``."""
+    """``beta = gamma / (1492992 (n + m) ln n)`` — Borgs et al.'s
+    reported-guarantee formula as used in the paper's Section 3.2."""
     if n < 2:
         raise ParameterError("Borgs' beta needs n >= 2 (ln n > 0)")
     return gamma / (BORGS_CONSTANT * (n + m) * math.log(n))

@@ -26,7 +26,7 @@ The three variants share the sampling stream and the greedy pass, so
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.bounds.concentration import (
     approximation_guarantee,
@@ -92,8 +92,8 @@ class OnlineOPIM:
         delta: Optional[float] = None,
         bound: str = "greedy",
         seed: SeedLike = None,
-        sampler=None,
-        registry=None,
+        sampler: Optional[Any] = None,
+        registry: Optional[object] = None,
     ) -> None:
         check_k(k, graph.n)
         if delta is None:

@@ -26,7 +26,7 @@ early-exit test fires — the quantity Figures 6(b)/7(b) compare.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Any, Optional
 
 from repro.bounds.concentration import (
     approximation_guarantee,
@@ -41,7 +41,7 @@ from repro.maxcover.bounds import (
     coverage_upper_bound_greedy,
     coverage_upper_bound_leskovec,
 )
-from repro.maxcover.greedy import greedy_max_coverage
+from repro.maxcover.greedy import GreedyResult, greedy_max_coverage
 from repro.obs import resolve_registry
 from repro.sampling.generator import RRSampler
 from repro.utils.rng import SeedLike
@@ -71,7 +71,7 @@ class OPIMC:
         bound: str = "greedy",
         seed: SeedLike = None,
         fast: bool = False,
-        registry=None,
+        registry: Optional[object] = None,
     ) -> None:
         if bound not in _VARIANT_NAMES:
             raise ParameterError(
@@ -84,7 +84,7 @@ class OPIMC:
         self.obs = resolve_registry(registry)
         self._seed = seed
 
-    def _make_sampler(self):
+    def _make_sampler(self) -> Any:
         if self.fast:
             from repro.sampling.batch import BatchRRSampler
 
@@ -95,7 +95,9 @@ class OPIMC:
             self.graph, self.model, seed=self._seed, registry=self.obs
         )
 
-    def _coverage_upper(self, greedy_result, variant: str) -> float:
+    def _coverage_upper(
+        self, greedy_result: GreedyResult, variant: str
+    ) -> float:
         if variant == "vanilla":
             return greedy_result.coverage / (1.0 - 1.0 / math.e)
         if variant == "greedy":
@@ -220,9 +222,9 @@ def opim_c(
     seed: SeedLike = None,
     rr_budget: Optional[int] = None,
     fast: bool = False,
-    registry=None,
+    registry: Optional[object] = None,
 ) -> IMResult:
-    """One-shot functional interface to :class:`OPIMC`.
+    """One-shot functional interface to :class:`OPIMC` (Algorithm 2).
 
     ``fast=True`` swaps in the batched RR sampler
     (:class:`~repro.sampling.batch.BatchRRSampler`) — same output

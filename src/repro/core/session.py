@@ -72,7 +72,7 @@ class OPIMSession:
         delta: Optional[float] = None,
         bound: str = "greedy",
         seed: SeedLike = None,
-        registry=None,
+        registry: Optional[object] = None,
     ) -> None:
         self._online = OnlineOPIM(
             graph, model, k=k, delta=delta if delta is not None else 1.0 / graph.n,

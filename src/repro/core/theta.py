@@ -16,7 +16,8 @@ from repro.utils.validation import check_delta, check_epsilon, check_k
 
 
 def log_binomial(n: int, k: int) -> float:
-    """``ln C(n, k)`` via lgamma, stable for large ``n``."""
+    """``ln C(n, k)`` via lgamma, stable for large ``n`` (the
+    ``ln binom(n, k)`` term of Eq. 16)."""
     if k < 0 or k > n:
         raise ParameterError(f"require 0 <= k <= n, got k={k}, n={n}")
     return (
@@ -52,7 +53,8 @@ def theta_0(n: int, k: int, epsilon: float, delta: float) -> float:
 
 
 def i_max_iterations(n: int, k: int, epsilon: float, delta: float) -> int:
-    """``i_max = ceil(log2(theta_max / theta_0)) = ceil(log2(n / (eps^2 k)))``."""
+    """``i_max = ceil(log2(theta_max / theta_0))`` — the doubling-
+    iteration cap of Algorithm 2; equals ``ceil(log2(n / (eps^2 k)))``."""
     t_max = theta_max(n, k, epsilon, delta)
     t_0 = theta_0(n, k, epsilon, delta)
     return max(1, math.ceil(math.log2(t_max / t_0)))

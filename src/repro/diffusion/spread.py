@@ -73,7 +73,9 @@ def monte_carlo_spread(
     for i in range(num_samples):
         sizes[i] = diffusion.simulate(seed_list, rng).size
     mean = float(sizes.mean())
-    std_error = float(sizes.std(ddof=1) / np.sqrt(num_samples)) if num_samples > 1 else 0.0
+    std_error = (
+        float(sizes.std(ddof=1) / np.sqrt(num_samples)) if num_samples > 1 else 0.0
+    )
     return SpreadEstimate(mean=mean, std_error=std_error, num_samples=num_samples)
 
 
@@ -102,7 +104,7 @@ def exact_spread_ic(graph: DiGraph, seeds: Iterable[int]) -> float:
         weight = float(
             np.prod(np.where(mask, probs, 1.0 - probs))
         )
-        if weight == 0.0:
+        if weight <= 0.0:
             continue
         reached = live_edge_spread(graph, seed_list, mask)
         total += weight * reached.size

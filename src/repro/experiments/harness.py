@@ -218,7 +218,9 @@ def online_guarantee_curves(
     return result
 
 
-CONVENTIONAL_ALGORITHMS = ("OPIM-C0", "OPIM-C'", "OPIM-C+", "IMM", "SSA-Fix", "D-SSA-Fix")
+CONVENTIONAL_ALGORITHMS = (
+    "OPIM-C0", "OPIM-C'", "OPIM-C+", "IMM", "SSA-Fix", "D-SSA-Fix"
+)
 
 _OPIMC_BOUNDS = {"OPIM-C0": "vanilla", "OPIM-C'": "leskovec", "OPIM-C+": "greedy"}
 

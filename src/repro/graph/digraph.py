@@ -224,7 +224,9 @@ class DiGraph:
             edge arrays (in out-CSR order), or a plain array aligned with
             :meth:`edge_array`.
         """
-        sources = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.out_offsets))
+        sources = np.repeat(
+            np.arange(self.n, dtype=np.int64), np.diff(self.out_offsets)
+        )
         targets = self.out_targets.astype(np.int64)
         if callable(probs_by_edge):
             probs = np.asarray(probs_by_edge(sources, targets), dtype=np.float64)
@@ -241,7 +243,9 @@ class DiGraph:
 
     def edge_array(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(sources, targets, probs)`` in out-CSR order."""
-        sources = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.out_offsets))
+        sources = np.repeat(
+            np.arange(self.n, dtype=np.int64), np.diff(self.out_offsets)
+        )
         return sources, self.out_targets.astype(np.int64), self.out_probs.copy()
 
     # ------------------------------------------------------------------

@@ -226,11 +226,11 @@ class BatchRRSampler:
                 raise ParameterError(f"root {root} out of range")
             if self.model == "IC":
                 sets, edges = sample_rr_sets_ic_batch(
-                    self.graph, np.array([root]), self.rng
+                    self.graph, np.array([root], dtype=np.int64), self.rng
                 )
             else:
                 sets, edges = sample_rr_sets_lt_batch(
-                    self.graph, np.array([root]), self.rng, self._lt_tables
+                    self.graph, np.array([root], dtype=np.int64), self.rng, self._lt_tables
                 )
             self.edges_examined += edges
             self.sets_generated += 1

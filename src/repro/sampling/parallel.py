@@ -107,7 +107,9 @@ def parallel_fill(
         _worker_init(graph, model, fast)
         results = [_worker_generate(tasks[0])]
     else:
-        context = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else None)
+        context = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else None
+        )
         with context.Pool(
             processes=workers,
             initializer=_worker_init,

@@ -1,0 +1,14 @@
+"""RPR101 negative fixture: disjoint nominator/judge collections."""
+
+from repro.bounds.concentration import sigma_lower_bound
+from repro.maxcover.greedy import greedy_max_coverage
+
+
+def select_on_r1_judge_on_r2(r1, r2, n, delta):
+    greedy = greedy_max_coverage(r1, 10)
+    coverage = r2.coverage(greedy.seeds)
+    return sigma_lower_bound(coverage, len(r2), n, delta / 2.0)
+
+
+def paired_keywords_disjoint(run_split_estimate, r1, r2):
+    return run_split_estimate(k=10, r1=r1, r2=r2)

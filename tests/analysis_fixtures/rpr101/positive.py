@@ -1,0 +1,14 @@
+"""RPR101 positive fixture: R1 both selects and judges the seed set."""
+
+from repro.bounds.concentration import sigma_lower_bound
+from repro.maxcover.greedy import greedy_max_coverage
+
+
+def select_and_judge_on_r1(r1, n, delta):
+    greedy = greedy_max_coverage(r1, 10)
+    coverage = r1.coverage(greedy.seeds)
+    return sigma_lower_bound(coverage, len(r1), n, delta / 2.0)
+
+
+def paired_keywords_aliased(run_split_estimate, r1):
+    return run_split_estimate(k=10, r1=r1, r2=r1)

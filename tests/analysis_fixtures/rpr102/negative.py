@@ -1,0 +1,14 @@
+"""RPR102 negative fixture: symbolic splits and tolerance comparisons."""
+
+
+def split_budget(delta, i_max):
+    return delta / (3.0 * i_max)
+
+
+def halve_budget(delta):
+    return delta / 2.0
+
+
+def tolerance_check(delta, delta1, delta2):
+    # Sub-1e-9 literals are numerical tolerances, not probabilities.
+    return delta1 + delta2 <= delta + 1e-12

@@ -1,0 +1,11 @@
+"""RPR102 positive fixture: delta combined with probability literals."""
+
+
+def shrink_budget(delta):
+    return delta * 0.5
+
+
+def compare_budget(delta1, coverage):
+    if delta1 > 0.05:
+        return coverage
+    return 0

@@ -1,0 +1,16 @@
+"""RPR103 negative fixture: injected, explicitly seeded generators."""
+
+import numpy as np
+
+
+def seeded_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def derived_children(seed, count):
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in sequence.spawn(count)]
+
+
+def draw(rng, n):
+    return rng.integers(0, 2, size=n)

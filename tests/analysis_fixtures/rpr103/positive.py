@@ -1,0 +1,19 @@
+"""RPR103 positive fixture: global-state and unseeded RNG usage."""
+
+import random
+
+import numpy as np
+
+_MODULE_RNG = np.random.default_rng(2018)
+
+
+def unseeded_generator():
+    return np.random.default_rng()
+
+
+def legacy_draw(n):
+    return np.random.rand(n)
+
+
+def stdlib_draw():
+    return random.random()

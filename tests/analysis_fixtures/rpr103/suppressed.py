@@ -1,0 +1,7 @@
+"""RPR103 suppression fixture: violation silenced with repro: noqa."""
+
+import numpy as np
+
+
+def intentionally_unseeded():
+    return np.random.default_rng()  # repro: noqa[RPR103]

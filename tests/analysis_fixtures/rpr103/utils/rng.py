@@ -1,0 +1,7 @@
+"""RPR103 exemption fixture: a utils/rng.py path may build fresh RNGs."""
+
+import numpy as np
+
+
+def os_seeded():
+    return np.random.default_rng()

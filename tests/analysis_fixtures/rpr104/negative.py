@@ -1,0 +1,14 @@
+"""RPR104 negative fixture: ordered comparisons and integral checks."""
+
+
+def check_weight(weight):
+    return weight <= 0.0
+
+
+def check_shape(probs, m):
+    # Attribute access like .shape/.size is integral and exact.
+    return probs.shape != (m,) or probs.size == 0
+
+
+def check_model(model):
+    return model == "IC"

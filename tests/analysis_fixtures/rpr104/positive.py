@@ -1,0 +1,9 @@
+"""RPR104 positive fixture: exact equality on float probabilities."""
+
+
+def check_weight(weight):
+    return weight == 0.0
+
+
+def check_threshold(x):
+    return x != 0.5

@@ -1,0 +1,10 @@
+"""RPR105 negative fixture: explicit dtypes (keyword or positional)."""
+
+import numpy as np
+
+
+def build_buffers(n, root):
+    visited = np.zeros(n, dtype=bool)
+    roots = np.array([root], dtype=np.int64)
+    queue = np.empty(n, np.int32)
+    return visited, roots, queue

@@ -1,0 +1,9 @@
+"""RPR105 positive fixture: hot-path constructors with implicit dtype."""
+
+import numpy as np
+
+
+def build_buffers(n, root):
+    visited = np.zeros(n)
+    roots = np.array([root])
+    return visited, roots

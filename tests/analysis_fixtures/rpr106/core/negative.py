@@ -1,0 +1,15 @@
+"""RPR106 negative fixture: tagged public functions, private helpers."""
+
+
+def theta_threshold(n, k):
+    """Compute the sample-size threshold of Eq. 16."""
+    return n * k
+
+
+def split_ratio(delta):
+    """Near-optimality of the delta/2 split (Lemma 4.4)."""
+    return delta / 2.0
+
+
+def _private_helper(n):
+    return n

@@ -1,0 +1,10 @@
+"""RPR106 positive fixture: public core function without a paper tag."""
+
+
+def theta_threshold(n, k):
+    """Compute the sample-size threshold."""
+    return n * k
+
+
+def undocumented(n):
+    return n

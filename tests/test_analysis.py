@@ -1,0 +1,342 @@
+"""Tests for repro.analysis (reprolint): rules, suppressions, baseline,
+reporters, CLI wiring, and the self-lint acceptance gate."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    Baseline,
+    Finding,
+    LintEngine,
+    Severity,
+    run_lint,
+)
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import PARSE_ERROR_RULE, iter_python_files
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import get_rules
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
+
+
+def lint(path: Path):
+    findings, suppressed = LintEngine().lint_file(path)
+    return findings, suppressed
+
+
+def rule_ids(findings):
+    return {f.rule_id for f in findings}
+
+
+# ----------------------------------------------------------------------
+# Per-rule positive/negative fixtures
+# ----------------------------------------------------------------------
+FIXTURE_CASES = [
+    ("RPR101", FIXTURES / "rpr101" / "positive.py",
+     FIXTURES / "rpr101" / "negative.py", 2),
+    ("RPR102", FIXTURES / "rpr102" / "positive.py",
+     FIXTURES / "rpr102" / "negative.py", 2),
+    ("RPR103", FIXTURES / "rpr103" / "positive.py",
+     FIXTURES / "rpr103" / "negative.py", 4),
+    ("RPR104", FIXTURES / "rpr104" / "positive.py",
+     FIXTURES / "rpr104" / "negative.py", 2),
+    ("RPR105", FIXTURES / "rpr105" / "sampling" / "positive.py",
+     FIXTURES / "rpr105" / "sampling" / "negative.py", 2),
+    ("RPR106", FIXTURES / "rpr106" / "core" / "positive.py",
+     FIXTURES / "rpr106" / "core" / "negative.py", 2),
+]
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize(
+        "rule_id,positive,negative,expected",
+        FIXTURE_CASES,
+        ids=[case[0] for case in FIXTURE_CASES],
+    )
+    def test_positive_fixture_flags(self, rule_id, positive, negative, expected):
+        findings, _ = lint(positive)
+        matching = [f for f in findings if f.rule_id == rule_id]
+        assert len(matching) == expected, [f.render() for f in findings]
+        # A positive fixture must not trip unrelated rules.
+        assert rule_ids(findings) == {rule_id}
+
+    @pytest.mark.parametrize(
+        "rule_id,positive,negative,expected",
+        FIXTURE_CASES,
+        ids=[case[0] for case in FIXTURE_CASES],
+    )
+    def test_negative_fixture_is_clean(self, rule_id, positive, negative, expected):
+        findings, _ = lint(negative)
+        assert findings == [], [f.render() for f in findings]
+
+
+class TestRuleDetails:
+    def test_aliasing_message_names_the_collection(self):
+        findings, _ = lint(FIXTURES / "rpr101" / "positive.py")
+        dataflow = [f for f in findings if "sigma_lower_bound" in f.message]
+        assert dataflow and "'r1'" in dataflow[0].message
+
+    def test_rng_exemption_for_utils_rng(self):
+        findings, _ = lint(FIXTURES / "rpr103" / "utils" / "rng.py")
+        assert findings == []
+
+    def test_dtype_rule_ignores_files_outside_hot_paths(self):
+        source = "import numpy as np\n\nx = np.zeros(5)\n"
+        findings, _ = LintEngine().lint_source(source, "src/repro/obs/x.py")
+        assert "RPR105" not in rule_ids(findings)
+
+    def test_dtype_rule_resolves_import_aliases(self):
+        source = "import numpy\n\n\ndef f(n):\n    return numpy.zeros(n)\n"
+        findings, _ = LintEngine().lint_source(
+            source, "src/repro/sampling/x.py"
+        )
+        assert rule_ids(findings) == {"RPR105"}
+
+    def test_rng_rule_catches_from_import(self):
+        source = (
+            "from numpy.random import default_rng\n\n\n"
+            "def f():\n    return default_rng()\n"
+        )
+        findings, _ = LintEngine().lint_source(source, "src/repro/a.py")
+        assert rule_ids(findings) == {"RPR103"}
+
+    def test_delta_rule_ignores_non_delta_functions(self):
+        source = "def f(x):\n    return x * 0.5\n"
+        findings, _ = LintEngine().lint_source(source, "src/repro/a.py")
+        assert findings == []
+
+    def test_parse_error_is_reported_as_finding(self):
+        findings, _ = LintEngine().lint_source("def broken(:\n", "bad.py")
+        assert len(findings) == 1
+        assert findings[0].rule_id == PARSE_ERROR_RULE
+        assert findings[0].severity is Severity.ERROR
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_targeted_noqa_suppresses(self):
+        findings, suppressed = lint(FIXTURES / "rpr103" / "suppressed.py")
+        assert findings == []
+        assert suppressed == 1
+
+    def test_blanket_noqa_suppresses_all_rules(self):
+        source = (
+            "import numpy as np\n\n\n"
+            "def f():\n    return np.random.default_rng()  # repro: noqa\n"
+        )
+        findings, suppressed = LintEngine().lint_source(source, "a.py")
+        assert findings == [] and suppressed == 1
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        source = (
+            "import numpy as np\n\n\n"
+            "def f():\n"
+            "    return np.random.default_rng()  # repro: noqa[RPR105]\n"
+        )
+        findings, suppressed = LintEngine().lint_source(source, "a.py")
+        assert rule_ids(findings) == {"RPR103"}
+        assert suppressed == 0
+
+    def test_multiple_ids_in_one_comment(self):
+        source = (
+            "import numpy as np\n\n\n"
+            "def f():\n"
+            "    return np.random.default_rng()"
+            "  # repro: noqa[RPR105, RPR103]\n"
+        )
+        findings, suppressed = LintEngine().lint_source(source, "a.py")
+        assert findings == [] and suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_baselined_findings_do_not_fail(self, tmp_path):
+        engine = LintEngine()
+        findings, _ = engine.lint_file(FIXTURES / "rpr103" / "positive.py")
+        assert findings
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.write(baseline_path, findings)
+        baseline = Baseline.load(baseline_path)
+        new, baselined = baseline.partition(findings)
+        assert new == []
+        assert len(baselined) == len(findings)
+
+    def test_new_finding_not_in_baseline_fails(self, tmp_path):
+        engine = LintEngine()
+        findings, _ = engine.lint_file(FIXTURES / "rpr103" / "positive.py")
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.write(baseline_path, findings[:-1])
+        baseline = Baseline.load(baseline_path)
+        new, baselined = baseline.partition(findings)
+        assert len(new) == 1
+        assert len(baselined) == len(findings) - 1
+
+    def test_baseline_is_count_aware(self):
+        finding = Finding(
+            path="a.py", line=1, col=0, rule_id="RPR103",
+            severity=Severity.ERROR, message="m",
+        )
+        twin = Finding(
+            path="a.py", line=9, col=0, rule_id="RPR103",
+            severity=Severity.ERROR, message="m",
+        )
+        baseline = Baseline.from_findings([finding])
+        new, baselined = baseline.partition([finding, twin])
+        assert len(baselined) == 1 and len(new) == 1
+
+    def test_fingerprint_survives_line_drift(self):
+        a = Finding(
+            path="a.py", line=1, col=0, rule_id="R", severity=Severity.INFO,
+            message="m",
+        )
+        b = Finding(
+            path="a.py", line=99, col=7, rule_id="R", severity=Severity.INFO,
+            message="m",
+        )
+        assert a.fingerprint == b.fingerprint
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+class TestReporters:
+    def test_json_round_trip(self):
+        engine = LintEngine()
+        report = engine.run([FIXTURES / "rpr103" / "positive.py"])
+        payload = json.loads(render_json(report))
+        restored = [Finding.from_dict(d) for d in payload["findings"]]
+        assert restored == report.findings
+        assert payload["summary"]["new"] == len(report.findings)
+        assert payload["summary"]["exit_code"] == 1
+
+    def test_text_report_mentions_location_and_rule(self):
+        engine = LintEngine()
+        report = engine.run([FIXTURES / "rpr104" / "positive.py"])
+        text = render_text(report)
+        assert "positive.py:5:" in text
+        assert "RPR104" in text
+        assert "new finding(s)" in text
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_exit_one_on_violations(self, capsys):
+        code = lint_main([str(FIXTURES / "rpr103" / "positive.py")])
+        assert code == 1
+        assert "RPR103" in capsys.readouterr().out
+
+    def test_exit_zero_on_clean_file(self, capsys):
+        code = lint_main([str(FIXTURES / "rpr103" / "negative.py")])
+        assert code == 0
+
+    def test_json_format(self, capsys):
+        code = lint_main(
+            [str(FIXTURES / "rpr104" / "positive.py"), "--format", "json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["new"] == 2
+
+    def test_select_filters_rules(self, capsys):
+        code = lint_main(
+            [str(FIXTURES / "rpr103" / "positive.py"), "--select", "RPR104"]
+        )
+        assert code == 0
+
+    def test_unknown_select_is_usage_error(self):
+        assert lint_main(["--select", "NOPE"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for cls in ALL_RULES:
+            assert cls.rule_id in out
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        target = str(FIXTURES / "rpr103" / "positive.py")
+        baseline = str(tmp_path / "baseline.json")
+        assert lint_main([target, "--baseline", baseline,
+                          "--write-baseline"]) == 0
+        assert lint_main([target, "--baseline", baseline]) == 0
+        assert lint_main([target, "--baseline", baseline,
+                          "--no-baseline"]) == 1
+
+    def test_missing_path_is_usage_error(self):
+        assert lint_main(["does/not/exist.py"]) == 2
+
+    def test_repro_cli_lint_subcommand(self, capsys):
+        from repro.cli import main as repro_main
+
+        code = repro_main(
+            ["lint", str(FIXTURES / "rpr104" / "positive.py")]
+        )
+        assert code == 1
+        assert "RPR104" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Engine plumbing and acceptance gates
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_iter_python_files_skips_pycache(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+        (tmp_path / "keep.py").write_text("x = 1\n")
+        files = iter_python_files([tmp_path])
+        assert [f.name for f in files] == ["keep.py"]
+
+    def test_get_rules_select_subset(self):
+        rules = get_rules(["RPR101", "RPR106"])
+        assert {r.rule_id for r in rules} == {"RPR101", "RPR106"}
+
+    def test_shipped_tree_is_clean_against_baseline(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        report = run_lint(
+            ["src"], baseline_path=REPO_ROOT / ".reprolint-baseline.json"
+        )
+        assert report.findings == [], [f.render() for f in report.findings]
+        assert report.files_checked > 80
+
+    def test_module_invocation_exits_zero_on_src(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "src/"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_injected_violation_fails_module_invocation(self, tmp_path):
+        bad = tmp_path / "sampling"
+        bad.mkdir()
+        (bad / "hot.py").write_text(
+            "import numpy as np\n\n\ndef f(n):\n    return np.zeros(n)\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(tmp_path)],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "RPR105" in result.stdout

@@ -7,7 +7,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.graph.build import from_edge_list
-from repro.graph.generators import complete_graph, cycle_graph, power_law_graph, star_graph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    power_law_graph,
+    star_graph,
+)
 from repro.graph.kcore import core_numbers, degeneracy, k_core_nodes
 
 

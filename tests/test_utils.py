@@ -11,7 +11,12 @@ from hypothesis import strategies as st
 
 from repro.exceptions import ParameterError
 from repro.utils.arrays import gather_slice_index, gather_slices
-from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.rng import (
+    as_generator,
+    auto_entropy_log,
+    last_auto_entropy,
+    spawn_generators,
+)
 from repro.utils.timer import Timer
 from repro.utils.validation import (
     check_delta,
@@ -54,6 +59,45 @@ class TestAsGenerator:
             as_generator("not-a-seed")
 
 
+class TestAutoSeedLog:
+    def test_none_seed_records_entropy(self):
+        before = len(auto_entropy_log())
+        as_generator(None)
+        log = auto_entropy_log()
+        assert len(log) == before + 1
+        assert log[-1].origin == "as_generator"
+        assert isinstance(log[-1].entropy, int)
+        assert log[-1].entropy == last_auto_entropy()
+
+    def test_auto_seeded_run_is_replayable(self):
+        gen = as_generator(None)
+        draws = gen.integers(0, 10**9, 16)
+        replay = as_generator(last_auto_entropy())
+        assert np.array_equal(draws, replay.integers(0, 10**9, 16))
+
+    def test_two_auto_seeds_differ(self):
+        as_generator(None)
+        first = last_auto_entropy()
+        as_generator(None)
+        assert last_auto_entropy() != first
+
+    def test_explicit_seed_not_logged(self):
+        before = len(auto_entropy_log())
+        as_generator(123)
+        as_generator(np.random.SeedSequence(5))
+        assert len(auto_entropy_log()) == before
+
+    def test_spawn_generators_auto_seed_replayable(self):
+        gens = spawn_generators(None, 3)
+        entropy = last_auto_entropy()
+        assert auto_entropy_log()[-1].origin == "spawn_generators"
+        draws = [g.integers(0, 10**9) for g in gens]
+        replayed = [
+            g.integers(0, 10**9) for g in spawn_generators(entropy, 3)
+        ]
+        assert draws == replayed
+
+
 class TestSpawnGenerators:
     def test_count(self):
         gens = spawn_generators(0, 5)
@@ -69,8 +113,9 @@ class TestSpawnGenerators:
         assert a == b
 
     def test_from_generator_reproducible_given_state(self):
-        a = [g.integers(0, 10**9) for g in spawn_generators(np.random.default_rng(4), 3)]
-        b = [g.integers(0, 10**9) for g in spawn_generators(np.random.default_rng(4), 3)]
+        parents = (np.random.default_rng(4), np.random.default_rng(4))
+        a = [g.integers(0, 10**9) for g in spawn_generators(parents[0], 3)]
+        b = [g.integers(0, 10**9) for g in spawn_generators(parents[1], 3)]
         assert a == b
 
     def test_zero_count(self):
