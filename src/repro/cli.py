@@ -54,25 +54,61 @@ from repro.experiments.ablations import (
 from repro.experiments.reproduce import PRESETS, experiment_ids, run_all
 from repro.obs import MetricsRegistry, TraceRecorder
 
-# Solver signature: (graph, model, k, epsilon, delta, seed, registry).
-# Only the OPIM-C family consumes the registry; the baselines and
-# heuristics ignore it (their internals are not instrumented).
+# Solver signature: (graph, model, k, epsilon, delta, seed, registry,
+# workers).  Only the OPIM-C family consumes the registry and the
+# sampling-pool worker count; the baselines and heuristics ignore them
+# (their internals are neither instrumented nor parallelized).
 _SOLVERS = {
-    "opim-c": lambda g, m, k, e, d, s, r: opim_c(
-        g, m, k, e, delta=d, seed=s, registry=r
+    "opim-c": lambda g, m, k, e, d, s, r, w: opim_c(
+        g, m, k, e, delta=d, seed=s, registry=r, workers=w
     ),
-    "opim-c0": lambda g, m, k, e, d, s, r: opim_c(
-        g, m, k, e, delta=d, seed=s, bound="vanilla", registry=r
+    "opim-c0": lambda g, m, k, e, d, s, r, w: opim_c(
+        g, m, k, e, delta=d, seed=s, bound="vanilla", registry=r, workers=w
     ),
-    "imm": lambda g, m, k, e, d, s, r: imm(g, m, k, e, delta=d, seed=s),
-    "tim": lambda g, m, k, e, d, s, r: tim_plus(g, m, k, e, delta=d, seed=s),
-    "ssa": lambda g, m, k, e, d, s, r: ssa_fix(g, m, k, e, delta=d, seed=s),
-    "dssa": lambda g, m, k, e, d, s, r: dssa_fix(g, m, k, e, delta=d, seed=s),
-    "degree": lambda g, m, k, e, d, s, r: max_degree(g, k),
-    "degree-discount": lambda g, m, k, e, d, s, r: degree_discount_ic(g, k),
-    "single-discount": lambda g, m, k, e, d, s, r: single_discount(g, k),
-    "random": lambda g, m, k, e, d, s, r: random_seeds(g, k, seed=s),
+    "imm": lambda g, m, k, e, d, s, r, w: imm(g, m, k, e, delta=d, seed=s),
+    "tim": lambda g, m, k, e, d, s, r, w: tim_plus(g, m, k, e, delta=d, seed=s),
+    "ssa": lambda g, m, k, e, d, s, r, w: ssa_fix(g, m, k, e, delta=d, seed=s),
+    "dssa": lambda g, m, k, e, d, s, r, w: dssa_fix(g, m, k, e, delta=d, seed=s),
+    "degree": lambda g, m, k, e, d, s, r, w: max_degree(g, k),
+    "degree-discount": lambda g, m, k, e, d, s, r, w: degree_discount_ic(g, k),
+    "single-discount": lambda g, m, k, e, d, s, r, w: single_discount(g, k),
+    "random": lambda g, m, k, e, d, s, r, w: random_seeds(g, k, seed=s),
 }
+
+
+def _parse_pool_spec(value: str) -> int:
+    """Parse the ``--pool`` argument: ``workers=N`` (or bare ``N``).
+
+    Returns the worker count for the persistent sampling service; 1
+    means "serial chunk schedule, in-process".
+    """
+    text = value.strip()
+    if text.startswith("workers="):
+        text = text[len("workers="):]
+    try:
+        workers = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--pool expects workers=N, got {value!r}"
+        ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError(
+            f"--pool workers must be >= 1, got {workers}"
+        )
+    return workers
+
+
+def _add_pool_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--pool",
+        metavar="workers=N",
+        type=_parse_pool_spec,
+        default=None,
+        dest="pool_workers",
+        help="sample through a persistent shared-memory worker pool "
+        "(SamplingPool) with N processes kept warm across iterations "
+        "(see docs/parallel-sampling.md)",
+    )
 
 
 def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
@@ -144,6 +180,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="number of doubling checkpoints starting at 1000 RR sets",
     )
     _add_observability_flags(online)
+    _add_pool_flag(online)
 
     solve = sub.add_parser("solve", help="run one conventional IM algorithm")
     solve.add_argument("--algorithm", default="opim-c", choices=sorted(_SOLVERS))
@@ -156,6 +193,7 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--seed", type=int, default=2018)
     solve.add_argument("--spread-samples", type=int, default=2000)
     _add_observability_flags(solve)
+    _add_pool_flag(solve)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure/table")
     figure.add_argument(
@@ -179,6 +217,7 @@ def _build_parser() -> argparse.ArgumentParser:
     session.add_argument("--rr-budget", type=int, default=500_000)
     session.add_argument("--step", type=int, default=2000)
     _add_observability_flags(session)
+    _add_pool_flag(session)
 
     lint = sub.add_parser(
         "lint",
@@ -229,28 +268,29 @@ def _cmd_online(args: argparse.Namespace) -> int:
             k=min(args.k, graph.n),
             seed=args.seed,
         )
-    algo = OnlineOPIM(
+    with OnlineOPIM(
         graph,
         args.model,
         k=min(args.k, graph.n),
         seed=args.seed,
         registry=registry,
-    )
-    print(f"dataset={graph.name} n={graph.n} m={graph.m} model={args.model}")
-    budget = 1000
-    for _ in range(args.checkpoints):
-        algo.extend_to(budget)
-        snaps = algo.query_all()
-        line = "  ".join(
-            f"{label}={snaps[v].alpha:.4f}"
-            for v, label in (
-                ("vanilla", "OPIM0"),
-                ("greedy", "OPIM+"),
-                ("leskovec", "OPIM'"),
+        workers=args.pool_workers,
+    ) as algo:
+        print(f"dataset={graph.name} n={graph.n} m={graph.m} model={args.model}")
+        budget = 1000
+        for _ in range(args.checkpoints):
+            algo.extend_to(budget)
+            snaps = algo.query_all()
+            line = "  ".join(
+                f"{label}={snaps[v].alpha:.4f}"
+                for v, label in (
+                    ("vanilla", "OPIM0"),
+                    ("greedy", "OPIM+"),
+                    ("leskovec", "OPIM'"),
+                )
             )
-        )
-        print(f"RR sets {budget:>8d}: {line}  (t={algo.timer.elapsed:.2f}s)")
-        budget *= 2
+            print(f"RR sets {budget:>8d}: {line}  (t={algo.timer.elapsed:.2f}s)")
+            budget *= 2
     _finish_observability(args, registry, recorder)
     return 0
 
@@ -278,6 +318,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         args.delta,
         args.seed,
         registry,
+        args.pool_workers,
     )
     spread = monte_carlo_spread(
         graph, result.seeds, args.model, num_samples=args.spread_samples, seed=1
@@ -351,15 +392,15 @@ def _cmd_session(args: argparse.Namespace) -> int:
             alpha_target=args.alpha_target,
             seed=args.seed,
         )
-    session = OPIMSession(
+    with OPIMSession(
         graph, args.model, k=min(args.k, graph.n), seed=args.seed,
-        registry=registry,
-    )
-    result = session.run_until(
-        alpha_target=args.alpha_target,
-        rr_budget=args.rr_budget,
-        step=args.step,
-    )
+        registry=registry, workers=args.pool_workers,
+    ) as session:
+        result = session.run_until(
+            alpha_target=args.alpha_target,
+            rr_budget=args.rr_budget,
+            step=args.step,
+        )
     for snap in result.history:
         print(
             f"query @ {snap.num_rr_sets:>8d} RR sets: alpha = {snap.alpha:.4f}"

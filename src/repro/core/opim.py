@@ -43,6 +43,7 @@ from repro.maxcover.bounds import (
 from repro.maxcover.greedy import GreedyResult, greedy_max_coverage
 from repro.obs import resolve_registry
 from repro.sampling.generator import RRSampler
+from repro.sampling.service import SamplingPool
 from repro.utils.rng import SeedLike
 from repro.utils.timer import Timer
 from repro.utils.validation import check_delta, check_k
@@ -72,6 +73,14 @@ class OnlineOPIM:
         Optional :class:`~repro.obs.MetricsRegistry` for phase tracing
         and counters; every query also appends one telemetry row to
         :attr:`alpha_trajectory` and emits an ``alpha_row`` event.
+    workers:
+        When ``> 1``, stream RR sets through a persistent
+        :class:`~repro.sampling.service.SamplingPool` owned by this
+        instance — the worker pool and the shared-memory graph stay
+        warm across every ``extend``/``query`` pause/resume step.
+        Call :meth:`close` (or use the instance as a context manager)
+        when done; an externally managed pool can be passed via
+        ``sampler=`` instead.
 
     Examples
     --------
@@ -94,6 +103,7 @@ class OnlineOPIM:
         seed: SeedLike = None,
         sampler: Optional[Any] = None,
         registry: Optional[object] = None,
+        workers: Optional[int] = None,
     ) -> None:
         check_k(k, graph.n)
         if delta is None:
@@ -103,17 +113,35 @@ class OnlineOPIM:
             raise ParameterError(
                 f"bound must be one of {BOUND_VARIANTS}, got {bound!r}"
             )
+        if workers is not None and workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        if sampler is not None and workers is not None and workers > 1:
+            raise ParameterError(
+                "pass either a custom sampler or workers > 1, not both"
+            )
         self.graph = graph
         self.k = k
         self.delta = float(delta)
         self.bound = bound
         self.obs = resolve_registry(registry)
+        self._owns_pool = False
         if sampler is not None:
             # Custom sampler injection (e.g. a TriggeringRRSampler for
-            # a non-IC/LT triggering model, per the paper's Section 6).
+            # a non-IC/LT triggering model, per the paper's Section 6,
+            # or an externally managed SamplingPool).
             if sampler.graph is not graph:
                 raise ParameterError("sampler must be bound to the same graph")
             self.sampler = sampler
+        elif workers is not None and workers > 1:
+            self.sampler = SamplingPool(
+                graph,
+                model,
+                workers=workers,
+                seed=seed,
+                fast=True,
+                registry=self.obs,
+            )
+            self._owns_pool = True
         else:
             self.sampler = RRSampler(graph, model, seed=seed, registry=self.obs)
         self.r1 = self.sampler.new_collection()
@@ -122,6 +150,22 @@ class OnlineOPIM:
         #: Telemetry rows (one dict per snapshot taken), in query order.
         self.alpha_trajectory: list = []
         self._greedy_cache: Optional[Tuple[int, GreedyResult]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the owned sampling pool, if ``workers > 1`` created
+        one (no-op otherwise; Section 4's pause/resume loop holds the
+        pool open until the session is over)."""
+        if self._owns_pool:
+            self.sampler.close()
+
+    def __enter__(self) -> "OnlineOPIM":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Streaming

@@ -44,6 +44,7 @@ from repro.maxcover.bounds import (
 from repro.maxcover.greedy import GreedyResult, greedy_max_coverage
 from repro.obs import resolve_registry
 from repro.sampling.generator import RRSampler
+from repro.sampling.service import SamplingPool
 from repro.utils.rng import SeedLike
 from repro.utils.timer import Timer
 from repro.utils.validation import check_delta, check_epsilon, check_k
@@ -62,6 +63,14 @@ class OPIMC:
     when given, every run emits nested phase spans
     (``opimc/iter_<i>/sampling`` / ``greedy`` / ``bounds``), sampling
     counters, and one ``alpha_row`` event per doubling iteration.
+
+    ``workers > 1`` runs all sampling through a persistent
+    :class:`~repro.sampling.service.SamplingPool` that stays warm
+    across every doubling iteration of a run (Algorithm 2 regenerates
+    RR sets each iteration, so amortizing the pool setup is what makes
+    the parallel path pay off).  Alternatively an already-open ``pool``
+    may be injected and shared across multiple runs; the caller owns
+    its lifetime.
     """
 
     def __init__(
@@ -72,19 +81,38 @@ class OPIMC:
         seed: SeedLike = None,
         fast: bool = False,
         registry: Optional[object] = None,
+        workers: Optional[int] = None,
+        pool: Optional[SamplingPool] = None,
     ) -> None:
         if bound not in _VARIANT_NAMES:
             raise ParameterError(
                 f"bound must be one of {tuple(_VARIANT_NAMES)}, got {bound!r}"
             )
+        if workers is not None and workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        if pool is not None and pool.graph is not graph:
+            raise ParameterError("pool must be bound to the same graph")
         self.graph = graph
         self.model = model
         self.bound = bound
         self.fast = bool(fast)
         self.obs = resolve_registry(registry)
+        self.workers = workers
+        self.pool = pool
         self._seed = seed
 
     def _make_sampler(self) -> Any:
+        if self.pool is not None:
+            return self.pool
+        if self.workers is not None and self.workers > 1:
+            return SamplingPool(
+                self.graph,
+                self.model,
+                workers=self.workers,
+                seed=self._seed,
+                fast=True,
+                registry=self.obs,
+            )
         if self.fast:
             from repro.sampling.batch import BatchRRSampler
 
@@ -131,64 +159,77 @@ class OPIMC:
         algorithm = _VARIANT_NAMES[self.bound]
         trajectory = []
         timer = Timer()
-        with timer, obs.trace("opimc"):
-            t_max = theta_max(graph.n, k, epsilon, delta)
-            t_0 = max(1, math.ceil(theta_0(graph.n, k, epsilon, delta)))
-            i_max = i_max_iterations(graph.n, k, epsilon, delta)
-            delta_iter = delta / (3.0 * i_max)
-            target = 1.0 - 1.0 / math.e - epsilon
+        sampler = self._make_sampler()
+        # A pool injected via ``pool=`` may carry counts from earlier
+        # runs; account in deltas so num_rr_sets stays per-run.
+        base_sets = sampler.sets_generated
+        base_edges = sampler.edges_examined
+        owns_pool = isinstance(sampler, SamplingPool) and sampler is not self.pool
+        try:
+            with timer, obs.trace("opimc"):
+                t_max = theta_max(graph.n, k, epsilon, delta)
+                t_0 = max(1, math.ceil(theta_0(graph.n, k, epsilon, delta)))
+                i_max = i_max_iterations(graph.n, k, epsilon, delta)
+                delta_iter = delta / (3.0 * i_max)
+                target = 1.0 - 1.0 / math.e - epsilon
 
-            sampler = self._make_sampler()
-            r1 = sampler.new_collection()
-            r2 = sampler.new_collection()
+                r1 = sampler.new_collection()
+                r2 = sampler.new_collection()
 
-            size = t_0
-            alpha = 0.0
-            greedy_result = None
-            for iteration in range(1, i_max + 1):
-                with obs.trace(f"iter_{iteration}"):
-                    grow = size - len(r1)
-                    if rr_budget is not None and (
-                        sampler.sets_generated + 2 * grow > rr_budget
-                    ):
-                        raise BudgetExceededError(
-                            f"OPIM-C would exceed the RR budget of {rr_budget}",
-                            num_rr_sets=sampler.sets_generated,
-                        )
-                    with obs.trace("sampling"):
-                        sampler.fill(r1, grow)
-                        sampler.fill(r2, grow)
+                size = t_0
+                alpha = 0.0
+                greedy_result = None
+                for iteration in range(1, i_max + 1):
+                    with obs.trace(f"iter_{iteration}"):
+                        grow = size - len(r1)
+                        generated = sampler.sets_generated - base_sets
+                        if rr_budget is not None and (
+                            generated + 2 * grow > rr_budget
+                        ):
+                            raise BudgetExceededError(
+                                f"OPIM-C would exceed the RR budget of "
+                                f"{rr_budget}",
+                                num_rr_sets=generated,
+                            )
+                        with obs.trace("sampling"):
+                            sampler.fill(r1, grow)
+                            sampler.fill(r2, grow)
 
-                    with obs.trace("greedy"):
-                        greedy_result = greedy_max_coverage(r1, k, registry=obs)
-                    with obs.trace("bounds"):
-                        coverage_r2 = r2.coverage(greedy_result.seeds)
-                        sigma_low = sigma_lower_bound(
-                            coverage_r2, len(r2), graph.n, delta_iter
-                        )
-                        coverage_upper = self._coverage_upper(
-                            greedy_result, self.bound
-                        )
-                        sigma_up = sigma_upper_bound(
-                            coverage_upper, len(r1), graph.n, delta_iter
-                        )
-                        alpha = approximation_guarantee(sigma_low, sigma_up)
+                        with obs.trace("greedy"):
+                            greedy_result = greedy_max_coverage(
+                                r1, k, registry=obs
+                            )
+                        with obs.trace("bounds"):
+                            coverage_r2 = r2.coverage(greedy_result.seeds)
+                            sigma_low = sigma_lower_bound(
+                                coverage_r2, len(r2), graph.n, delta_iter
+                            )
+                            coverage_upper = self._coverage_upper(
+                                greedy_result, self.bound
+                            )
+                            sigma_up = sigma_upper_bound(
+                                coverage_upper, len(r1), graph.n, delta_iter
+                            )
+                            alpha = approximation_guarantee(sigma_low, sigma_up)
 
-                    row = {
-                        "algorithm": algorithm,
-                        "iteration": iteration,
-                        "theta1": len(r1),
-                        "theta2": len(r2),
-                        "sigma_low": sigma_low,
-                        "sigma_up": sigma_up,
-                        "alpha": alpha,
-                        "target": target,
-                    }
-                    trajectory.append(row)
-                    obs.record("alpha_row", **row)
-                if alpha >= target or iteration == i_max:
-                    break
-                size = min(size * 2, max(1, math.ceil(t_max)))
+                        row = {
+                            "algorithm": algorithm,
+                            "iteration": iteration,
+                            "theta1": len(r1),
+                            "theta2": len(r2),
+                            "sigma_low": sigma_low,
+                            "sigma_up": sigma_up,
+                            "alpha": alpha,
+                            "target": target,
+                        }
+                        trajectory.append(row)
+                        obs.record("alpha_row", **row)
+                    if alpha >= target or iteration == i_max:
+                        break
+                    size = min(size * 2, max(1, math.ceil(t_max)))
+        finally:
+            if owns_pool:
+                sampler.close()
 
         obs.set_gauge("opimc.alpha_achieved", alpha)
         return IMResult(
@@ -197,11 +238,11 @@ class OPIMC:
             k=k,
             epsilon=epsilon,
             delta=delta,
-            num_rr_sets=sampler.sets_generated,
+            num_rr_sets=sampler.sets_generated - base_sets,
             elapsed=timer.elapsed,
             iterations=iteration,
             alpha_achieved=alpha,
-            edges_examined=sampler.edges_examined,
+            edges_examined=sampler.edges_examined - base_edges,
             extra={
                 "theta_max": t_max,
                 "theta_0": t_0,
@@ -223,6 +264,8 @@ def opim_c(
     rr_budget: Optional[int] = None,
     fast: bool = False,
     registry: Optional[object] = None,
+    workers: Optional[int] = None,
+    pool: Optional[SamplingPool] = None,
 ) -> IMResult:
     """One-shot functional interface to :class:`OPIMC` (Algorithm 2).
 
@@ -230,7 +273,18 @@ def opim_c(
     (:class:`~repro.sampling.batch.BatchRRSampler`) — same output
     distribution, roughly 3-5x faster sampling.  ``registry`` injects a
     :class:`~repro.obs.MetricsRegistry` for phase tracing and counters.
+    ``workers > 1`` samples through a persistent
+    :class:`~repro.sampling.service.SamplingPool` kept warm across the
+    doubling iterations (pass an open ``pool`` instead to share one
+    across calls).
     """
     return OPIMC(
-        graph, model, bound=bound, seed=seed, fast=fast, registry=registry
+        graph,
+        model,
+        bound=bound,
+        seed=seed,
+        fast=fast,
+        registry=registry,
+        workers=workers,
+        pool=pool,
     ).run(k, epsilon, delta=delta, rr_budget=rr_budget)

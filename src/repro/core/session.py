@@ -73,13 +73,25 @@ class OPIMSession:
         bound: str = "greedy",
         seed: SeedLike = None,
         registry: Optional[object] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self._online = OnlineOPIM(
             graph, model, k=k, delta=delta if delta is not None else 1.0 / graph.n,
-            bound=bound, seed=seed, registry=registry,
+            bound=bound, seed=seed, registry=registry, workers=workers,
         )
         self.queries_made = 0
         self.history: List[OnlineSnapshot] = []
+
+    def close(self) -> None:
+        """Release the sampling pool owned by the underlying algorithm
+        (no-op when the session samples serially)."""
+        self._online.close()
+
+    def __enter__(self) -> "OPIMSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # Delegated streaming interface -----------------------------------
     @property

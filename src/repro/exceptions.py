@@ -54,6 +54,15 @@ class BudgetExceededError(ReproError):
         self.num_rr_sets = num_rr_sets
 
 
+class ServiceError(ReproError):
+    """Raised when the persistent sampling service fails operationally.
+
+    Covers using a closed :class:`~repro.sampling.service.SamplingPool`,
+    a worker error propagated from a chunk, and an exhausted worker
+    restart budget (a chunk that crashes every worker it is issued to).
+    """
+
+
 class StateError(ReproError):
     """Raised when an online algorithm is driven through an invalid
     state transition (e.g. querying a stopped instance)."""

@@ -7,6 +7,7 @@ from repro.sampling.generator import RRSampler
 from repro.sampling.rrset_ic import sample_rr_set_ic
 from repro.sampling.rrset_ic_uniform import UniformICSampler
 from repro.sampling.rrset_lt import LTAliasTables, sample_rr_set_lt
+from repro.sampling.parallel import parallel_fill
 from repro.sampling.rrset_triggering import (
     TriggeringRRSampler,
     fixed_size_triggering_sets,
@@ -15,13 +16,18 @@ from repro.sampling.rrset_triggering import (
     sample_rr_set_triggering,
 )
 from repro.sampling.serialize import load_collection, save_collection
+from repro.sampling.service import SamplingPool, chunk_schedule, chunk_seed
 
 __all__ = [
     "AliasTable",
     "RRCollection",
     "RRSampler",
     "BatchRRSampler",
+    "SamplingPool",
     "UniformICSampler",
+    "chunk_schedule",
+    "chunk_seed",
+    "parallel_fill",
     "sample_rr_set_ic",
     "sample_rr_set_lt",
     "LTAliasTables",

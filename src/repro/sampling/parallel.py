@@ -1,60 +1,34 @@
-"""Multiprocess RR-set generation.
+"""Per-call multiprocess RR-set generation (thin service wrapper).
 
-RR sets are i.i.d., which makes their generation embarrassingly
-parallel: each worker process receives the graph (numpy arrays pickle
-cheaply), an independent child seed, and a quota; the parent
-concatenates the results in worker order, so the output is
-deterministic for a fixed ``(seed, workers)`` pair.
+Historically this module owned its own ``multiprocessing.Pool`` that
+was spawned — and the whole CSR graph re-pickled — on every call.
+That per-call fixed cost made the parallel path slower than serial for
+all but the largest quotas, which defeats the point of online
+processing.  Generation now delegates to the persistent shared-memory
+service (:class:`repro.sampling.service.SamplingPool`); this function
+remains as the convenient one-shot API and constructs (and tears down)
+a pool per call.  Code that fills repeatedly — OPIM-C's doubling loop,
+OnlineOPIM pause/resume sessions — should hold a ``SamplingPool`` open
+instead and amortize the setup (see ``benchmarks/bench_service.py``
+for the measured gap).
 
-This is the coarse-grained complement to the vectorized batch kernels
-in :mod:`repro.sampling.batch` — combine both (workers running
-:class:`BatchRRSampler`) for the highest throughput the pure-Python
-reproduction reaches.
+Determinism: the service's chunk schedule depends only on the seed and
+the quota, so the output is bitwise reproducible for a fixed ``seed``
+— for *any* worker count, which is strictly stronger than the old
+``(seed, workers)`` contract.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
+import warnings
 from typing import Optional, Tuple
-
-import numpy as np
 
 from repro.exceptions import ParameterError
 from repro.graph.digraph import DiGraph
+from repro.obs import resolve_registry
 from repro.sampling.collection import RRCollection
+from repro.sampling.service import SamplingPool
 from repro.utils.rng import SeedLike
-
-_WORKER_STATE = {}
-
-
-def _worker_init(graph: DiGraph, model: str, fast: bool) -> None:
-    _WORKER_STATE["graph"] = graph
-    _WORKER_STATE["model"] = model
-    _WORKER_STATE["fast"] = fast
-
-
-def _worker_generate(task: Tuple[int, int]) -> Tuple[np.ndarray, np.ndarray, int]:
-    seed, count = task
-    graph = _WORKER_STATE["graph"]
-    model = _WORKER_STATE["model"]
-    if _WORKER_STATE["fast"]:
-        from repro.sampling.batch import BatchRRSampler
-
-        sampler = BatchRRSampler(graph, model, seed=seed)
-    else:
-        from repro.sampling.generator import RRSampler
-
-        sampler = RRSampler(graph, model, seed=seed)
-    sets = [sampler.sample_one() for _ in range(count)]
-    # Flatten into two arrays: far cheaper to pickle back than
-    # thousands of small ndarrays.
-    sizes = np.fromiter((s.size for s in sets), dtype=np.int64, count=count)
-    offsets = np.zeros(count + 1, dtype=np.int64)
-    np.cumsum(sizes, out=offsets[1:])
-    flat = (
-        np.concatenate(sets) if count else np.empty(0, dtype=np.int32)
-    )
-    return flat, offsets, sampler.edges_examined
 
 
 def parallel_fill(
@@ -65,13 +39,20 @@ def parallel_fill(
     seed: SeedLike = None,
     fast: bool = True,
     collection: Optional[RRCollection] = None,
+    registry: Optional[object] = None,
 ) -> Tuple[RRCollection, int]:
     """Generate *count* RR sets across *workers* processes.
 
-    Returns ``(collection, edges_examined)``.  Determinism: the same
-    ``(seed, workers)`` always produces the same multiset of RR sets in
-    the same order (tasks are dispatched and collected in worker-index
-    order).
+    Returns ``(collection, edges_examined)``.  Determinism: a fixed
+    ``seed`` always produces the same multiset of RR sets in the same
+    order, independent of *workers* (results are assembled in chunk
+    order, and chunk seeds derive from the chunk index alone).
+
+    When ``workers > count`` the worker count is capped at *count* —
+    loudly: a :class:`RuntimeWarning` is emitted and the
+    ``parallel.workers_capped`` counter is incremented on *registry*,
+    so an oversized ``--pool workers=N`` flag cannot silently degrade
+    to near-serial execution.
 
     Parameters
     ----------
@@ -79,6 +60,9 @@ def parallel_fill(
         Use the vectorized batch sampler inside each worker.
     collection:
         Append to an existing collection instead of a fresh one.
+    registry:
+        Optional :class:`~repro.obs.MetricsRegistry` receiving the
+        service counters (``service.chunks``, ``sampling.*``, ...).
     """
     if count < 0:
         raise ParameterError(f"count must be non-negative, got {count}")
@@ -93,33 +77,24 @@ def parallel_fill(
     if count == 0:
         return collection, 0
 
-    workers = min(workers, count)
-    sequence = np.random.SeedSequence(
-        seed if isinstance(seed, (int, type(None))) else None
-    )
-    child_seeds = [int(s.generate_state(1)[0]) for s in sequence.spawn(workers)]
-    quotas = [count // workers] * workers
-    for i in range(count % workers):
-        quotas[i] += 1
-    tasks = list(zip(child_seeds, quotas))
-
-    if workers == 1:
-        _worker_init(graph, model, fast)
-        results = [_worker_generate(tasks[0])]
-    else:
-        context = mp.get_context(
-            "fork" if "fork" in mp.get_all_start_methods() else None
+    if workers > count:
+        resolve_registry(registry).count("parallel.workers_capped")
+        warnings.warn(
+            f"requested {workers} workers for only {count} RR sets; "
+            f"capping workers at {count} (fewer processes than asked)",
+            RuntimeWarning,
+            stacklevel=2,
         )
-        with context.Pool(
-            processes=workers,
-            initializer=_worker_init,
-            initargs=(graph, model, fast),
-        ) as pool:
-            results = pool.map(_worker_generate, tasks)
+        workers = count
 
-    edges = 0
-    for flat, offsets, worker_edges in results:
-        edges += worker_edges
-        for i in range(offsets.shape[0] - 1):
-            collection.append(flat[offsets[i] : offsets[i + 1]])
+    with SamplingPool(
+        graph,
+        model,
+        workers=workers,
+        seed=seed,
+        fast=fast,
+        registry=registry,
+    ) as pool:
+        pool.fill(collection, count)
+        edges = pool.edges_examined
     return collection, edges

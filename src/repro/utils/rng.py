@@ -66,6 +66,19 @@ def last_auto_entropy() -> Optional[int]:
     return _AUTO_SEED_LOG[-1].entropy if _AUTO_SEED_LOG else None
 
 
+def fresh_entropy(origin: str = "fresh_entropy") -> int:
+    """Draw one OS entropy value, record it, and return it as an int.
+
+    The replayable counterpart of "no seed given" for components that
+    need a *root integer seed* rather than a ``Generator`` (e.g. the
+    sampling service derives per-chunk child seeds from it).  The value
+    lands in :func:`auto_entropy_log` like every other auto seed.
+    """
+    sequence = np.random.SeedSequence()
+    _record_entropy(sequence, origin)
+    return _AUTO_SEED_LOG[-1].entropy
+
+
 def as_generator(seed: SeedLike = None) -> np.random.Generator:
     """Normalize *seed* into a ``numpy.random.Generator``.
 

@@ -36,8 +36,45 @@ class TestParallelFill:
         assert len(collection) == 7
 
     def test_workers_capped_at_count(self, small_graph):
-        collection, _ = parallel_fill(small_graph, "IC", 2, workers=8, seed=4)
+        with pytest.warns(RuntimeWarning, match="capping workers"):
+            collection, _ = parallel_fill(
+                small_graph, "IC", 2, workers=8, seed=4
+            )
         assert len(collection) == 2
+
+    def test_workers_capped_is_loud(self, small_graph):
+        """Regression: the cap used to be a silent fallback.  It must
+        now warn *and* bump the ``parallel.workers_capped`` counter so
+        misconfigured runs are visible in the obs registry."""
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        with pytest.warns(RuntimeWarning, match="fewer processes than asked"):
+            collection, _ = parallel_fill(
+                small_graph, "IC", 3, workers=8, seed=4, registry=registry
+            )
+        assert len(collection) == 3
+        assert registry.counter_values()["parallel.workers_capped"] == 1
+
+    def test_no_warning_when_workers_fit(self, small_graph):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            collection, _ = parallel_fill(
+                small_graph, "IC", 50, workers=2, seed=4
+            )
+        assert len(collection) == 50
+
+    def test_deterministic_across_worker_counts(self, small_graph):
+        """The service-backed implementation has a stronger contract
+        than the old per-call pool: output depends only on the seed,
+        not on the worker count."""
+        a, _ = parallel_fill(small_graph, "IC", 120, workers=2, seed=9)
+        b, _ = parallel_fill(small_graph, "IC", 120, workers=4, seed=9)
+        assert all(
+            np.array_equal(a.get(i), b.get(i)) for i in range(120)
+        )
 
     def test_append_to_existing(self, small_graph):
         collection = RRCollection(small_graph.n)
