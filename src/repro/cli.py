@@ -12,6 +12,9 @@ Commands
     and print the seed set, sample count, and estimated spread.
 ``figure``
     Regenerate one of the paper's figures/tables (1-7, t1, t2).
+``serve``
+    Start the long-lived seed-query server (``repro.serve``): load the
+    graph once, keep the RR sketch warm, answer HTTP/JSON queries.
 """
 
 from __future__ import annotations
@@ -234,6 +237,46 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--show-baselined", action="store_true")
     lint.add_argument("--list-rules", action="store_true")
 
+    serve = sub.add_parser(
+        "serve", help="start the long-lived seed-query server"
+    )
+    serve.add_argument("--dataset", default="pokec-sim", choices=dataset_names())
+    serve.add_argument("--model", default="IC", choices=["IC", "LT"])
+    serve.add_argument("--scale", type=float, default=1.0)
+    serve.add_argument("--seed", type=int, default=2018)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8471)
+    serve.add_argument(
+        "--index-dir",
+        default=None,
+        metavar="DIR",
+        help="RR-sketch index directory: warm-start from it when it "
+        "exists, and POST /save writes back to it (docs/serving.md)",
+    )
+    serve.add_argument(
+        "--warmup",
+        type=int,
+        default=0,
+        metavar="N",
+        help="RR sets to pre-sample before accepting queries",
+    )
+    serve.add_argument("--cache-size", type=int, default=256)
+    serve.add_argument("--queue-limit", type=int, default=64)
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="seconds a request waits for the engine before 504",
+    )
+    serve.add_argument(
+        "--max-rr-sets",
+        type=int,
+        default=500_000,
+        help="hard ceiling on the shared RR sketch",
+    )
+    _add_pool_flag(serve)
+    _add_observability_flags(serve)
+
     reproduce = sub.add_parser(
         "reproduce", help="regenerate every table/figure into a directory"
     )
@@ -411,6 +454,64 @@ def _cmd_session(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import SeedQueryEngine, SeedQueryServer
+
+    registry, recorder = _make_observability(args)
+    graph = load_dataset(args.dataset, scale=args.scale)
+    if registry is not None:
+        registry.record(
+            "meta",
+            command="serve",
+            dataset=graph.name,
+            model=args.model,
+            seed=args.seed,
+        )
+    engine = SeedQueryEngine(
+        graph,
+        args.model,
+        seed=args.seed,
+        workers=args.pool_workers,
+        index_dir=args.index_dir,
+        max_rr_sets=args.max_rr_sets,
+        registry=registry,
+    )
+    if args.warmup:
+        engine.extend(args.warmup + args.warmup % 2)
+    server = SeedQueryServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        queue_limit=args.queue_limit,
+        request_timeout=args.timeout,
+        registry=registry,
+        own_engine=True,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        source = "index" if engine.loaded_from_index else "fresh"
+        print(
+            f"serving {graph.name} (n={graph.n}, m={graph.m}, "
+            f"model={engine.model}) on http://{args.host}:{server.port}"
+        )
+        print(
+            f"sketch: {engine.num_rr_sets} RR sets ({source}); "
+            "Ctrl-C drains and exits"
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
+        pass
+    _finish_observability(args, registry, recorder)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import main as lint_main
 
@@ -440,6 +541,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure(args)
     if args.command == "session":
         return _cmd_session(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "reproduce":

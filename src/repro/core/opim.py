@@ -42,6 +42,7 @@ from repro.maxcover.bounds import (
 )
 from repro.maxcover.greedy import GreedyResult, greedy_max_coverage
 from repro.obs import resolve_registry
+from repro.sampling.collection import RRCollection
 from repro.sampling.generator import RRSampler
 from repro.sampling.service import SamplingPool
 from repro.utils.rng import SeedLike
@@ -196,6 +197,36 @@ class OnlineOPIM:
         missing = total - self.num_rr_sets
         if missing > 0:
             self.extend(missing + (missing % 2))
+
+    def adopt_collections(self, r1: RRCollection, r2: RRCollection) -> None:
+        """Adopt externally owned nominator/judge collections.
+
+        The serving layer (:mod:`repro.serve`) keeps **one** RR-sketch
+        stream per ``(graph, model, seed)`` and shares it across many
+        per-``k`` algorithm instances: RR sets are ``k``-independent
+        (Section 3.1), so only the greedy pass and the Eq. 5 / Eq. 8
+        bound evaluations are per query.  Adopting replaces this
+        instance's collections with the shared pair; subsequent
+        ``extend`` calls grow the shared pair through this instance's
+        sampler.
+
+        The collections must be distinct objects (the nominator/judge
+        role split of Section 4.1 is what the guarantee rests on) and
+        defined over this graph's node universe.
+        """
+        if r1 is r2:
+            raise ParameterError(
+                "R1 and R2 must be distinct collections (the guarantee "
+                "requires disjoint nominator/judge samples)"
+            )
+        if r1.n != self.graph.n or r2.n != self.graph.n:
+            raise ParameterError(
+                f"collections are over {r1.n}/{r2.n} nodes; "
+                f"graph has {self.graph.n}"
+            )
+        self.r1 = r1
+        self.r2 = r2
+        self._greedy_cache = None
 
     # ------------------------------------------------------------------
     # Querying

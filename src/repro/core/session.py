@@ -18,7 +18,7 @@ Two features the paper describes around its core algorithm:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.core.opim import OnlineOPIM
 from repro.core.results import OnlineSnapshot
@@ -47,8 +47,10 @@ class SessionResult:
 class OPIMSession:
     """An interactive OPIM session with a joint failure budget.
 
-    Parameters mirror :class:`OnlineOPIM`; ``delta`` is the *total*
-    failure probability across **all** queries of the session.  The
+    Parameters mirror :class:`OnlineOPIM` (including ``sampler=`` for
+    an injected sampler such as a shared
+    :class:`~repro.sampling.service.SamplingPool`); ``delta`` is the
+    *total* failure probability across **all** queries of the session.  The
     i-th query (1-based) runs with per-query failure budget
     ``delta / 2^i``, so by the union bound every guarantee ever
     reported holds simultaneously w.p. >= 1 - delta.
@@ -74,10 +76,12 @@ class OPIMSession:
         seed: SeedLike = None,
         registry: Optional[object] = None,
         workers: Optional[int] = None,
+        sampler: Optional[Any] = None,
     ) -> None:
         self._online = OnlineOPIM(
             graph, model, k=k, delta=delta if delta is not None else 1.0 / graph.n,
             bound=bound, seed=seed, registry=registry, workers=workers,
+            sampler=sampler,
         )
         self.queries_made = 0
         self.history: List[OnlineSnapshot] = []
@@ -151,6 +155,8 @@ class OPIMSession:
         time_budget: Optional[float] = None,
         step: int = 2000,
         max_queries: int = 64,
+        bound: Optional[str] = None,
+        query_first: bool = False,
     ) -> SessionResult:
         """Extend-and-query until a stopping condition fires.
 
@@ -168,6 +174,14 @@ class OPIMSession:
             each unsatisfied query, mirroring the paper's checkpoints).
         max_queries:
             Hard cap on query rounds.
+        bound:
+            Bound variant forwarded to every :meth:`query` of the loop
+            (default: the session's bound).
+        query_first:
+            Query the *existing* stream before sampling anything.  A
+            warm session (restored checkpoint, shared serving sketch)
+            whose current guarantee already meets ``alpha_target``
+            then returns without generating a single RR set.
 
         At least one of the three budgets/targets must be given.
         """
@@ -183,6 +197,18 @@ class OPIMSession:
         snapshot = None
         stop = StopReason("max_queries", f"{max_queries} queries exhausted")
         grow = step
+        if query_first and self.num_rr_sets > 0:
+            snapshot = self.query(bound=bound)
+            if alpha_target is not None and snapshot.alpha >= alpha_target:
+                return SessionResult(
+                    snapshot=snapshot,
+                    history=list(self.history),
+                    stop=StopReason(
+                        "alpha",
+                        f"alpha {snapshot.alpha:.4f} >= {alpha_target} "
+                        "(pre-existing stream)",
+                    ),
+                )
         for _ in range(max_queries):
             target_total = self.num_rr_sets + grow
             if rr_budget is not None and target_total > rr_budget:
@@ -191,7 +217,7 @@ class OPIMSession:
                 stop = StopReason("rr_budget", f"budget {rr_budget} reached")
                 break
             self.extend_to(target_total)
-            snapshot = self.query()
+            snapshot = self.query(bound=bound)
             if alpha_target is not None and snapshot.alpha >= alpha_target:
                 stop = StopReason(
                     "alpha", f"alpha {snapshot.alpha:.4f} >= {alpha_target}"
@@ -210,5 +236,5 @@ class OPIMSession:
 
         if snapshot is None:
             # No query ran (rr_budget below current stream size).
-            snapshot = self.query()
+            snapshot = self.query(bound=bound)
         return SessionResult(snapshot=snapshot, history=list(self.history), stop=stop)

@@ -564,6 +564,53 @@ class SamplingPool:
             self.fill(collection, count)
         return collection
 
+    # -- resumable stream state ----------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """Snapshot of the deterministic stream position.
+
+        Because chunk seeds are a pure function of ``(seed, index)``,
+        the pool's entire sampling state is its root seed, the chunk
+        policy, and the next global chunk index.  Persisting this dict
+        (see :mod:`repro.serve.index`) and restoring it into a pool
+        constructed with the same seed and policy continues the exact
+        RR-set stream the original process would have produced.
+        """
+        return {
+            "kind": "pool",
+            "seed": self.seed,
+            "min_chunk": self.min_chunk,
+            "target_chunks": self.target_chunks,
+            "next_chunk": self._next_chunk,
+            "sets_generated": self.sets_generated,
+            "edges_examined": self.edges_examined,
+            "nodes_touched": self.nodes_touched,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Resume the deterministic stream from a :meth:`state` dict.
+
+        The pool must have been constructed with the same seed and
+        chunk policy the state was captured under — those are part of
+        the determinism contract, so a mismatch is an error rather
+        than a silent stream change.
+        """
+        for field in ("seed", "min_chunk", "target_chunks"):
+            if int(state[field]) != int(getattr(self, field)):
+                raise ParameterError(
+                    f"cannot restore sampling state: {field} was "
+                    f"{state[field]} at capture but the pool has "
+                    f"{getattr(self, field)}"
+                )
+        if self._next_chunk != 0 or self.sets_generated != 0:
+            raise ParameterError(
+                "cannot restore sampling state into a pool that has "
+                "already generated RR sets"
+            )
+        self._next_chunk = int(state["next_chunk"])
+        self.sets_generated = int(state["sets_generated"])
+        self.edges_examined = int(state["edges_examined"])
+        self.nodes_touched = int(state["nodes_touched"])
+
     # -- execution backends --------------------------------------------
     def _run_serial(
         self, tasks: Sequence[Tuple[int, int, int]]

@@ -1,0 +1,47 @@
+"""Seed-query serving layer: a long-lived engine over one RR sketch.
+
+``repro.serve`` turns the package's one-shot OPIM runners into an
+online service: load the graph once, keep the sampling machinery warm,
+persist the RR sketch across restarts, and answer repeated
+``(k, bound, target)`` queries by *extending* the shared sketch
+instead of resampling from zero.  See ``docs/serving.md`` for the
+architecture and the determinism contract.
+
+Layers (each usable on its own):
+
+* :mod:`repro.serve.index` — on-disk RR-sketch index (mmapped halves
+  plus a provenance manifest);
+* :mod:`repro.serve.engine` — :class:`SeedQueryEngine`, the shared
+  sketch plus per-``k`` OPIM sessions;
+* :mod:`repro.serve.cache` — LRU result cache keyed by full query
+  identity;
+* :mod:`repro.serve.server` / :mod:`repro.serve.http` — the asyncio
+  HTTP front end and its minimal client.
+"""
+
+from repro.serve.cache import LRUCache, QueryKey, make_key
+from repro.serve.engine import SeedQueryEngine
+from repro.serve.http import ProtocolError, ServeClient
+from repro.serve.index import (
+    INDEX_FORMAT_VERSION,
+    LoadedIndex,
+    graph_fingerprint,
+    load_index,
+    save_index,
+)
+from repro.serve.server import SeedQueryServer
+
+__all__ = [
+    "INDEX_FORMAT_VERSION",
+    "LRUCache",
+    "LoadedIndex",
+    "ProtocolError",
+    "QueryKey",
+    "SeedQueryEngine",
+    "SeedQueryServer",
+    "ServeClient",
+    "graph_fingerprint",
+    "load_index",
+    "make_key",
+    "save_index",
+]

@@ -1,0 +1,110 @@
+"""LRU result cache for the seed-query server.
+
+A cached entry is a complete query response: a seed set plus the
+snapshot quantities (alpha, theta counts, sigma bounds) it was
+certified with.  Snapshots never spoil — an (S*, alpha) pair reported
+under the session schedule stays valid forever (more samples would
+only *improve* alpha) — so entries are evicted by capacity alone.
+
+Keys are the full query identity
+``(graph_hash, model, k, bound, target, rr_budget)``: the graph hash
+makes a cache safe to share (or persist next to an index) across
+server restarts — a response can never leak across graphs or models.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, NamedTuple, Optional
+
+from repro.exceptions import ParameterError
+from repro.obs import resolve_registry
+
+
+class QueryKey(NamedTuple):
+    """Identity of a seed query (hashable, order-insensitive to input
+    spelling: epsilon requests are normalized to their alpha target)."""
+
+    graph_hash: str
+    model: str
+    k: int
+    bound: str
+    target: float
+    rr_budget: Optional[int]
+
+
+def make_key(
+    graph_hash: str,
+    model: str,
+    k: int,
+    bound: str,
+    target: float,
+    rr_budget: Optional[int] = None,
+) -> QueryKey:
+    """Build a cache key; the target is rounded so that float noise in
+    client-computed targets cannot split cache lines."""
+    return QueryKey(
+        graph_hash=graph_hash,
+        model=model,
+        k=int(k),
+        bound=bound,
+        target=round(float(target), 9),
+        rr_budget=None if rr_budget is None else int(rr_budget),
+    )
+
+
+class LRUCache:
+    """A plain LRU mapping with hit/miss accounting.
+
+    Not thread-safe by itself — the server funnels all access through
+    its event loop, which is the synchronization boundary.
+    """
+
+    def __init__(self, capacity: int = 256, registry: Optional[object] = None):
+        if capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.obs = resolve_registry(registry)
+        self._data: "OrderedDict[QueryKey, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: QueryKey) -> Optional[Dict[str, Any]]:
+        """Look up *key*, refreshing its recency; None on miss."""
+        entry = self._data.get(key)
+        if entry is None:
+            self.misses += 1
+            self.obs.count("serve.cache_misses")
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        self.obs.count("serve.cache_hits")
+        return entry
+
+    def put(self, key: QueryKey, value: Dict[str, Any]) -> None:
+        """Insert (or refresh) an entry, evicting the LRU on overflow."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+            self.obs.count("serve.cache_evictions")
+        self.obs.set_gauge("serve.cache_size", len(self._data))
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.obs.set_gauge("serve.cache_size", 0)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "size": len(self._data),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,372 @@
+"""Shared-sketch seed-query engine.
+
+:class:`SeedQueryEngine` is the serving layer's model of the paper's
+online contract: keep **one** RR-sketch stream (an R1/R2 collection
+pair fed by one deterministic sampler) per ``(graph, model, seed)``,
+and answer every ``(k, bound, target)`` query by *extending* that
+stream just far enough — never by restarting it.
+
+Why this is sound: RR sets are query-independent (Section 3.1), so
+the sketch is shared across every ``k``.  What is per-``k`` is the
+greedy pass and the failure-budget bookkeeping, so the engine keeps
+one :class:`~repro.core.session.OPIMSession` per ``k``, all adopting
+the same two collections (via
+:meth:`~repro.core.opim.OnlineOPIM.adopt_collections`) and the same
+sampler.  Each per-``k`` session applies the simultaneous-guarantee
+schedule (query ``i`` gets budget ``delta / 2^i``), so everything the
+server ever reported for a given ``k`` holds jointly w.p.
+``>= 1 - delta``.
+
+The engine is deliberately single-threaded: the asyncio server funnels
+all engine work through one executor thread, which both serializes
+access and keeps the event loop free for I/O.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.core.session import OPIMSession, SessionResult
+from repro.exceptions import ParameterError, StateError
+from repro.graph.digraph import DiGraph
+from repro.obs import resolve_registry
+from repro.sampling.collection import RRCollection
+from repro.sampling.generator import RRSampler
+from repro.sampling.service import SamplingPool
+from repro.serve.index import graph_fingerprint, load_index, save_index
+
+PathLike = Union[str, Path]
+
+#: Server-side ceiling on the shared stream (overridable per engine).
+DEFAULT_MAX_RR_SETS = 500_000
+
+#: RR sets added before the first retry of an unsatisfied query.
+DEFAULT_STEP = 2_000
+
+
+class SeedQueryEngine:
+    """Long-lived seed-query engine over one shared RR sketch.
+
+    Parameters
+    ----------
+    graph:
+        Weighted :class:`DiGraph`, loaded once for the engine's life.
+    model:
+        ``"IC"`` or ``"LT"``.
+    seed:
+        Root seed of the shared deterministic stream.  Two engines
+        with the same graph, model, and seed answer every query
+        identically — including across save/load of the index.
+    workers:
+        ``> 1`` streams through a warm
+        :class:`~repro.sampling.service.SamplingPool`; otherwise a
+        serial :class:`~repro.sampling.generator.RRSampler` is used.
+    delta:
+        Total failure budget *per k* (default ``1/n``); each per-``k``
+        session schedules its queries under ``delta / 2^i``.
+    index_dir:
+        Optional sketch-index directory.  When it contains a manifest
+        the engine warm-starts from it; :meth:`save_index` writes back
+        to it.
+    step, max_rr_sets:
+        Extension step for unsatisfied queries and the hard ceiling on
+        the shared stream.
+    registry:
+        Optional :class:`~repro.obs.MetricsRegistry` — the engine
+        maintains ``serve.extend_rr_sets`` / ``serve.extend_seconds``
+        and the underlying sampler metrics.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        model: str = "IC",
+        seed: int = 2018,
+        workers: Optional[int] = None,
+        delta: Optional[float] = None,
+        index_dir: Optional[PathLike] = None,
+        step: int = DEFAULT_STEP,
+        max_rr_sets: int = DEFAULT_MAX_RR_SETS,
+        registry: Optional[object] = None,
+    ) -> None:
+        if step < 2:
+            raise ParameterError(f"step must be >= 2, got {step}")
+        if max_rr_sets < 2:
+            raise ParameterError(f"max_rr_sets must be >= 2, got {max_rr_sets}")
+        self.graph = graph
+        self.model = model.upper()
+        self.seed = int(seed)
+        self.delta = float(delta) if delta is not None else 1.0 / graph.n
+        self.step = int(step)
+        self.max_rr_sets = int(max_rr_sets)
+        self.obs = resolve_registry(registry)
+        self.graph_hash = graph_fingerprint(graph)
+        self.workers = int(workers) if workers is not None else 1
+        if self.workers > 1:
+            self.sampler: Any = SamplingPool(
+                graph, self.model, workers=self.workers,
+                seed=self.seed, registry=self.obs,
+            )
+        else:
+            self.sampler = RRSampler(
+                graph, self.model, seed=self.seed, registry=self.obs
+            )
+        self.r1 = RRCollection(graph.n)
+        self.r2 = RRCollection(graph.n)
+        self._sessions: Dict[int, OPIMSession] = {}
+        self._closed = False
+        self.index_dir = Path(index_dir) if index_dir is not None else None
+        self.loaded_from_index = False
+        if (
+            self.index_dir is not None
+            and (self.index_dir / "manifest.json").exists()
+        ):
+            self.load_index(self.index_dir)
+            self.loaded_from_index = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the sampling pool (no-op for the serial sampler)."""
+        if self._closed:
+            return
+        self._closed = True
+        if isinstance(self.sampler, SamplingPool):
+            self.sampler.close()
+
+    def __enter__(self) -> "SeedQueryEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StateError("SeedQueryEngine is closed")
+
+    # ------------------------------------------------------------------
+    # The shared stream
+    # ------------------------------------------------------------------
+    @property
+    def num_rr_sets(self) -> int:
+        return len(self.r1) + len(self.r2)
+
+    def _session(self, k: int) -> OPIMSession:
+        session = self._sessions.get(k)
+        if session is None:
+            session = OPIMSession(
+                self.graph,
+                self.model,
+                k=k,
+                delta=self.delta,
+                sampler=self.sampler,
+            )
+            session.online.adopt_collections(self.r1, self.r2)
+            self._sessions[k] = session
+        return session
+
+    def extend(self, count: int) -> None:
+        """Proactively grow the shared sketch by *count* RR sets."""
+        self._check_open()
+        if count < 0 or count % 2:
+            raise ParameterError(
+                f"count must be non-negative and even, got {count}"
+            )
+        started = time.perf_counter()
+        self.sampler.fill(self.r1, count // 2)
+        self.sampler.fill(self.r2, count // 2)
+        self.obs.count("serve.extend_rr_sets", count)
+        self.obs.observe("serve.extend_seconds", time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def resolve_target(
+        alpha_target: Optional[float], epsilon: Optional[float]
+    ) -> float:
+        """Normalize a request's target to an alpha value.
+
+        Exactly one of ``alpha_target`` / ``epsilon`` must be given;
+        ``epsilon`` requests the conventional ``1 - 1/e - epsilon``
+        level (the OPIM-C stopping threshold, Section 6).
+        """
+        if (alpha_target is None) == (epsilon is None):
+            raise ParameterError(
+                "provide exactly one of alpha_target and epsilon"
+            )
+        if epsilon is not None:
+            if not 0.0 < epsilon < 1.0:
+                raise ParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+            alpha_target = 1.0 - 1.0 / math.e - epsilon
+        assert alpha_target is not None
+        if not 0.0 < alpha_target <= 1.0:
+            raise ParameterError(
+                f"alpha_target must be in (0, 1], got {alpha_target}"
+            )
+        return float(alpha_target)
+
+    def answer(
+        self,
+        k: int,
+        bound: str = "greedy",
+        alpha_target: Optional[float] = None,
+        epsilon: Optional[float] = None,
+        rr_budget: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Answer one seed query, extending the shared sketch if needed.
+
+        The existing stream is queried first; only when its guarantee
+        falls short of the target does the engine sample more (in
+        geometrically growing steps, never past ``rr_budget`` /
+        ``max_rr_sets``).  Returns a JSON-ready response dict.
+        """
+        self._check_open()
+        target = self.resolve_target(alpha_target, epsilon)
+        cap = self.max_rr_sets if rr_budget is None else min(
+            int(rr_budget), self.max_rr_sets
+        )
+        session = self._session(k)
+        sampled_before = self.num_rr_sets
+        started = time.perf_counter()
+        with self.obs.trace("serve/answer"):
+            result: SessionResult = session.run_until(
+                alpha_target=target,
+                rr_budget=cap,
+                step=self.step,
+                bound=bound,
+                query_first=True,
+            )
+        elapsed = time.perf_counter() - started
+        sampled = self.num_rr_sets - sampled_before
+        if sampled:
+            self.obs.count("serve.extend_rr_sets", sampled)
+            self.obs.observe("serve.extend_seconds", elapsed)
+        snapshot = result.snapshot
+        return {
+            "k": k,
+            "bound": snapshot.variant,
+            "seeds": [int(s) for s in snapshot.seeds],
+            "alpha": float(snapshot.alpha),
+            "alpha_target": target,
+            "satisfied": bool(snapshot.alpha >= target),
+            "num_rr_sets": int(snapshot.num_rr_sets),
+            "theta1": int(snapshot.theta1),
+            "theta2": int(snapshot.theta2),
+            "sigma_low": float(snapshot.sigma_low),
+            "sigma_up": float(snapshot.sigma_up),
+            "sampled": int(sampled),
+            "stop": result.stop.kind,
+            "queries_made": session.queries_made,
+            "engine_seconds": elapsed,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-ready snapshot of the engine's state."""
+        return {
+            "graph": self.graph.name,
+            "graph_hash": self.graph_hash,
+            "n": self.graph.n,
+            "m": self.graph.m,
+            "model": self.model,
+            "seed": self.seed,
+            "workers": self.workers,
+            "delta": self.delta,
+            "num_rr_sets": self.num_rr_sets,
+            "theta1": len(self.r1),
+            "theta2": len(self.r2),
+            "max_rr_sets": self.max_rr_sets,
+            "sessions": {
+                str(k): s.queries_made for k, s in sorted(self._sessions.items())
+            },
+            "sets_generated": int(self.sampler.sets_generated),
+            "edges_examined": int(self.sampler.edges_examined),
+            "loaded_from_index": self.loaded_from_index,
+        }
+
+    # ------------------------------------------------------------------
+    # Index persistence
+    # ------------------------------------------------------------------
+    def _sampler_state(self) -> Dict[str, Any]:
+        if isinstance(self.sampler, SamplingPool):
+            return self.sampler.state()
+        return {
+            "kind": "serial",
+            "rng_state": self.sampler.rng.bit_generator.state,
+            "sets_generated": int(self.sampler.sets_generated),
+            "edges_examined": int(self.sampler.edges_examined),
+            "nodes_touched": int(self.sampler.nodes_touched),
+        }
+
+    def _restore_sampler(self, state: Dict[str, Any]) -> None:
+        kind = state.get("kind")
+        expected = "pool" if isinstance(self.sampler, SamplingPool) else "serial"
+        if kind != expected:
+            raise ParameterError(
+                f"index was sampled with a {kind!r} sampler but the engine "
+                f"runs {expected!r}; start the engine with the matching "
+                "workers configuration to keep the stream deterministic"
+            )
+        if isinstance(self.sampler, SamplingPool):
+            self.sampler.restore_state(state)
+        else:
+            self.sampler.rng.bit_generator.state = state["rng_state"]
+            self.sampler.sets_generated = int(state["sets_generated"])
+            self.sampler.edges_examined = int(state["edges_examined"])
+            self.sampler.nodes_touched = int(state["nodes_touched"])
+
+    def save_index(self, directory: Optional[PathLike] = None) -> Dict[str, Any]:
+        """Persist the shared sketch (defaults to ``index_dir``)."""
+        self._check_open()
+        target = Path(directory) if directory is not None else self.index_dir
+        if target is None:
+            raise ParameterError(
+                "no directory given and the engine has no index_dir"
+            )
+        manifest = save_index(
+            target,
+            graph=self.graph,
+            model=self.model,
+            r1=self.r1,
+            r2=self.r2,
+            sampler_state=self._sampler_state(),
+            seed=self.seed,
+        )
+        self.obs.count("serve.index_saves")
+        return manifest
+
+    def load_index(self, directory: PathLike, mmap: bool = True) -> None:
+        """Warm-start from an on-disk sketch written by :meth:`save_index`.
+
+        Replaces the shared collections with the loaded (mmapped)
+        halves, restores the sampler's stream position, and re-adopts
+        the collections into any per-``k`` session already created.
+        """
+        self._check_open()
+        loaded = load_index(directory, self.graph, mmap=mmap)
+        manifest = loaded.manifest
+        if manifest["model"] != self.model:
+            raise ParameterError(
+                f"index was sampled under {manifest['model']}, engine "
+                f"runs {self.model}"
+            )
+        if int(manifest["seed"]) != self.seed:
+            raise ParameterError(
+                f"index stream seed {manifest['seed']} does not match "
+                f"engine seed {self.seed}"
+            )
+        self._restore_sampler(dict(manifest["sampler_state"]))
+        self.r1 = loaded.r1
+        self.r2 = loaded.r2
+        for session in self._sessions.values():
+            session.online.adopt_collections(self.r1, self.r2)
+        self.obs.count("serve.index_loads")
+        self.obs.set_gauge("serve.index_rr_sets", self.num_rr_sets)

@@ -1,0 +1,204 @@
+"""Minimal HTTP/1.1-over-asyncio plumbing for the seed-query server.
+
+The server speaks plain HTTP with JSON bodies so any client — curl, a
+load balancer's health checker, the bundled :class:`ServeClient` —
+can talk to it, but it deliberately avoids a web framework: requests
+are small, responses are JSON, and the stdlib ``asyncio`` streams are
+all that is needed.  (``http.server`` is synchronous and
+thread-per-connection; a framework would be the package's only
+non-numpy dependency.)
+
+Supported subset: request line + headers + ``Content-Length`` bodies,
+keep-alive by default, ``Connection: close`` honored.  No chunked
+encoding, no TLS — this is an internal service endpoint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+#: Hard caps keeping a misbehaving client from ballooning memory.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADERS = 64
+MAX_BODY = 8 * 1024 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ProtocolError(Exception):
+    """Malformed or oversized HTTP input (connection will be closed)."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> Dict[str, Any]:
+        """Decode the body as a JSON object ({} when empty)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"invalid JSON body: {exc}")
+        if not isinstance(payload, dict):
+            raise ProtocolError("JSON body must be an object")
+        return payload
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request from *reader*; ``None`` on clean EOF."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-request-line")
+    except asyncio.LimitOverrunError:
+        raise ProtocolError("request line too long")
+    if len(line) > MAX_REQUEST_LINE:
+        raise ProtocolError("request line too long")
+    parts = line.decode("latin-1").rstrip("\r\n").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line: {line!r}")
+    method, path = parts[0].upper(), parts[1]
+
+    headers: Dict[str, str] = {}
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise ProtocolError("connection closed mid-headers")
+        if line in (b"\r\n", b"\n"):
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise ProtocolError("too many headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(f"bad Content-Length: {length_text!r}")
+    if length < 0 or length > MAX_BODY:
+        raise ProtocolError(f"unacceptable Content-Length: {length}")
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError("connection closed mid-body")
+    return Request(method=method, path=path, headers=headers, body=body)
+
+
+def render_response(
+    status: int, payload: Dict[str, Any], keep_alive: bool = True
+) -> bytes:
+    """Serialize a JSON response with Content-Length framing."""
+    body = json.dumps(payload).encode("utf-8")
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {phrase}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+async def read_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Dict[str, Any]]:
+    """Client side: parse one ``(status, json_payload)`` response."""
+    line = await reader.readuntil(b"\r\n")
+    parts = line.decode("latin-1").split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed status line: {line!r}")
+    status = int(parts[1])
+    length = 0
+    while True:
+        line = await reader.readuntil(b"\r\n")
+        if line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length) if length else b""
+    return status, json.loads(body.decode("utf-8")) if body else {}
+
+
+class ServeClient:
+    """A keep-alive JSON client for one server connection.
+
+    Used by the tests and the latency benchmark; it is also the
+    reference for talking to the server from your own code::
+
+        client = await ServeClient.connect("127.0.0.1", 8471)
+        status, reply = await client.request(
+            "POST", "/query", {"k": 10, "alpha_target": 0.5}
+        )
+        await client.close()
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: serve\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        return await read_response(self._reader)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - racy close
+            pass

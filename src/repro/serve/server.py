@@ -1,0 +1,419 @@
+"""The asyncio seed-query server.
+
+One process, three moving parts:
+
+* the **event loop** parses HTTP, consults the result cache, and
+  coalesces duplicate in-flight queries;
+* a **bounded job queue** applies backpressure — when it is full the
+  server answers 503 immediately instead of stacking latency;
+* a single **engine thread** (a one-worker executor) runs the
+  CPU-bound sketch work serially, which is both the synchronization
+  story for :class:`~repro.serve.engine.SeedQueryEngine` and what
+  keeps the event loop responsive while a cold query samples.
+
+Request lifecycle for ``POST /query``::
+
+    cache hit ───────────────────────────────▶ respond (< 1 ms)
+    miss, identical query in flight ─────────▶ await its future
+    miss, queue full ────────────────────────▶ 503 {"error": "overloaded"}
+    miss ───▶ enqueue ───▶ engine thread ───▶ cache + respond
+
+Every response that waited on the engine is stored in the LRU cache,
+including responses whose *requester* timed out (504): the work was
+done, so the next identical query is a hit.
+
+Shutdown is a graceful drain: stop accepting connections, let queued
+jobs finish (bounded by ``drain_timeout``), then tear down the engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+
+from repro.core.opim import BOUND_VARIANTS
+from repro.exceptions import ParameterError, ReproError
+from repro.obs import resolve_registry
+from repro.serve.cache import LRUCache, QueryKey, make_key
+from repro.serve.engine import SeedQueryEngine
+from repro.serve.http import (
+    ProtocolError,
+    Request,
+    read_request,
+    render_response,
+)
+
+DEFAULT_PORT = 8471
+
+
+class SeedQueryServer:
+    """HTTP/JSON front end over a :class:`SeedQueryEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The shared-sketch engine (owned by the server if
+        ``own_engine``; it is then closed on shutdown).
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`).
+    cache_size:
+        LRU capacity of the result cache.
+    queue_limit:
+        Bounded depth of the engine job queue — the backpressure knob.
+    request_timeout:
+        Seconds a requester waits for the engine before getting 504
+        (the job itself keeps running and still populates the cache).
+    drain_timeout:
+        Seconds shutdown waits for queued jobs before giving up.
+    registry:
+        Metrics registry (defaults to the engine's).  Maintains
+        ``serve.requests``, ``serve.queries``, ``serve.cache_hits`` /
+        ``_misses``, ``serve.coalesced``, ``serve.rejected``,
+        ``serve.timeouts``, and the ``serve.queue_depth`` gauge.
+    """
+
+    def __init__(
+        self,
+        engine: SeedQueryEngine,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        cache_size: int = 256,
+        queue_limit: int = 64,
+        request_timeout: float = 120.0,
+        drain_timeout: float = 30.0,
+        registry: Optional[object] = None,
+        own_engine: bool = False,
+    ) -> None:
+        if queue_limit < 1:
+            raise ParameterError(f"queue_limit must be >= 1, got {queue_limit}")
+        if request_timeout <= 0 or drain_timeout < 0:
+            raise ParameterError("timeouts must be positive")
+        self.engine = engine
+        self.host = host
+        self._requested_port = port
+        self.request_timeout = float(request_timeout)
+        self.drain_timeout = float(drain_timeout)
+        self.own_engine = bool(own_engine)
+        self.obs = resolve_registry(
+            registry if registry is not None else engine.obs
+        )
+        self.cache = LRUCache(cache_size, registry=self.obs)
+        self.queue_limit = int(queue_limit)
+        self._queue: Optional[asyncio.Queue] = None
+        self._inflight: Dict[QueryKey, asyncio.Future] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-engine"
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._bound_port: Optional[int] = None
+        self._worker: Optional[asyncio.Task] = None
+        self._draining = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The actually bound port (resolves ``port=0``)."""
+        if self._bound_port is None:
+            return self._requested_port
+        return self._bound_port
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the engine worker."""
+        self._queue = asyncio.Queue(maxsize=self.queue_limit)
+        self._worker = asyncio.create_task(
+            self._worker_loop(), name="serve-engine-worker"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        self._bound_port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self, drain: bool = True) -> None:
+        """Graceful shutdown: stop accepting, drain, release the engine."""
+        if self._closed:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain and self._queue is not None and not self._queue.empty():
+            try:
+                await asyncio.wait_for(self._queue.join(), self.drain_timeout)
+            except asyncio.TimeoutError:  # pragma: no cover - slow drain
+                pass
+        self._closed = True
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+        self._executor.shutdown(wait=True)
+        if self.own_engine:
+            self.engine.close()
+
+    async def serve_forever(self) -> None:
+        """Run until SIGINT/SIGTERM, then drain and shut down."""
+        if self._server is None:
+            await self.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await stop.wait()
+        await self.close(drain=True)
+
+    # ------------------------------------------------------------------
+    # Engine worker
+    # ------------------------------------------------------------------
+    async def _worker_loop(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            key, job, future = await self._queue.get()
+            try:
+                result = await loop.run_in_executor(self._executor, job)
+            except BaseException as exc:  # noqa: BLE001 - forwarded to waiter
+                if not future.cancelled():
+                    future.set_exception(exc)
+            else:
+                if key is not None:
+                    self.cache.put(key, result)
+                if not future.cancelled():
+                    future.set_result(result)
+            finally:
+                if key is not None:
+                    self._inflight.pop(key, None)
+                self._queue.task_done()
+                self.obs.set_gauge("serve.queue_depth", self._queue.qsize())
+
+    def _submit(
+        self, key: Optional[QueryKey], job: Callable[[], Dict[str, Any]]
+    ) -> "asyncio.Future[Dict[str, Any]]":
+        """Enqueue engine work; raises :class:`OverloadedError` when full."""
+        assert self._queue is not None
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait((key, job, future))
+        except asyncio.QueueFull:
+            raise OverloadedError(self._queue.qsize())
+        if key is not None:
+            self._inflight[key] = future
+        self.obs.set_gauge("serve.queue_depth", self._queue.qsize())
+        return future
+
+    # ------------------------------------------------------------------
+    # HTTP handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as exc:
+                    writer.write(
+                        render_response(
+                            400, {"error": str(exc)}, keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                status, payload = await self._dispatch(request)
+                writer.write(
+                    render_response(status, payload, request.keep_alive)
+                )
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, OSError):  # pragma: no cover - client vanished
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, request: Request) -> Tuple[int, Dict[str, Any]]:
+        self.obs.count("serve.requests")
+        route = (request.method, request.path)
+        with self.obs.trace(f"serve/{request.path.strip('/') or 'root'}"):
+            if route == ("GET", "/healthz"):
+                return 200, {
+                    "status": "draining" if self._draining else "ok",
+                    "num_rr_sets": self.engine.num_rr_sets,
+                }
+            if route == ("GET", "/stats"):
+                return 200, {
+                    "engine": self.engine.stats(),
+                    "cache": self.cache.stats(),
+                    "queue_depth": (
+                        self._queue.qsize() if self._queue is not None else 0
+                    ),
+                    "queue_limit": self.queue_limit,
+                    "draining": self._draining,
+                    "counters": self.obs.counter_values(),
+                }
+            if self._draining:
+                return 503, {"error": "draining"}
+            handler: Optional[
+                Callable[[Request], Awaitable[Tuple[int, Dict[str, Any]]]]
+            ] = {
+                ("POST", "/query"): self._handle_query,
+                ("POST", "/extend"): self._handle_extend,
+                ("POST", "/save"): self._handle_save,
+            }.get(route)
+            if handler is None:
+                known = {"/healthz", "/stats", "/query", "/extend", "/save"}
+                if request.path in known:
+                    return 405, {"error": f"wrong method for {request.path}"}
+                return 404, {"error": f"unknown path {request.path}"}
+            try:
+                return await handler(request)
+            except OverloadedError as exc:
+                self.obs.count("serve.rejected")
+                return 503, {"error": "overloaded", "queue_depth": exc.depth}
+            except TimeoutResponse:
+                return 504, {
+                    "error": "timeout",
+                    "detail": (
+                        "the engine did not answer within "
+                        f"{self.request_timeout}s; the job keeps running "
+                        "and will fill the cache"
+                    ),
+                }
+            except ProtocolError as exc:
+                return 400, {"error": str(exc)}
+            except ParameterError as exc:
+                return 400, {"error": str(exc)}
+            except ReproError as exc:
+                return 500, {"error": str(exc)}
+
+    async def _handle_query(
+        self, request: Request
+    ) -> Tuple[int, Dict[str, Any]]:
+        params = request.json()
+        self.obs.count("serve.queries")
+        known = {"k", "bound", "alpha_target", "epsilon", "rr_budget"}
+        unknown = set(params) - known
+        if unknown:
+            raise ParameterError(f"unknown query fields: {sorted(unknown)}")
+        try:
+            k = int(params["k"])
+        except KeyError:
+            raise ParameterError("missing required field: k")
+        except (TypeError, ValueError):
+            raise ParameterError(f"k must be an integer, got {params['k']!r}")
+        bound = str(params.get("bound", "greedy"))
+        if bound not in BOUND_VARIANTS:
+            raise ParameterError(
+                f"bound must be one of {BOUND_VARIANTS}, got {bound!r}"
+            )
+        alpha_target = params.get("alpha_target")
+        epsilon = params.get("epsilon")
+        rr_budget = params.get("rr_budget")
+        target = self.engine.resolve_target(
+            None if alpha_target is None else float(alpha_target),
+            None if epsilon is None else float(epsilon),
+        )
+        key = make_key(
+            self.engine.graph_hash,
+            self.engine.model,
+            k,
+            bound,
+            target,
+            None if rr_budget is None else int(rr_budget),
+        )
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            return 200, {**cached, "cached": True, "coalesced": False}
+
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.obs.count("serve.coalesced")
+            response = await self._await_job(inflight)
+            return 200, {**response, "cached": False, "coalesced": True}
+
+        engine = self.engine
+        future = self._submit(
+            key,
+            lambda: engine.answer(
+                k,
+                bound=bound,
+                alpha_target=target,
+                rr_budget=None if rr_budget is None else int(rr_budget),
+            ),
+        )
+        response = await self._await_job(future)
+        return 200, {**response, "cached": False, "coalesced": False}
+
+    async def _await_job(
+        self, future: "asyncio.Future[Dict[str, Any]]"
+    ) -> Dict[str, Any]:
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(future), self.request_timeout
+            )
+        except asyncio.TimeoutError:
+            self.obs.count("serve.timeouts")
+            raise TimeoutResponse()
+
+    async def _handle_extend(
+        self, request: Request
+    ) -> Tuple[int, Dict[str, Any]]:
+        params = request.json()
+        try:
+            count = int(params["count"])
+        except KeyError:
+            raise ParameterError("missing required field: count")
+        except (TypeError, ValueError):
+            raise ParameterError(
+                f"count must be an integer, got {params['count']!r}"
+            )
+        engine = self.engine
+
+        def job() -> Dict[str, Any]:
+            engine.extend(count)
+            return {"extended": count, "num_rr_sets": engine.num_rr_sets}
+
+        return 200, await self._await_job(self._submit(None, job))
+
+    async def _handle_save(
+        self, request: Request
+    ) -> Tuple[int, Dict[str, Any]]:
+        engine = self.engine
+
+        def job() -> Dict[str, Any]:
+            manifest = engine.save_index()
+            return {
+                "saved": str(engine.index_dir),
+                "theta1": manifest["theta1"],
+                "theta2": manifest["theta2"],
+            }
+
+        return 200, await self._await_job(self._submit(None, job))
+
+
+class OverloadedError(Exception):
+    """Job queue full — mapped to 503 by the dispatcher."""
+
+    def __init__(self, depth: int) -> None:
+        super().__init__(f"job queue full at depth {depth}")
+        self.depth = depth
+
+
+class TimeoutResponse(ReproError):
+    """Requester-side wait exceeded ``request_timeout`` (504)."""

@@ -1,0 +1,80 @@
+"""Internal-link checker for the markdown documentation.
+
+Walks every markdown link in ``README.md`` and ``docs/*.md`` and
+verifies that relative targets exist (including the file behind a
+``path#fragment`` reference and, for in-repo markdown targets, the
+heading the fragment points at).  External ``http(s)`` links are not
+touched — this test must pass offline.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).parent.parent
+
+#: The documentation surface under link checking.
+DOCUMENTS = sorted(
+    [REPO / "README.md", *(REPO / "docs").glob("*.md")],
+    key=lambda path: path.name,
+)
+
+#: ``[text](target)`` — excluding images; tolerates titles after the URL.
+LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor algorithm, close enough for ASCII docs."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _links(path: Path):
+    for target in LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        yield target
+
+
+def _anchors(path: Path):
+    return {
+        _slugify(heading)
+        for heading in HEADING.findall(path.read_text(encoding="utf-8"))
+    }
+
+
+@pytest.mark.parametrize("doc", DOCUMENTS, ids=lambda p: p.name)
+def test_internal_links_resolve(doc):
+    broken = []
+    for target in _links(doc):
+        raw_path, _, fragment = target.partition("#")
+        resolved = (
+            doc if not raw_path else (doc.parent / raw_path).resolve()
+        )
+        if not resolved.exists():
+            broken.append(f"{target} -> missing file {resolved}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in _anchors(resolved):
+                broken.append(
+                    f"{target} -> no heading #{fragment} in {resolved.name}"
+                )
+    assert not broken, f"{doc.name} has broken links:\n  " + "\n  ".join(broken)
+
+
+def test_docs_index_links_every_docs_page():
+    """docs/index.md is the landing page; it must reach each sibling."""
+    index = REPO / "docs" / "index.md"
+    linked = {target.partition("#")[0] for target in _links(index)}
+    missing = [
+        page.name
+        for page in (REPO / "docs").glob("*.md")
+        if page.name != "index.md" and page.name not in linked
+    ]
+    assert not missing, f"docs/index.md does not link: {missing}"

@@ -1,0 +1,559 @@
+"""Tests for the seed-query serving layer (``repro.serve``).
+
+Covers the serving contracts end to end:
+
+* **Index** — fingerprint stability, save/load roundtrip, and the
+  refusal to serve from a sketch built on a different graph, model,
+  seed, or sampler kind.
+* **Engine** — warm reuse (a repeated query samples nothing), shared
+  sketch across ``k``, determinism across engines and across a
+  save/load boundary (including post-load stream continuation).
+* **Cache** — LRU semantics, eviction, and key normalization.
+* **Server** — the asyncio front end: health, cached repeats,
+  coalescing of identical in-flight queries, 503 backpressure,
+  graceful drain, extend/save endpoints, and malformed-input replies.
+
+The async tests drive a real listening socket via ``asyncio.run`` —
+no event-loop plugin needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphFormatError, ParameterError, StateError
+from repro.graph.build import from_edge_list
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    LRUCache,
+    SeedQueryEngine,
+    SeedQueryServer,
+    ServeClient,
+    graph_fingerprint,
+    load_index,
+    make_key,
+    save_index,
+)
+from repro.serve.engine import DEFAULT_STEP
+
+
+@pytest.fixture
+def engine(medium_graph):
+    eng = SeedQueryEngine(medium_graph, "IC", seed=42, step=400)
+    yield eng
+    eng.close()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _started_server(engine, **kwargs):
+    server = SeedQueryServer(engine, port=0, **kwargs)
+    await server.start()
+    return server
+
+
+# ----------------------------------------------------------------------
+# Index
+# ----------------------------------------------------------------------
+class TestIndex:
+    def test_fingerprint_is_stable_and_name_insensitive(self, medium_graph):
+        fp1 = graph_fingerprint(medium_graph)
+        fp2 = graph_fingerprint(medium_graph)
+        assert fp1 == fp2
+        assert len(fp1) == 64
+
+    def test_fingerprint_distinguishes_graphs(self, medium_graph, small_graph):
+        assert graph_fingerprint(medium_graph) != graph_fingerprint(small_graph)
+
+    def test_roundtrip(self, engine, medium_graph, tmp_path):
+        engine.extend(600)
+        manifest = save_index(
+            tmp_path,
+            medium_graph,
+            "IC",
+            engine.r1,
+            engine.r2,
+            sampler_state=engine._sampler_state(),
+            seed=42,
+        )
+        assert manifest["theta1"] == 300
+        loaded = load_index(tmp_path, medium_graph)
+        assert len(loaded.r1) == 300
+        assert len(loaded.r2) == 300
+        for i in range(0, 300, 37):
+            assert np.array_equal(loaded.r1.get(i), engine.r1.get(i))
+            assert np.array_equal(loaded.r2.get(i), engine.r2.get(i))
+
+    def test_graph_mismatch_rejected(self, engine, medium_graph, small_graph, tmp_path):
+        engine.extend(100)
+        engine.save_index(tmp_path)
+        with pytest.raises(ParameterError, match="mismatched sketch"):
+            load_index(tmp_path, small_graph)
+
+    def test_missing_manifest_rejected(self, medium_graph, tmp_path):
+        with pytest.raises(GraphFormatError, match="no manifest"):
+            load_index(tmp_path / "nope", medium_graph)
+
+    def test_corrupt_manifest_rejected(self, medium_graph, tmp_path):
+        (tmp_path / "manifest.json").write_text("{not json")
+        with pytest.raises(GraphFormatError, match="invalid JSON"):
+            load_index(tmp_path, medium_graph)
+
+    def test_count_mismatch_rejected(self, engine, medium_graph, tmp_path):
+        engine.extend(100)
+        engine.save_index(tmp_path)
+        manifest_path = tmp_path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["theta1"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(GraphFormatError, match="promises 999"):
+            load_index(tmp_path, medium_graph)
+
+    def test_model_and_seed_mismatch_rejected(self, medium_graph, tmp_path):
+        with SeedQueryEngine(medium_graph, "IC", seed=42) as eng:
+            eng.extend(100)
+            eng.save_index(tmp_path)
+        with SeedQueryEngine(medium_graph, "LT", seed=42) as eng:
+            with pytest.raises(ParameterError, match="sampled under"):
+                eng.load_index(tmp_path)
+        with SeedQueryEngine(medium_graph, "IC", seed=43) as eng:
+            with pytest.raises(ParameterError, match="seed"):
+                eng.load_index(tmp_path)
+
+    def test_sampler_kind_mismatch_rejected(self, medium_graph, tmp_path):
+        with SeedQueryEngine(medium_graph, "IC", seed=42, workers=2) as eng:
+            eng.extend(100)
+            eng.save_index(tmp_path)
+        with SeedQueryEngine(medium_graph, "IC", seed=42) as eng:
+            with pytest.raises(ParameterError, match="deterministic"):
+                eng.load_index(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_repeated_query_samples_nothing(self, engine):
+        first = engine.answer(5, alpha_target=0.2)
+        assert first["satisfied"]
+        assert first["sampled"] > 0
+        again = engine.answer(5, alpha_target=0.2)
+        assert again["sampled"] == 0
+        assert again["seeds"] == first["seeds"]
+        # The re-query is certified under the next (smaller) delta/2^i
+        # failure budget, so alpha may dip slightly — but never below
+        # the target, and never by resampling.
+        assert again["satisfied"]
+        assert again["alpha"] <= first["alpha"]
+
+    def test_sketch_shared_across_k(self, engine):
+        engine.answer(5, alpha_target=0.2)
+        sets_before = engine.num_rr_sets
+        other_k = engine.answer(3, alpha_target=0.2)
+        # The k=3 session reuses the k=5 session's samples: either no
+        # new sampling at all, or far less than a cold start.
+        assert engine.num_rr_sets >= sets_before
+        assert other_k["num_rr_sets"] >= sets_before
+
+    def test_deterministic_across_engines(self, medium_graph):
+        answers = []
+        for _ in range(2):
+            with SeedQueryEngine(medium_graph, "IC", seed=7, step=400) as eng:
+                answers.append(eng.answer(4, alpha_target=0.2))
+        assert answers[0]["seeds"] == answers[1]["seeds"]
+        assert answers[0]["alpha"] == answers[1]["alpha"]
+        assert answers[0]["num_rr_sets"] == answers[1]["num_rr_sets"]
+
+    def test_warm_start_continues_the_stream(self, medium_graph, tmp_path):
+        # Reference: one uninterrupted engine.
+        with SeedQueryEngine(medium_graph, "IC", seed=7, step=400) as ref:
+            ref.answer(4, alpha_target=0.2)
+            ref.extend(400)
+            expected = ref.answer(6, alpha_target=0.25)
+        # Same computation split across a save/load boundary.
+        with SeedQueryEngine(
+            medium_graph, "IC", seed=7, step=400, index_dir=tmp_path
+        ) as eng:
+            eng.answer(4, alpha_target=0.2)
+            eng.save_index()
+        with SeedQueryEngine(
+            medium_graph, "IC", seed=7, step=400, index_dir=tmp_path
+        ) as eng:
+            assert eng.loaded_from_index
+            warm = eng.answer(4, alpha_target=0.2)
+            assert warm["sampled"] == 0
+            eng.extend(400)
+            resumed = eng.answer(6, alpha_target=0.25)
+        assert resumed["seeds"] == expected["seeds"]
+        assert resumed["alpha"] == expected["alpha"]
+
+    def test_resolve_target_validation(self):
+        resolve = SeedQueryEngine.resolve_target
+        assert resolve(0.5, None) == 0.5
+        assert resolve(None, 0.1) == pytest.approx(1 - 1 / np.e - 0.1)
+        with pytest.raises(ParameterError, match="exactly one"):
+            resolve(None, None)
+        with pytest.raises(ParameterError, match="exactly one"):
+            resolve(0.5, 0.1)
+        with pytest.raises(ParameterError, match="epsilon"):
+            resolve(None, 1.5)
+        with pytest.raises(ParameterError, match="alpha_target"):
+            resolve(0.0, None)
+
+    def test_budget_cap_respected(self, engine):
+        result = engine.answer(5, alpha_target=0.999, rr_budget=1000)
+        assert not result["satisfied"]
+        assert result["stop"] == "rr_budget"
+        assert engine.num_rr_sets <= 1000 + DEFAULT_STEP
+
+    def test_extend_validation(self, engine):
+        with pytest.raises(ParameterError, match="even"):
+            engine.extend(3)
+        with pytest.raises(ParameterError, match="even"):
+            engine.extend(-2)
+
+    def test_closed_engine_refuses_work(self, medium_graph):
+        eng = SeedQueryEngine(medium_graph, "IC", seed=1)
+        eng.close()
+        with pytest.raises(StateError):
+            eng.answer(3, alpha_target=0.2)
+
+    def test_stats_shape(self, engine):
+        engine.answer(5, alpha_target=0.2)
+        stats = engine.stats()
+        assert stats["model"] == "IC"
+        assert stats["theta1"] == stats["theta2"]
+        assert stats["sessions"] == {"5": 1}
+        assert stats["num_rr_sets"] == stats["theta1"] + stats["theta2"]
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
+class TestCache:
+    def test_hit_miss_and_lru_eviction(self):
+        cache = LRUCache(capacity=2)
+        k1 = make_key("g", "IC", 1, "greedy", 0.5)
+        k2 = make_key("g", "IC", 2, "greedy", 0.5)
+        k3 = make_key("g", "IC", 3, "greedy", 0.5)
+        assert cache.get(k1) is None
+        cache.put(k1, {"v": 1})
+        cache.put(k2, {"v": 2})
+        assert cache.get(k1) == {"v": 1}  # refresh k1 -> k2 is LRU
+        cache.put(k3, {"v": 3})
+        assert cache.get(k2) is None
+        assert cache.get(k1) == {"v": 1}
+        assert cache.get(k3) == {"v": 3}
+        assert cache.evictions == 1
+
+    def test_key_normalizes_float_noise(self):
+        base = make_key("g", "IC", 1, "greedy", 0.3)
+        noisy = make_key("g", "IC", 1, "greedy", 0.3 + 1e-12)
+        assert base == noisy
+        assert make_key("g", "IC", 1, "greedy", 0.31) != base
+
+    def test_key_separates_graphs_and_budgets(self):
+        a = make_key("g1", "IC", 1, "greedy", 0.5)
+        assert make_key("g2", "IC", 1, "greedy", 0.5) != a
+        assert make_key("g1", "LT", 1, "greedy", 0.5) != a
+        assert make_key("g1", "IC", 1, "greedy", 0.5, rr_budget=10) != a
+
+    def test_capacity_validation(self):
+        with pytest.raises(ParameterError):
+            LRUCache(capacity=0)
+
+    def test_counters_flow_to_registry(self):
+        registry = MetricsRegistry()
+        cache = LRUCache(capacity=4, registry=registry)
+        key = make_key("g", "IC", 1, "greedy", 0.5)
+        cache.get(key)
+        cache.put(key, {})
+        cache.get(key)
+        counters = registry.counter_values()
+        assert counters["serve.cache_misses"] == 1
+        assert counters["serve.cache_hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# Server
+# ----------------------------------------------------------------------
+class TestServer:
+    def test_healthz_and_stats(self, engine):
+        async def scenario():
+            server = await _started_server(engine)
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            status, health = await client.request("GET", "/healthz")
+            assert status == 200
+            assert health["status"] == "ok"
+            status, stats = await client.request("GET", "/stats")
+            assert status == 200
+            assert stats["engine"]["model"] == "IC"
+            assert stats["queue_depth"] == 0
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_second_identical_query_is_cached(self, engine):
+        async def scenario():
+            server = await _started_server(engine)
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            payload = {"k": 4, "alpha_target": 0.2}
+            status, first = await client.request("POST", "/query", payload)
+            assert status == 200
+            assert not first["cached"]
+            status, second = await client.request("POST", "/query", payload)
+            assert status == 200
+            assert second["cached"]
+            assert second["seeds"] == first["seeds"]
+            # epsilon spelling of the same target also hits the cache
+            status, aliased = await client.request(
+                "POST", "/query", {"k": 4, "epsilon": 1 - 1 / np.e - 0.2}
+            )
+            assert aliased["cached"]
+            assert server.cache.hits >= 2
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_identical_inflight_queries_coalesce(self, engine):
+        async def scenario():
+            server = await _started_server(engine)
+            clients = [
+                await ServeClient.connect("127.0.0.1", server.port)
+                for _ in range(6)
+            ]
+            payload = {"k": 5, "alpha_target": 0.25}
+            replies = await asyncio.gather(
+                *(c.request("POST", "/query", payload) for c in clients)
+            )
+            seeds = {tuple(reply["seeds"]) for _, reply in replies}
+            assert all(status == 200 for status, _ in replies)
+            assert len(seeds) == 1
+            coalesced = sum(
+                1 for _, reply in replies if reply.get("coalesced")
+            )
+            computed = sum(
+                1
+                for _, reply in replies
+                if not reply.get("coalesced") and not reply["cached"]
+            )
+            # Exactly one request computed; everyone else rode along
+            # (via coalescing or, if they arrived late, via the cache).
+            assert computed == 1
+            assert coalesced + computed <= 6
+            for client in clients:
+                await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_queue_overflow_returns_503(self, engine):
+        async def scenario():
+            server = await _started_server(engine, queue_limit=1)
+            clients = [
+                await ServeClient.connect("127.0.0.1", server.port)
+                for _ in range(5)
+            ]
+            # Distinct targets so no two requests coalesce or share a
+            # cache line; with queue_limit=1 at least one must be shed.
+            replies = await asyncio.gather(
+                *(
+                    c.request(
+                        "POST",
+                        "/query",
+                        {"k": 3, "alpha_target": 0.05 + 0.01 * i},
+                    )
+                    for i, c in enumerate(clients)
+                )
+            )
+            statuses = sorted(status for status, _ in replies)
+            assert 503 in statuses
+            assert 200 in statuses
+            rejected = [p for s, p in replies if s == 503]
+            assert all(p["error"] == "overloaded" for p in rejected)
+            for client in clients:
+                await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_slow_engine_returns_504_but_fills_cache(self, engine, monkeypatch):
+        real_answer = engine.answer
+        calls = []
+
+        def slow_answer(*args, **kwargs):
+            calls.append(1)
+            time.sleep(0.4)
+            return real_answer(*args, **kwargs)
+
+        monkeypatch.setattr(engine, "answer", slow_answer)
+
+        async def scenario():
+            server = await _started_server(engine, request_timeout=0.05)
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            body = {"k": 3, "alpha_target": 0.2}
+            status, reply = await client.request("POST", "/query", body)
+            assert status == 504
+            assert reply["error"] == "timeout"
+            # The shed requester does not cancel the job: once it lands,
+            # a repeat of the identical query is served from cache.
+            await asyncio.sleep(0.6)
+            status, reply = await client.request("POST", "/query", body)
+            assert status == 200
+            assert reply["cached"] is True
+            assert len(calls) == 1
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_extend_and_save_endpoints(self, engine, tmp_path):
+        engine.index_dir = tmp_path
+
+        async def scenario():
+            server = await _started_server(engine)
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            status, reply = await client.request(
+                "POST", "/extend", {"count": 200}
+            )
+            assert status == 200
+            assert reply["num_rr_sets"] == 200
+            status, reply = await client.request("POST", "/save", {})
+            assert status == 200
+            assert reply["theta1"] == 100
+            await client.close()
+            await server.close()
+
+        run(scenario())
+        assert (tmp_path / "manifest.json").exists()
+
+    def test_drain_rejects_new_queries(self, engine):
+        async def scenario():
+            server = await _started_server(engine)
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            server._draining = True
+            status, reply = await client.request(
+                "POST", "/query", {"k": 3, "alpha_target": 0.2}
+            )
+            assert status == 503
+            assert reply["error"] == "draining"
+            status, health = await client.request("GET", "/healthz")
+            assert status == 200
+            assert health["status"] == "draining"
+            server._draining = False
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_close_is_graceful_and_idempotent(self, engine):
+        async def scenario():
+            server = await _started_server(engine)
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            status, _ = await client.request(
+                "POST", "/query", {"k": 3, "alpha_target": 0.2}
+            )
+            assert status == 200
+            await client.close()
+            await server.close()
+            await server.close()  # second close is a no-op
+            with pytest.raises((ConnectionError, OSError)):
+                await ServeClient.connect("127.0.0.1", server.port)
+
+        run(scenario())
+
+    def test_bad_requests_rejected(self, engine):
+        async def scenario():
+            server = await _started_server(engine)
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            cases = [
+                ("POST", "/query", {}, 400),  # missing k
+                ("POST", "/query", {"k": "many", "epsilon": 0.3}, 400),
+                ("POST", "/query", {"k": 3}, 400),  # no target
+                ("POST", "/query", {"k": 3, "epsilon": 0.3, "x": 1}, 400),
+                ("POST", "/query", {"k": 3, "epsilon": 0.3, "bound": "?"}, 400),
+                ("POST", "/extend", {}, 400),
+                ("GET", "/nope", None, 404),
+                ("GET", "/query", None, 405),
+            ]
+            for method, path, payload, expected in cases:
+                status, reply = await client.request(method, path, payload)
+                assert status == expected, (path, payload, reply)
+                assert "error" in reply
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_malformed_http_is_a_400(self, engine):
+        async def scenario():
+            server = await _started_server(engine)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"not an http request\r\n\r\n")
+            await writer.drain()
+            line = await reader.readline()
+            assert b"400" in line
+            writer.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_metrics_flow(self, medium_graph):
+        registry = MetricsRegistry()
+        engine = SeedQueryEngine(
+            medium_graph, "IC", seed=42, step=400, registry=registry
+        )
+
+        async def scenario():
+            server = await _started_server(engine, registry=registry)
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            payload = {"k": 4, "alpha_target": 0.2}
+            await client.request("POST", "/query", payload)
+            await client.request("POST", "/query", payload)
+            await client.close()
+            await server.close()
+
+        run(scenario())
+        engine.close()
+        counters = registry.counter_values()
+        assert counters["serve.requests"] == 2
+        assert counters["serve.queries"] == 2
+        assert counters["serve.cache_hits"] == 1
+        assert counters["serve.extend_rr_sets"] > 0
+        assert registry.stats("span:serve/query").count == 2
+
+
+# ----------------------------------------------------------------------
+# Guards on the shared-sketch plumbing in core
+# ----------------------------------------------------------------------
+class TestAdoptCollections:
+    def test_rejects_aliased_halves(self, medium_graph):
+        from repro.core import OnlineOPIM
+        from repro.sampling.collection import RRCollection
+
+        with OnlineOPIM(medium_graph, "IC", k=3, seed=1) as algo:
+            shared = RRCollection(medium_graph.n)
+            with pytest.raises(ParameterError, match="distinct"):
+                algo.adopt_collections(shared, shared)
+
+    def test_rejects_wrong_node_count(self, medium_graph):
+        from repro.core import OnlineOPIM
+        from repro.sampling.collection import RRCollection
+
+        other = from_edge_list([(0, 1, 0.5)], name="two")
+        with OnlineOPIM(medium_graph, "IC", k=3, seed=1) as algo:
+            with pytest.raises(ParameterError, match="nodes"):
+                algo.adopt_collections(
+                    RRCollection(other.n), RRCollection(other.n)
+                )
