@@ -1,0 +1,51 @@
+"""Benchmark trajectory recorder: append BENCH_*.json runs to history.
+
+Every benchmark run (``pytest benchmarks/``) rewrites the
+``BENCH_*.json`` files in ``benchmarks/results/`` in place, which keeps
+the repository tidy but loses the *trajectory* — the sequence of
+numbers later perf PRs are judged against.  This script snapshots all
+current result files onto one append-only JSONL history::
+
+    python benchmarks/trajectory.py                 # append a snapshot
+    python benchmarks/trajectory.py --label $SHA    # tag it
+    repro-opim bench record                         # same, via the CLI
+
+Each line is ``{"label": ..., "results": {filename: content}}``.
+Gating against the recorded baseline is the separate
+``repro-opim bench compare`` command (see ``repro.obs.regression``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def main(argv=None) -> int:
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    )
+    from repro.obs.regression import HISTORY_FILENAME, append_history
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", default=RESULTS_DIR)
+    parser.add_argument(
+        "--history",
+        default=None,
+        help="history JSONL (default <results>/history.jsonl)",
+    )
+    parser.add_argument(
+        "--label", default=None, help="snapshot label, e.g. a git SHA"
+    )
+    args = parser.parse_args(argv)
+    history = args.history or os.path.join(args.results, HISTORY_FILENAME)
+    snapshot = append_history(args.results, history, label=args.label)
+    print(f"recorded {len(snapshot['results'])} result files -> {history}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ from repro.analysis.rules.base import Rule
 from repro.analysis.rules.delta_budget import DeltaBudgetRule
 from repro.analysis.rules.dtype_discipline import DtypeDisciplineRule
 from repro.analysis.rules.float_equality import FloatEqualityRule
+from repro.analysis.rules.registry_injection import RegistryInjectionRule
 from repro.analysis.rules.rng_determinism import RngDeterminismRule
 from repro.analysis.rules.traceability import TraceabilityRule
 
@@ -25,6 +26,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     FloatEqualityRule,
     DtypeDisciplineRule,
     TraceabilityRule,
+    RegistryInjectionRule,
 )
 
 
@@ -45,6 +47,7 @@ __all__ = [
     "DeltaBudgetRule",
     "DtypeDisciplineRule",
     "FloatEqualityRule",
+    "RegistryInjectionRule",
     "RngDeterminismRule",
     "Rule",
     "TraceabilityRule",

@@ -1,0 +1,65 @@
+"""RPR107 — hot paths take an injected registry, never build their own.
+
+The observability contract (PR 1, docs/observability.md) is that every
+instrumented component accepts a registry object and resolves it with
+``resolve_registry`` — ``None`` becomes the shared ``NULL_REGISTRY``
+and instrumentation costs nothing.  A ``MetricsRegistry()`` constructed
+*inside* a hot-path module breaks that contract twice over: the caller
+can no longer turn instrumentation off, and the private registry's
+counters and spans are invisible to the process-wide ``/metrics``
+scrape and trace sink.  Only composition roots (the CLI, tests,
+benchmarks) should construct registries; library code in ``sampling/``,
+``core/``, ``maxcover/``, and ``serve/`` must receive one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.base import Rule
+from repro.analysis.visitors import ImportMap
+
+#: canonical names whose construction is reserved for composition roots.
+_REGISTRY_CONSTRUCTORS = frozenset(
+    {
+        "repro.obs.MetricsRegistry",
+        "repro.obs.registry.MetricsRegistry",
+    }
+)
+
+#: a file is "instrumented hot path" when any of these appears in it.
+HOT_PATH_PARTS = frozenset({"sampling", "core", "maxcover", "serve"})
+
+
+class RegistryInjectionRule(Rule):
+    rule_id = "RPR107"
+    name = "registry-injection"
+    severity = Severity.WARNING
+    description = (
+        "Instrumented hot paths (sampling/, core/, maxcover/, serve/) "
+        "must accept an injected registry, not construct MetricsRegistry."
+    )
+
+    def check(self, ctx) -> List[Finding]:
+        if not HOT_PATH_PARTS & set(ctx.path_parts):
+            return []
+        imports = ImportMap(ctx.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = imports.resolve_call(node)
+            if canonical not in _REGISTRY_CONSTRUCTORS:
+                continue
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    "MetricsRegistry() constructed inside a hot path; "
+                    "accept a registry parameter and pass it through "
+                    "resolve_registry so callers control instrumentation",
+                )
+            )
+        return findings

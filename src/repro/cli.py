@@ -129,23 +129,35 @@ def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
     )
 
 
-def _make_observability(args: argparse.Namespace):
-    """Build (registry, recorder) from --trace/--metrics, else (None, None)."""
+def _make_observability(args: argparse.Namespace, stream: bool = False):
+    """Build (registry, recorder) from --trace/--metrics, else (None, None).
+
+    ``stream=True`` (the serve command) opens the recorder directly on
+    the trace path so events hit disk as they happen — a long-lived
+    server should not buffer its whole trace in memory.
+    """
     trace = getattr(args, "trace", None)
     metrics = getattr(args, "metrics", False)
     if not trace and not metrics:
         return None, None
+    recorder = None
     if trace:
-        # Fail fast on an unwritable path instead of after the run.
-        with open(trace, "w", encoding="utf-8"):
-            pass
-    recorder = TraceRecorder() if trace else None
+        if stream:
+            recorder = TraceRecorder(path=trace)
+        else:
+            # Fail fast on an unwritable path instead of after the run.
+            with open(trace, "w", encoding="utf-8"):
+                pass
+            recorder = TraceRecorder()
     return MetricsRegistry(sink=recorder), recorder
 
 
 def _finish_observability(args: argparse.Namespace, registry, recorder) -> None:
     if recorder is not None:
-        recorder.to_jsonl(args.trace)
+        if recorder.path is not None:
+            recorder.close()
+        else:
+            recorder.to_jsonl(args.trace)
         print(f"trace       : {len(recorder.events)} events -> {args.trace}")
     if registry is not None and getattr(args, "metrics", False):
         summary = registry.summary()
@@ -158,6 +170,12 @@ def _finish_observability(args: argparse.Namespace, registry, recorder) -> None:
             print(
                 f"  {name:36s} count={stats['count']} "
                 f"total={stats['total']:.4g} mean={stats['mean']:.4g}"
+            )
+        for name, hist in sorted(summary["histograms"].items()):
+            print(
+                f"  {name:36s} count={hist['count']} "
+                f"p50={hist['p50']:.4g} p95={hist['p95']:.4g} "
+                f"p99={hist['p99']:.4g}"
             )
 
 
@@ -276,6 +294,66 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_pool_flag(serve)
     _add_observability_flags(serve)
+
+    trace = sub.add_parser(
+        "trace", help="inspect a JSONL trace export (docs/observability.md)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-phase latency breakdown plus slow stitched request trees",
+    )
+    summarize.add_argument("path", help="JSONL trace file to summarize")
+    summarize.add_argument(
+        "--slow-ms",
+        type=float,
+        default=100.0,
+        help="flag traces slower than this total latency (default 100)",
+    )
+    summarize.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="show at most this many slow traces (default 5)",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="benchmark trajectory and regression gating"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    compare = bench_sub.add_parser(
+        "compare",
+        help="compare BENCH_*.json against the recorded baseline "
+        "(nonzero exit on regression; the CI perf gate)",
+    )
+    compare.add_argument(
+        "--results",
+        default="benchmarks/results",
+        help="directory holding BENCH_*.json (default benchmarks/results)",
+    )
+    compare.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline spec (default <results>/BENCH_baseline.json)",
+    )
+    compare.add_argument(
+        "--skip-missing",
+        action="store_true",
+        help="do not fail when a tracked metric's results file is absent",
+    )
+    record = bench_sub.add_parser(
+        "record",
+        help="append the current BENCH_*.json files to the history JSONL",
+    )
+    record.add_argument("--results", default="benchmarks/results")
+    record.add_argument(
+        "--history",
+        default=None,
+        help="history file (default <results>/history.jsonl)",
+    )
+    record.add_argument(
+        "--label", default=None, help="free-form snapshot label (e.g. git SHA)"
+    )
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate every table/figure into a directory"
@@ -459,7 +537,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import SeedQueryEngine, SeedQueryServer
 
-    registry, recorder = _make_observability(args)
+    registry, recorder = _make_observability(args, stream=True)
     graph = load_dataset(args.dataset, scale=args.scale)
     if registry is not None:
         registry.record(
@@ -512,6 +590,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.tracetool import (
+        format_trace_summary,
+        load_events,
+        summarize_trace,
+    )
+
+    events = load_events(args.path)
+    summary = summarize_trace(events, slow_ms=args.slow_ms, top=args.top)
+    print(format_trace_summary(summary))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import regression
+
+    if args.bench_command == "record":
+        history = args.history or os.path.join(
+            args.results, regression.HISTORY_FILENAME
+        )
+        snapshot = regression.append_history(
+            args.results, history, label=args.label
+        )
+        print(
+            f"recorded {len(snapshot['results'])} result files -> {history}"
+        )
+        return 0
+    baseline_path = args.baseline or os.path.join(
+        args.results, regression.BASELINE_FILENAME
+    )
+    baseline = regression.load_baseline(baseline_path)
+    result = regression.compare(args.results, baseline)
+    print(regression.format_comparison(result))
+    if result["regressions"]:
+        return 1
+    if result["missing"] and not args.skip_missing:
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import main as lint_main
 
@@ -545,6 +665,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "reproduce":
         runtimes = run_all(
             args.out, preset=args.preset, seed=args.seed, only=args.only

@@ -36,6 +36,8 @@ import logging
 import sys
 from typing import Optional
 
+from repro.obs.export import prometheus_text
+from repro.obs.histogram import Histogram, default_buckets
 from repro.obs.recorder import (
     TraceRecorder,
     events_per_second,
@@ -51,6 +53,11 @@ from repro.obs.registry import (
     RunningStats,
     resolve_registry,
 )
+from repro.obs.tracetool import (
+    format_trace_summary,
+    load_events,
+    summarize_trace,
+)
 
 __all__ = [
     "MetricsRegistry",
@@ -60,10 +67,16 @@ __all__ = [
     "Counter",
     "Gauge",
     "RunningStats",
+    "Histogram",
+    "default_buckets",
+    "prometheus_text",
     "RRSetStats",
     "TraceRecorder",
     "events_per_second",
     "throughput_summary",
+    "load_events",
+    "summarize_trace",
+    "format_trace_summary",
     "configure_logging",
 ]
 

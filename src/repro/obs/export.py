@@ -1,0 +1,103 @@
+"""Prometheus text-format exposition for a :class:`MetricsRegistry`.
+
+:func:`prometheus_text` renders every counter, gauge, histogram, and
+running-stat in a registry using the Prometheus text exposition format
+(version 0.0.4) — the payload ``GET /metrics`` on
+:class:`~repro.serve.server.SeedQueryServer` returns.
+
+Naming: dotted metric names become underscore-separated
+(``serve.latency`` -> ``serve_latency``); histogram labels render as
+``serve_latency_bucket{outcome="cold",le="0.25"}``.  RunningStats are
+exported as ``<name>_count`` / ``<name>_sum`` / ``<name>_min`` /
+``<name>_max`` untyped samples, skipped when a histogram of the same
+name exists (the histogram's ``_count`` / ``_sum`` take precedence).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+__all__ = ["prometheus_text", "metric_name"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Prometheus content type for the text exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def metric_name(name: str) -> str:
+    """``serve.latency`` -> ``serve_latency``; ``span:a/b`` -> ``span_a_b``."""
+    return _NAME_OK.sub("_", name)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{metric_name(k)}="{_escape_label(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_bound(le: float) -> str:
+    if le == float("inf"):
+        return "+Inf"
+    text = repr(float(le))
+    return text[:-2] if text.endswith(".0") else text
+
+
+def prometheus_text(registry) -> str:
+    """Render *registry* as Prometheus text exposition format."""
+    lines: List[str] = []
+
+    for name, value in sorted(registry.counter_values().items()):
+        pname = metric_name(name)
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {value}")
+
+    for name, value in sorted(registry.gauge_values().items()):
+        pname = metric_name(name)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {value}")
+
+    histograms = getattr(registry, "histograms", None)
+    hist_names = set()
+    if histograms is not None:
+        grouped: Dict[str, List[object]] = {}
+        for hist in histograms():
+            grouped.setdefault(hist.name, []).append(hist)
+        for name in sorted(grouped):
+            pname = metric_name(name)
+            hist_names.add(name)
+            lines.append(f"# TYPE {pname} histogram")
+            for hist in grouped[name]:
+                labels = dict(hist.labels)
+                for le, cumulative in hist.cumulative_buckets():
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_bound(le)
+                    lines.append(
+                        f"{pname}_bucket{_render_labels(bucket_labels)}"
+                        f" {cumulative}"
+                    )
+                suffix = _render_labels(labels)
+                lines.append(f"{pname}_sum{suffix} {hist.sum}")
+                lines.append(f"{pname}_count{suffix} {hist.count}")
+
+    summary = registry.summary()
+    for name, stat in sorted(summary.get("stats", {}).items()):
+        if name in hist_names:
+            continue
+        pname = metric_name(name)
+        lines.append(f"# TYPE {pname} untyped")
+        lines.append(f"{pname}_count {stat['count']}")
+        lines.append(f"{pname}_sum {stat['total']}")
+        lines.append(f"{pname}_min {stat['min']}")
+        lines.append(f"{pname}_max {stat['max']}")
+
+    return "\n".join(lines) + "\n"

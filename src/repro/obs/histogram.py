@@ -1,0 +1,166 @@
+"""Log-bucketed latency histograms with Prometheus-style buckets.
+
+:class:`Histogram` complements :class:`~repro.obs.registry.RunningStats`
+when the *shape* of a latency distribution matters, not just its mean:
+serving percentiles (p50/p95/p99) are the quantities the OPIM-C paper's
+"online processing" claim is judged on, and a mean hides the tail.
+
+Buckets follow the Prometheus exposition model: each bucket is an
+inclusive upper bound (``le``), observations land in the first bucket
+whose bound is >= the value, and an implicit ``+Inf`` bucket catches
+the overflow.  The default bounds are log-spaced (1/2.5/5 steps per
+decade) from 100 microseconds to 60 seconds — wide enough for a cached
+hit (~1 ms) and a cold OPIM query (~100 ms+) to land in well-separated
+buckets.
+
+Quantiles are estimated by linear interpolation inside the bucket that
+contains the target rank, the same estimator Prometheus'
+``histogram_quantile`` uses; the error is bounded by bucket width.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Histogram", "default_buckets"]
+
+#: Log-spaced seconds-scale bounds: 100 us .. 60 s in 1 / 2.5 / 5 steps.
+_DEFAULT_BOUNDS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0, 25.0, 60.0,
+)
+
+
+def default_buckets() -> Tuple[float, ...]:
+    """The default log-spaced latency bounds (seconds)."""
+    return _DEFAULT_BOUNDS
+
+
+class Histogram:
+    """A fixed-bucket histogram metric (thread-safe, lock-shared).
+
+    Parameters
+    ----------
+    name:
+        Dotted metric name (``serve.latency``).
+    lock:
+        The owning registry's lock; all mutation happens under it.
+    buckets:
+        Ascending finite upper bounds; an implicit ``+Inf`` bucket is
+        always appended.  Defaults to :func:`default_buckets`.
+    labels:
+        Optional frozen label mapping (e.g. ``{"outcome": "cold"}``) —
+        purely descriptive here; the registry keys histograms by
+        ``(name, labels)``.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "_counts", "count", "sum", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        lock: threading.Lock,
+        buckets: Optional[Sequence[float]] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        bounds = tuple(buckets) if buckets is not None else _DEFAULT_BOUNDS
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram bounds must be strictly ascending: {bounds}")
+        self.name = name
+        self.labels: Dict[str, str] = dict(labels or {})
+        self.bounds = bounds
+        # One slot per finite bound plus the +Inf overflow slot.
+        self._counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.sum += value
+
+    # -- views ----------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts, overflow slot last."""
+        return list(self._counts)
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs.
+
+        The final pair uses ``float("inf")`` and always equals
+        :attr:`count`.
+        """
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, slot in zip(self.bounds, self._counts):
+            running += slot
+            out.append((bound, running))
+        out.append((float("inf"), running + self._counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (0 <= q <= 1) from bucket counts.
+
+        Linear interpolation inside the containing bucket; the lowest
+        bucket interpolates from 0, the overflow bucket returns the
+        largest finite bound (the estimate is saturated, not infinite).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        total = self.count
+        if total == 0:
+            return 0.0
+        rank = q * total
+        running = 0.0
+        lower = 0.0
+        for bound, slot in zip(self.bounds, self._counts):
+            if slot and running + slot >= rank:
+                fraction = (rank - running) / slot
+                return lower + (bound - lower) * min(max(fraction, 0.0), 1.0)
+            running += slot
+            lower = bound
+        return self.bounds[-1] if self.bounds else 0.0
+
+    def percentiles(self) -> Dict[str, float]:
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot (feeds ``registry.summary()``)."""
+        snapshot = {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+        }
+        snapshot.update(self.percentiles())
+        snapshot["buckets"] = [
+            {"le": le if le != float("inf") else "+Inf", "count": cumulative}
+            for le, cumulative in self.cumulative_buckets()
+        ]
+        if self.labels:
+            snapshot["labels"] = dict(self.labels)
+        return snapshot
+
+    def __repr__(self) -> str:
+        label = f", labels={self.labels}" if self.labels else ""
+        return (
+            f"Histogram({self.name!r}{label}, count={self.count}, "
+            f"sum={self.sum:.6g})"
+        )

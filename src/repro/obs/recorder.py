@@ -24,6 +24,7 @@ counter totals into rates for benchmark reporting.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from typing import IO, Dict, List, Optional, Union
 
@@ -35,17 +36,90 @@ __all__ = [
 
 
 class TraceRecorder:
-    """Append-only in-memory sink of structured observability events."""
+    """Append-only sink of structured observability events.
 
-    def __init__(self) -> None:
+    Two modes share one API:
+
+    * **in-memory** (default, ``path=None``) — events accumulate in
+      :attr:`events`; export explicitly with :meth:`to_jsonl`.
+    * **streaming** (``path=...``) — every event is *also* appended to
+      the JSONL file as it arrives (flushed per event, so concurrent
+      readers and crash post-mortems see a complete prefix).  Pass
+      ``max_bytes`` to cap the file: when the next line would exceed
+      the cap the current file rotates to ``<path>.1`` (replacing any
+      previous rotation) and a fresh file is started, so long-lived
+      servers never grow one unbounded JSONL.
+
+    ``record`` is safe to call from multiple threads and asyncio tasks
+    concurrently; the internal lock serializes both the in-memory
+    append and the file write.  :meth:`close` flushes, fsyncs, and
+    closes the stream (idempotent); the recorder also works as a
+    context manager.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, os.PathLike]] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self._lock = threading.Lock()
         self.events: List[dict] = []
+        self.path = os.fspath(path) if path is not None else None
+        self.max_bytes = max_bytes
+        self.rotations = 0
+        self.closed = False
+        self._handle: Optional[IO[str]] = None
+        self._bytes_written = 0
+        if self.path is not None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+            self._bytes_written = self._handle.tell()
 
     def record(self, kind: str, **fields) -> None:
         event = {"type": kind}
         event.update(fields)
         with self._lock:
             self.events.append(event)
+            if self._handle is not None and not self.closed:
+                line = json.dumps(event) + "\n"
+                if (
+                    self.max_bytes is not None
+                    and self._bytes_written > 0
+                    and self._bytes_written + len(line) > self.max_bytes
+                ):
+                    self._rotate_locked()
+                self._handle.write(line)
+                self._handle.flush()
+                self._bytes_written += len(line)
+
+    def _rotate_locked(self) -> None:
+        """Swap the live file to ``<path>.1`` and start a fresh one."""
+        assert self._handle is not None and self.path is not None
+        self._handle.flush()
+        self._handle.close()
+        os.replace(self.path, self.path + ".1")
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._bytes_written = 0
+        self.rotations += 1
+
+    def close(self) -> None:
+        """Flush + fsync + close the streaming file (idempotent)."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            if self._handle is not None:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __len__(self) -> int:
         return len(self.events)

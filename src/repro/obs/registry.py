@@ -24,12 +24,15 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.obs.histogram import Histogram
 
 __all__ = [
     "Counter",
     "Gauge",
     "RunningStats",
+    "Histogram",
     "RRSetStats",
     "MetricsRegistry",
     "NullRegistry",
@@ -128,6 +131,32 @@ class RunningStats:
         return f"RunningStats({self.name!r}, {self.as_dict()})"
 
 
+class _TraceContext:
+    """Thread-local trace-id activation; see ``trace_context``.
+
+    While active, every event the registry records from this thread —
+    span exits included — is tagged with the trace id, which is what
+    lets the trace summarizer stitch HTTP, engine, and worker spans
+    back into one tree per request.
+    """
+
+    __slots__ = ("_registry", "_trace_id", "_previous")
+
+    def __init__(self, registry: "MetricsRegistry", trace_id: Optional[str]) -> None:
+        self._registry = registry
+        self._trace_id = trace_id
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> "_TraceContext":
+        local = self._registry._local
+        self._previous = getattr(local, "trace_id", None)
+        local.trace_id = self._trace_id
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._registry._local.trace_id = self._previous
+
+
 class _Span:
     """One live ``trace`` span; created by :meth:`MetricsRegistry.trace`.
 
@@ -196,6 +225,9 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._stats: Dict[str, RunningStats] = {}
+        self._histograms: Dict[
+            Tuple[str, Tuple[Tuple[str, str], ...]], Histogram
+        ] = {}
         self._local = threading.local()
         self.sink = sink
 
@@ -224,6 +256,27 @@ class MetricsRegistry:
                     name, RunningStats(name, self._lock)
                 )
         return stats
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Dict[str, str]] = None,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        """Create-or-get a histogram keyed by ``(name, labels)``.
+
+        ``labels`` distinguish streams of one logical metric (e.g.
+        ``serve.latency`` per ``outcome``); ``buckets`` only apply on
+        first creation of a given key.
+        """
+        key = (name, tuple(sorted((labels or {}).items())))
+        hist = self._histograms.get(key)
+        if hist is None:
+            with self._lock:
+                hist = self._histograms.setdefault(
+                    key, Histogram(name, self._lock, buckets=buckets, labels=labels)
+                )
+        return hist
 
     # -- shortcuts ------------------------------------------------------
     def count(self, name: str, amount: int = 1) -> None:
@@ -259,9 +312,32 @@ class MetricsRegistry:
         """Slash-joined path of the currently open spans ('' at root)."""
         return "/".join(self._span_stack())
 
+    def trace_context(self, trace_id: Optional[str]) -> _TraceContext:
+        """Activate *trace_id* for this thread (context manager).
+
+        While the context is open, every event recorded from this
+        thread is tagged ``trace_id=...`` unless the caller already set
+        one.  Contexts nest: the previous id is restored on exit.
+        Thread-local — code hopping threads (e.g. the serve engine
+        executor) must re-enter the context on the worker thread.
+        """
+        return _TraceContext(self, trace_id)
+
+    def current_trace(self) -> Optional[str]:
+        """The trace id active on this thread, or ``None``."""
+        return getattr(self._local, "trace_id", None)
+
     def record(self, kind: str, **fields) -> None:
-        """Forward a structured event to the attached sink, if any."""
+        """Forward a structured event to the attached sink, if any.
+
+        When a :meth:`trace_context` is active on the calling thread,
+        the event is tagged with its trace id (caller-provided
+        ``trace_id`` fields win).
+        """
         if self.sink is not None:
+            trace_id = getattr(self._local, "trace_id", None)
+            if trace_id is not None and "trace_id" not in fields:
+                fields["trace_id"] = trace_id
             self.sink.record(kind, **fields)
 
     # -- introspection --------------------------------------------------
@@ -271,18 +347,35 @@ class MetricsRegistry:
     def gauge_values(self) -> Dict[str, float]:
         return {name: g.value for name, g in self._gauges.items()}
 
+    def histograms(self) -> Iterable[Histogram]:
+        """Every histogram (all label streams), creation order."""
+        return list(self._histograms.values())
+
+    def histogram_values(self) -> Dict[str, dict]:
+        """Snapshot keyed ``name`` or ``name{k=v,...}`` per label stream."""
+        out: Dict[str, dict] = {}
+        for (name, label_items), hist in self._histograms.items():
+            key = name
+            if label_items:
+                inner = ",".join(f"{k}={v}" for k, v in label_items)
+                key = f"{name}{{{inner}}}"
+            out[key] = hist.as_dict()
+        return out
+
     def summary(self) -> dict:
         """A JSON-serializable snapshot of every metric."""
         return {
             "counters": self.counter_values(),
             "gauges": self.gauge_values(),
             "stats": {name: s.as_dict() for name, s in self._stats.items()},
+            "histograms": self.histogram_values(),
         }
 
     def __repr__(self) -> str:
         return (
             f"MetricsRegistry(counters={len(self._counters)}, "
-            f"gauges={len(self._gauges)}, stats={len(self._stats)})"
+            f"gauges={len(self._gauges)}, stats={len(self._stats)}, "
+            f"histograms={len(self._histograms)})"
         )
 
 
@@ -295,9 +388,12 @@ class _NullMetric:
     value = 0
     count = 0
     total = 0.0
+    sum = 0.0
     min = 0.0
     max = 0.0
     mean = 0.0
+    labels: Dict[str, str] = {}
+    bounds: Tuple[float, ...] = ()
 
     def inc(self, amount: int = 1) -> None:
         pass
@@ -307,6 +403,15 @@ class _NullMetric:
 
     def observe(self, value: float) -> None:
         pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def percentiles(self) -> Dict[str, float]:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def cumulative_buckets(self) -> list:
+        return []
 
     def as_dict(self) -> dict:
         return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
@@ -356,6 +461,14 @@ class NullRegistry:
     def stats(self, name: str) -> _NullMetric:
         return _NULL_METRIC
 
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Dict[str, str]] = None,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> _NullMetric:
+        return _NULL_METRIC
+
     def count(self, name: str, amount: int = 1) -> None:
         pass
 
@@ -367,6 +480,12 @@ class NullRegistry:
 
     def trace(self, phase: str) -> _NullSpan:
         return _NULL_SPAN
+
+    def trace_context(self, trace_id: Optional[str]) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current_trace(self) -> Optional[str]:
+        return None
 
     def current_path(self) -> str:
         return ""
@@ -380,8 +499,14 @@ class NullRegistry:
     def gauge_values(self) -> Dict[str, float]:
         return {}
 
+    def histograms(self) -> list:
+        return []
+
+    def histogram_values(self) -> Dict[str, dict]:
+        return {}
+
     def summary(self) -> dict:
-        return {"counters": {}, "gauges": {}, "stats": {}}
+        return {"counters": {}, "gauges": {}, "stats": {}, "histograms": {}}
 
     def __repr__(self) -> str:
         return "NullRegistry()"

@@ -1,0 +1,180 @@
+"""Benchmark trajectory history and perf-regression gating.
+
+Two pieces back ``repro-opim bench record`` / ``bench compare`` and the
+CI regression job:
+
+* :func:`append_history` snapshots every ``BENCH_*.json`` in a results
+  directory onto one JSONL history file — the benchmark *trajectory*
+  later perf PRs are judged against.
+* :func:`compare` checks current ``BENCH_*.json`` values against a
+  recorded baseline with per-metric tolerances and improvement
+  directions, reporting regressions.
+
+Baseline format (``benchmarks/results/BENCH_baseline.json``)::
+
+    {
+      "version": 1,
+      "metrics": {
+        "BENCH_serve.json:cached.p50_ms": {
+          "value": 0.787, "tolerance": 0.9, "direction": "lower"
+        },
+        ...
+      }
+    }
+
+A metric id is ``<results file>:<dotted path into its JSON>``.
+``direction`` says which way is *better*: ``"lower"`` metrics regress
+when ``current > value * (1 + tolerance)``; ``"higher"`` metrics when
+``current < value * (1 - tolerance)``.  Tolerances are deliberately
+loose (wall-clock noise on shared runners) — the gate catches order-of
+-magnitude slips like an accidental O(n^2), not 10% jitter.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "HISTORY_FILENAME",
+    "load_baseline",
+    "extract_metric",
+    "compare",
+    "format_comparison",
+    "append_history",
+]
+
+BASELINE_FILENAME = "BENCH_baseline.json"
+HISTORY_FILENAME = "history.jsonl"
+
+
+def load_baseline(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    metrics = baseline.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError(f"baseline {path} has no 'metrics' mapping")
+    for metric_id, spec in metrics.items():
+        if "value" not in spec:
+            raise ValueError(f"baseline metric {metric_id} missing 'value'")
+        if spec.get("direction", "lower") not in ("lower", "higher"):
+            raise ValueError(
+                f"baseline metric {metric_id}: direction must be "
+                f"'lower' or 'higher'"
+            )
+    return baseline
+
+
+def extract_metric(results_dir: str, metric_id: str) -> Optional[float]:
+    """Resolve ``file.json:dotted.path`` to a float, None when absent."""
+    filename, _, dotted = metric_id.partition(":")
+    if not dotted:
+        raise ValueError(f"metric id {metric_id!r} is not 'file:dotted.path'")
+    path = os.path.join(results_dir, filename)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        node = json.load(handle)
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    try:
+        return float(node)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+
+
+def compare(results_dir: str, baseline: dict) -> dict:
+    """Check every baseline metric against the current results.
+
+    Returns ``{"rows": [...], "regressions": [...], "missing": [...]}``
+    where each row carries the metric id, baseline/current values, the
+    current-to-baseline ratio, the allowed bound, and a status of
+    ``"ok"`` / ``"regression"`` / ``"missing"``.
+    """
+    rows: List[dict] = []
+    for metric_id, spec in sorted(baseline["metrics"].items()):
+        base_value = float(spec["value"])
+        tolerance = float(spec.get("tolerance", 0.5))
+        direction = spec.get("direction", "lower")
+        current = extract_metric(results_dir, metric_id)
+        row = {
+            "metric": metric_id,
+            "baseline": base_value,
+            "current": current,
+            "tolerance": tolerance,
+            "direction": direction,
+        }
+        if current is None:
+            row["status"] = "missing"
+        else:
+            ratio = current / base_value if base_value else float("inf")
+            row["ratio"] = ratio
+            if direction == "lower":
+                row["limit"] = base_value * (1.0 + tolerance)
+                regressed = current > row["limit"]
+            else:
+                row["limit"] = base_value * (1.0 - tolerance)
+                regressed = current < row["limit"]
+            row["status"] = "regression" if regressed else "ok"
+        rows.append(row)
+    return {
+        "rows": rows,
+        "regressions": [r for r in rows if r["status"] == "regression"],
+        "missing": [r for r in rows if r["status"] == "missing"],
+    }
+
+
+def format_comparison(result: dict) -> str:
+    header = (
+        f"{'metric':<48} {'baseline':>10} {'current':>10} "
+        f"{'limit':>10} {'status':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in result["rows"]:
+        current = "-" if row["current"] is None else f"{row['current']:.4g}"
+        limit = "-" if "limit" not in row else f"{row['limit']:.4g}"
+        lines.append(
+            f"{row['metric']:<48} {row['baseline']:>10.4g} {current:>10} "
+            f"{limit:>10} {row['status'].upper():>10}"
+        )
+    lines.append(
+        f"{len(result['rows'])} metrics: "
+        f"{len(result['regressions'])} regressed, "
+        f"{len(result['missing'])} missing"
+    )
+    return "\n".join(lines)
+
+
+def append_history(
+    results_dir: str,
+    history_path: Optional[str] = None,
+    label: Optional[str] = None,
+) -> dict:
+    """Append one snapshot of every ``BENCH_*.json`` to the history.
+
+    The snapshot is a single JSONL line keyed by results filename
+    (baseline and history files excluded), with an optional free-form
+    ``label`` (e.g. a git SHA).  Returns the snapshot that was written.
+    """
+    if history_path is None:
+        history_path = os.path.join(results_dir, HISTORY_FILENAME)
+    results: Dict[str, dict] = {}
+    for filename in sorted(os.listdir(results_dir)):
+        if not (filename.startswith("BENCH_") and filename.endswith(".json")):
+            continue
+        if filename == BASELINE_FILENAME:
+            continue
+        path = os.path.join(results_dir, filename)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                results[filename] = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+    snapshot = {"label": label, "results": results}
+    with open(history_path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(snapshot) + "\n")
+    return snapshot

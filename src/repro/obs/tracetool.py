@@ -1,0 +1,166 @@
+"""Offline inspection of TraceRecorder JSONL exports.
+
+Backs the ``repro-opim trace summarize`` CLI: given a JSONL trace (as
+written by ``--trace`` or a streaming :class:`TraceRecorder`), compute
+
+* a **per-phase latency breakdown** — count / total / mean / max over
+  every span phase seen in the file, and
+* **stitched request trees** — spans sharing one ``trace_id`` grouped
+  back into the request that produced them (HTTP span, engine span,
+  per-chunk worker spans), with slow requests flagged against a
+  threshold.
+
+All functions are pure over a list of event dicts so tests can feed
+synthetic events without touching disk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.obs.recorder import TraceRecorder
+
+__all__ = [
+    "load_events",
+    "phase_table",
+    "trace_trees",
+    "summarize_trace",
+    "format_trace_summary",
+]
+
+
+def load_events(path: str) -> List[dict]:
+    """All events from a JSONL trace file, in file order."""
+    return TraceRecorder.from_jsonl(path).events
+
+
+def phase_table(events: List[dict]) -> List[dict]:
+    """Aggregate span latencies by phase, sorted by total time desc."""
+    rows: Dict[str, dict] = {}
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        phase = str(event.get("phase", "?"))
+        elapsed = float(event.get("elapsed", 0.0))
+        row = rows.get(phase)
+        if row is None:
+            row = rows[phase] = {
+                "phase": phase,
+                "count": 0,
+                "total_s": 0.0,
+                "max_s": 0.0,
+            }
+        row["count"] += 1
+        row["total_s"] += elapsed
+        if elapsed > row["max_s"]:
+            row["max_s"] = elapsed
+    for row in rows.values():
+        row["mean_s"] = row["total_s"] / row["count"]
+    return sorted(rows.values(), key=lambda r: -r["total_s"])
+
+
+def trace_trees(events: List[dict]) -> Dict[str, List[dict]]:
+    """Spans grouped by ``trace_id`` (untagged spans are skipped).
+
+    Within a trace, spans keep file order — workers ship chunk spans
+    back with their results, so file order is completion order.
+    """
+    trees: Dict[str, List[dict]] = {}
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        trace_id = event.get("trace_id")
+        if trace_id is None:
+            continue
+        trees.setdefault(str(trace_id), []).append(event)
+    return trees
+
+
+def _trace_total_seconds(spans: List[dict]) -> float:
+    """Request wall time: the longest span is the enclosing root."""
+    return max((float(s.get("elapsed", 0.0)) for s in spans), default=0.0)
+
+
+def summarize_trace(
+    events: List[dict],
+    slow_ms: float = 100.0,
+    top: int = 5,
+) -> dict:
+    """Structured summary: phase table, per-trace totals, slow traces."""
+    trees = trace_trees(events)
+    traces = []
+    for trace_id, spans in trees.items():
+        by_phase: Dict[str, dict] = {}
+        for span in spans:
+            phase = str(span.get("phase", "?"))
+            agg = by_phase.setdefault(phase, {"count": 0, "total_s": 0.0})
+            agg["count"] += 1
+            agg["total_s"] += float(span.get("elapsed", 0.0))
+        workers = sorted(
+            {span["worker_pid"] for span in spans if "worker_pid" in span}
+        )
+        traces.append(
+            {
+                "trace_id": trace_id,
+                "total_s": _trace_total_seconds(spans),
+                "num_spans": len(spans),
+                "phases": by_phase,
+                "worker_pids": workers,
+            }
+        )
+    traces.sort(key=lambda t: -t["total_s"])
+    threshold_s = slow_ms / 1000.0
+    slow = [t for t in traces if t["total_s"] > threshold_s]
+    return {
+        "num_events": len(events),
+        "phases": phase_table(events),
+        "num_traces": len(traces),
+        "slow_ms": slow_ms,
+        "slow": slow[:top],
+        "traces": traces[:top],
+    }
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.2f}"
+
+
+def format_trace_summary(summary: dict) -> str:
+    """Render :func:`summarize_trace` output as an aligned text report."""
+    lines: List[str] = []
+    lines.append(
+        f"{summary['num_events']} events, {summary['num_traces']} traces"
+    )
+    lines.append("")
+    lines.append("Per-phase latency breakdown")
+    header = f"{'phase':<40} {'count':>7} {'total_ms':>10} {'mean_ms':>9} {'max_ms':>9}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in summary["phases"]:
+        lines.append(
+            f"{row['phase']:<40} {row['count']:>7} "
+            f"{_ms(row['total_s']):>10} {_ms(row['mean_s']):>9} "
+            f"{_ms(row['max_s']):>9}"
+        )
+    lines.append("")
+    slow = summary["slow"]
+    lines.append(
+        f"Slow traces over {summary['slow_ms']:.1f} ms: {len(slow)}"
+    )
+    for trace in slow:
+        workers = (
+            f" workers={','.join(str(p) for p in trace['worker_pids'])}"
+            if trace["worker_pids"]
+            else ""
+        )
+        lines.append(
+            f"  SLOW {trace['trace_id']}: {_ms(trace['total_s'])} ms over "
+            f"{trace['num_spans']} spans{workers}"
+        )
+        for phase, agg in sorted(
+            trace["phases"].items(), key=lambda kv: -kv[1]["total_s"]
+        ):
+            lines.append(
+                f"    {phase:<38} x{agg['count']:<4} {_ms(agg['total_s'])} ms"
+            )
+    return "\n".join(lines)

@@ -8,6 +8,7 @@ al.'s online algorithm and by the paper's complexity analysis.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -66,6 +67,9 @@ class RRSampler:
         #: The scale factor in spread estimates and bounds ("n" in the
         #: paper; subclasses with non-uniform roots override it).
         self.universe_weight = float(graph.n)
+        #: Cumulative wall-clock seconds spent inside :meth:`fill`;
+        #: deltas attribute request time to sampling vs. selection.
+        self.fill_seconds = 0.0
         self.obs = resolve_registry(registry)
         self._rr_stats = RRSetStats(self.obs) if self.obs.enabled else None
         self._scratch = Scratch(graph.n)
@@ -107,8 +111,10 @@ class RRSampler:
             )
         edges_before = self.edges_examined
         nodes_before = self.nodes_touched
+        started = time.perf_counter()
         for _ in range(count):
             collection.append(self.sample_one())
+        self.fill_seconds += time.perf_counter() - started
         obs = self.obs
         obs.count("sampling.rr_sets", count)
         obs.count("sampling.edges", self.edges_examined - edges_before)

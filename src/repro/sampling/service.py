@@ -254,11 +254,18 @@ def _service_worker(
 ) -> None:
     """Long-lived worker loop: attach the shm graph, then serve chunks.
 
-    Tasks are ``(chunk_index, chunk_seed, count, crash)`` tuples;
-    ``None`` is the shutdown sentinel.  A task with ``crash=True``
-    hard-exits the process (fault injection for the crash-recovery
-    tests).  Generation errors are reported back, not raised, so a bad
-    chunk does not silently hang the parent.
+    Tasks are ``(chunk_index, chunk_seed, count, crash, trace_id)``
+    tuples; ``None`` is the shutdown sentinel.  A task with
+    ``crash=True`` hard-exits the process (fault injection for the
+    crash-recovery tests).  Generation errors are reported back, not
+    raised, so a bad chunk does not silently hang the parent.
+
+    Workers have no registry of their own: when a task carries a
+    ``trace_id`` (a request trace is active in the parent), the worker
+    buffers one span event per chunk — phase, elapsed, its pid, the
+    chunk index and seed — and ships it back with the chunk result.
+    The parent records the buffered spans into its own sink, which is
+    what stitches worker-side work into the request's trace tree.
     """
     graph, segments = _attach_graph(spec)
     try:
@@ -266,7 +273,7 @@ def _service_worker(
             task = task_queue.get()
             if task is None:
                 break
-            index, seed, count, crash = task
+            index, seed, count, crash, trace_id = task
             if crash:
                 os._exit(17)
             started = time.perf_counter()
@@ -279,6 +286,21 @@ def _service_worker(
                     ("err", worker_id, index, traceback.format_exc())
                 )
                 continue
+            elapsed = time.perf_counter() - started
+            spans = []
+            if trace_id is not None:
+                spans.append(
+                    {
+                        "phase": "service/chunk",
+                        "elapsed": elapsed,
+                        "trace_id": trace_id,
+                        "worker_pid": os.getpid(),
+                        "chunk_index": index,
+                        "chunk_seed": seed,
+                        "rr_sets": count,
+                        "counters": {"sampling.rr_sets": count},
+                    }
+                )
             result_queue.put(
                 (
                     "ok",
@@ -288,7 +310,8 @@ def _service_worker(
                     offsets,
                     edges,
                     nodes,
-                    time.perf_counter() - started,
+                    elapsed,
+                    spans,
                 )
             )
     finally:
@@ -407,6 +430,10 @@ class SamplingPool:
         self.sets_generated = 0
         self.edges_examined = 0
         self.nodes_touched = 0
+        #: Cumulative wall-clock seconds spent inside :meth:`fill` —
+        #: the serve engine reads deltas of this to attribute request
+        #: time to sampling vs. selection.
+        self.fill_seconds = 0.0
         #: Worker respawns performed so far (crash recoveries).
         self.restarts = 0
         self._next_chunk = 0
@@ -536,11 +563,13 @@ class SamplingPool:
             (index, chunk_seed(self.seed, index), chunk)
             for index, chunk in schedule
         ]
+        fill_started = time.perf_counter()
         with self.obs.trace("service/fill"):
             if self.workers == 1:
                 results = self._run_serial(tasks)
             else:
                 results = self._run_parallel(tasks)
+        self.fill_seconds += time.perf_counter() - fill_started
         edges = nodes = 0
         for index, _seed, _chunk in tasks:
             flat, offsets, chunk_edges, chunk_nodes = results[index]
@@ -622,9 +651,19 @@ class SamplingPool:
             results[index] = generate_chunk(
                 self.graph, self.model, self.fast, seed, chunk
             )
-            self.obs.observe(
-                "service.chunk_seconds", time.perf_counter() - started
-            )
+            elapsed = time.perf_counter() - started
+            self._observe_chunk(elapsed)
+            if self.obs.current_trace() is not None:
+                self.obs.record(
+                    "span",
+                    phase="service/chunk",
+                    elapsed=elapsed,
+                    worker_pid=os.getpid(),
+                    chunk_index=index,
+                    chunk_seed=seed,
+                    rr_sets=chunk,
+                    counters={"sampling.rr_sets": chunk},
+                )
         return results
 
     def _run_parallel(
@@ -654,12 +693,30 @@ class SamplingPool:
                 raise ServiceError(
                     f"worker {worker_id} failed on chunk {index}:\n{text}"
                 )
-            _, worker_id, index, flat, offsets, edges, nodes, elapsed = message
+            (
+                _,
+                worker_id,
+                index,
+                flat,
+                offsets,
+                edges,
+                nodes,
+                elapsed,
+                spans,
+            ) = message
             results[index] = (flat, offsets, edges, nodes)
             outstanding.pop(worker_id, None)
             idle.append(worker_id)
-            self.obs.observe("service.chunk_seconds", elapsed)
+            self._observe_chunk(elapsed)
+            for event in spans:
+                # Worker-buffered span events, replayed into our sink so
+                # the request's trace tree includes cross-process work.
+                self.obs.record("span", **event)
         return results
+
+    def _observe_chunk(self, elapsed: float) -> None:
+        self.obs.observe("service.chunk_seconds", elapsed)
+        self.obs.histogram("service.chunk_seconds").observe(elapsed)
 
     def _dispatch(
         self,
@@ -673,7 +730,9 @@ class SamplingPool:
             # Crash-once semantics: the recovery re-issue runs clean.
             self._crash_chunks.discard(index)
         outstanding[worker_id] = task
-        self._task_queues[worker_id].put((index, seed, chunk, crash))
+        self._task_queues[worker_id].put(
+            (index, seed, chunk, crash, self.obs.current_trace())
+        )
 
     def _recover_workers(
         self,

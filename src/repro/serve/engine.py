@@ -118,6 +118,10 @@ class SeedQueryEngine:
         self.r2 = RRCollection(graph.n)
         self._sessions: Dict[int, OPIMSession] = {}
         self._closed = False
+        # Index-staleness tracking for /healthz: RR sets at the last
+        # save/load and when that sync happened (monotonic clock).
+        self._index_synced_rr_sets: Optional[int] = None
+        self._index_synced_at: Optional[float] = None
         self.index_dir = Path(index_dir) if index_dir is not None else None
         self.loaded_from_index = False
         if (
@@ -221,6 +225,7 @@ class SeedQueryEngine:
         alpha_target: Optional[float] = None,
         epsilon: Optional[float] = None,
         rr_budget: Optional[int] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Answer one seed query, extending the shared sketch if needed.
 
@@ -228,6 +233,12 @@ class SeedQueryEngine:
         falls short of the target does the engine sample more (in
         geometrically growing steps, never past ``rr_budget`` /
         ``max_rr_sets``).  Returns a JSON-ready response dict.
+
+        ``trace_id`` carries the server's per-request id across the
+        executor-thread hop: trace contexts are thread-local, so the
+        engine re-enters the context here, which tags its spans — and,
+        through :class:`SamplingPool` chunk tasks, the worker-side
+        chunk spans — with the originating request.
         """
         self._check_open()
         target = self.resolve_target(alpha_target, epsilon)
@@ -236,8 +247,9 @@ class SeedQueryEngine:
         )
         session = self._session(k)
         sampled_before = self.num_rr_sets
+        fill_before = float(getattr(self.sampler, "fill_seconds", 0.0))
         started = time.perf_counter()
-        with self.obs.trace("serve/answer"):
+        with self.obs.trace_context(trace_id), self.obs.trace("serve/answer"):
             result: SessionResult = session.run_until(
                 alpha_target=target,
                 rr_budget=cap,
@@ -247,6 +259,14 @@ class SeedQueryEngine:
             )
         elapsed = time.perf_counter() - started
         sampled = self.num_rr_sets - sampled_before
+        # Split request time into sampling (sketch extension inside the
+        # sampler's fill) and selection (greedy + bound bookkeeping).
+        sample_seconds = (
+            float(getattr(self.sampler, "fill_seconds", 0.0)) - fill_before
+        )
+        select_seconds = max(0.0, elapsed - sample_seconds)
+        self.obs.histogram("engine.sample_seconds").observe(sample_seconds)
+        self.obs.histogram("engine.select_seconds").observe(select_seconds)
         if sampled:
             self.obs.count("serve.extend_rr_sets", sampled)
             self.obs.observe("serve.extend_seconds", elapsed)
@@ -267,6 +287,8 @@ class SeedQueryEngine:
             "stop": result.stop.kind,
             "queries_made": session.queries_made,
             "engine_seconds": elapsed,
+            "sample_seconds": sample_seconds,
+            "select_seconds": select_seconds,
         }
 
     def stats(self) -> Dict[str, Any]:
@@ -291,6 +313,26 @@ class SeedQueryEngine:
             "edges_examined": int(self.sampler.edges_examined),
             "loaded_from_index": self.loaded_from_index,
         }
+
+    def index_staleness(self) -> Dict[str, Any]:
+        """How far the in-memory sketch has drifted from the saved index.
+
+        ``synced`` is False until the first :meth:`save_index` /
+        :meth:`load_index`; after that, ``stale_rr_sets`` counts the RR
+        sets appended since the sync and ``age_seconds`` its wall-clock
+        age.  Surfaced by the server's ``/healthz``.
+        """
+        if self._index_synced_rr_sets is None or self._index_synced_at is None:
+            return {"synced": False, "stale_rr_sets": None, "age_seconds": None}
+        return {
+            "synced": True,
+            "stale_rr_sets": self.num_rr_sets - self._index_synced_rr_sets,
+            "age_seconds": time.monotonic() - self._index_synced_at,
+        }
+
+    def _mark_index_synced(self) -> None:
+        self._index_synced_rr_sets = self.num_rr_sets
+        self._index_synced_at = time.monotonic()
 
     # ------------------------------------------------------------------
     # Index persistence
@@ -341,6 +383,7 @@ class SeedQueryEngine:
             seed=self.seed,
         )
         self.obs.count("serve.index_saves")
+        self._mark_index_synced()
         return manifest
 
     def load_index(self, directory: PathLike, mmap: bool = True) -> None:
@@ -370,3 +413,4 @@ class SeedQueryEngine:
             session.online.adopt_collections(self.r1, self.r2)
         self.obs.count("serve.index_loads")
         self.obs.set_gauge("serve.index_rr_sets", self.num_rr_sets)
+        self._mark_index_synced()

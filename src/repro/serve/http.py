@@ -41,6 +41,23 @@ class ProtocolError(Exception):
     """Malformed or oversized HTTP input (connection will be closed)."""
 
 
+class TextResponse:
+    """Marker payload for non-JSON responses (e.g. ``/metrics``).
+
+    Handlers normally return JSON-able dicts; returning one of these
+    instead makes the server emit the text verbatim under the given
+    content type.
+    """
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(
+        self, text: str, content_type: str = "text/plain; charset=utf-8"
+    ) -> None:
+        self.text = text
+        self.content_type = content_type
+
+
 @dataclass
 class Request:
     """One parsed HTTP request."""
@@ -120,11 +137,27 @@ def render_response(
 ) -> bytes:
     """Serialize a JSON response with Content-Length framing."""
     body = json.dumps(payload).encode("utf-8")
+    return _frame(status, body, "application/json", keep_alive)
+
+
+def render_text_response(
+    status: int,
+    text: str,
+    content_type: str = "text/plain; charset=utf-8",
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize a plain-text response (the ``/metrics`` exposition)."""
+    return _frame(status, text.encode("utf-8"), content_type, keep_alive)
+
+
+def _frame(
+    status: int, body: bytes, content_type: str, keep_alive: bool
+) -> bytes:
     phrase = STATUS_PHRASES.get(status, "Unknown")
     connection = "keep-alive" if keep_alive else "close"
     head = (
         f"HTTP/1.1 {status} {phrase}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {connection}\r\n"
         "\r\n"
@@ -132,24 +165,32 @@ def render_response(
     return head.encode("latin-1") + body
 
 
-async def read_response(
+async def read_raw_response(
     reader: asyncio.StreamReader,
-) -> Tuple[int, Dict[str, Any]]:
-    """Client side: parse one ``(status, json_payload)`` response."""
+) -> Tuple[int, Dict[str, str], bytes]:
+    """Client side: one ``(status, headers, body_bytes)`` response."""
     line = await reader.readuntil(b"\r\n")
     parts = line.decode("latin-1").split(None, 2)
     if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
         raise ProtocolError(f"malformed status line: {line!r}")
     status = int(parts[1])
-    length = 0
+    headers: Dict[str, str] = {}
     while True:
         line = await reader.readuntil(b"\r\n")
         if line in (b"\r\n", b"\n"):
             break
         name, _, value = line.decode("latin-1").partition(":")
-        if name.strip().lower() == "content-length":
-            length = int(value.strip())
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
     body = await reader.readexactly(length) if length else b""
+    return status, headers, body
+
+
+async def read_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Dict[str, Any]]:
+    """Client side: parse one ``(status, json_payload)`` response."""
+    status, _headers, body = await read_raw_response(reader)
     return status, json.loads(body.decode("utf-8")) if body else {}
 
 
@@ -182,19 +223,44 @@ class ServeClient:
         method: str,
         path: str,
         payload: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, Any]]:
+        await self._send(method, path, payload, headers)
+        return await read_response(self._reader)
+
+    async def request_text(
+        self,
+        method: str,
+        path: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, str]:
+        """Fetch a plain-text endpoint (``GET /metrics``) as a string."""
+        await self._send(method, path, None, headers)
+        status, _headers, body = await read_raw_response(self._reader)
+        return status, body.decode("utf-8")
+
+    async def _send(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]],
+        headers: Optional[Dict[str, str]],
+    ) -> None:
         body = b""
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: serve\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             "\r\n"
         )
         self._writer.write(head.encode("latin-1") + body)
         await self._writer.drain()
-        return await read_response(self._reader)
 
     async def close(self) -> None:
         self._writer.close()

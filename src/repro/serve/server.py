@@ -30,22 +30,30 @@ from __future__ import annotations
 
 import asyncio
 import signal
+import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple, Union
 
 from repro.core.opim import BOUND_VARIANTS
 from repro.exceptions import ParameterError, ReproError
-from repro.obs import resolve_registry
+from repro.obs import prometheus_text, resolve_registry
+from repro.obs.export import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 from repro.serve.cache import LRUCache, QueryKey, make_key
 from repro.serve.engine import SeedQueryEngine
 from repro.serve.http import (
     ProtocolError,
     Request,
+    TextResponse,
     read_request,
     render_response,
+    render_text_response,
 )
 
 DEFAULT_PORT = 8471
+
+#: A dispatch result: JSON payload dict or verbatim text.
+Payload = Union[Dict[str, Any], TextResponse]
 
 
 class SeedQueryServer:
@@ -154,6 +162,12 @@ class SeedQueryServer:
             except asyncio.CancelledError:
                 pass
         self._executor.shutdown(wait=True)
+        # Final gauge snapshot: whatever drained (or was abandoned by
+        # the drain timeout) must be reflected, not the last enqueue.
+        self.obs.set_gauge(
+            "serve.queue_depth",
+            self._queue.qsize() if self._queue is not None else 0,
+        )
         if self.own_engine:
             self.engine.close()
 
@@ -204,6 +218,9 @@ class SeedQueryServer:
         try:
             self._queue.put_nowait((key, job, future))
         except asyncio.QueueFull:
+            # Refresh the gauge on the rejection path too — a scrape
+            # during sustained overload should read the full queue.
+            self.obs.set_gauge("serve.queue_depth", self._queue.qsize())
             raise OverloadedError(self._queue.qsize())
         if key is not None:
             self._inflight[key] = future
@@ -231,9 +248,19 @@ class SeedQueryServer:
                 if request is None:
                     break
                 status, payload = await self._dispatch(request)
-                writer.write(
-                    render_response(status, payload, request.keep_alive)
-                )
+                if isinstance(payload, TextResponse):
+                    writer.write(
+                        render_text_response(
+                            status,
+                            payload.text,
+                            payload.content_type,
+                            request.keep_alive,
+                        )
+                    )
+                else:
+                    writer.write(
+                        render_response(status, payload, request.keep_alive)
+                    )
                 await writer.drain()
                 if not request.keep_alive:
                     break
@@ -246,63 +273,107 @@ class SeedQueryServer:
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
-    async def _dispatch(self, request: Request) -> Tuple[int, Dict[str, Any]]:
+    async def _dispatch(self, request: Request) -> Tuple[int, Payload]:
+        """Route one request under a per-request trace context.
+
+        Every request gets a ``trace_id`` — honored from an
+        ``X-Trace-Id`` header when the client sent one, freshly minted
+        otherwise — active for the whole dispatch so the HTTP span, the
+        engine span (re-entered on the executor thread), and any worker
+        chunk spans stitch into one tree.  ``POST /query`` additionally
+        lands in the ``serve.latency`` histogram labelled by outcome
+        (cold / warm / cached / coalesced / rejected / timeout / error)
+        and echoes the trace id in its JSON payload.
+        """
         self.obs.count("serve.requests")
         route = (request.method, request.path)
-        with self.obs.trace(f"serve/{request.path.strip('/') or 'root'}"):
-            if route == ("GET", "/healthz"):
-                return 200, {
-                    "status": "draining" if self._draining else "ok",
-                    "num_rr_sets": self.engine.num_rr_sets,
-                }
-            if route == ("GET", "/stats"):
-                return 200, {
-                    "engine": self.engine.stats(),
-                    "cache": self.cache.stats(),
-                    "queue_depth": (
-                        self._queue.qsize() if self._queue is not None else 0
-                    ),
-                    "queue_limit": self.queue_limit,
-                    "draining": self._draining,
-                    "counters": self.obs.counter_values(),
-                }
-            if self._draining:
-                return 503, {"error": "draining"}
-            handler: Optional[
-                Callable[[Request], Awaitable[Tuple[int, Dict[str, Any]]]]
-            ] = {
-                ("POST", "/query"): self._handle_query,
-                ("POST", "/extend"): self._handle_extend,
-                ("POST", "/save"): self._handle_save,
-            }.get(route)
-            if handler is None:
-                known = {"/healthz", "/stats", "/query", "/extend", "/save"}
-                if request.path in known:
-                    return 405, {"error": f"wrong method for {request.path}"}
-                return 404, {"error": f"unknown path {request.path}"}
-            try:
-                return await handler(request)
-            except OverloadedError as exc:
-                self.obs.count("serve.rejected")
-                return 503, {"error": "overloaded", "queue_depth": exc.depth}
-            except TimeoutResponse:
-                return 504, {
-                    "error": "timeout",
-                    "detail": (
-                        "the engine did not answer within "
-                        f"{self.request_timeout}s; the job keeps running "
-                        "and will fill the cache"
-                    ),
-                }
-            except ProtocolError as exc:
-                return 400, {"error": str(exc)}
-            except ParameterError as exc:
-                return 400, {"error": str(exc)}
-            except ReproError as exc:
-                return 500, {"error": str(exc)}
+        trace_id = request.headers.get("x-trace-id") or uuid.uuid4().hex[:16]
+        started = time.perf_counter()
+        with self.obs.trace_context(trace_id):
+            with self.obs.trace(f"serve/{request.path.strip('/') or 'root'}"):
+                status, payload = await self._route(route, request, trace_id)
+        if route == ("POST", "/query"):
+            elapsed = time.perf_counter() - started
+            outcome = _query_outcome(status, payload)
+            self.obs.histogram(
+                "serve.latency", labels={"outcome": outcome}
+            ).observe(elapsed)
+            if isinstance(payload, dict):
+                payload.setdefault("trace_id", trace_id)
+        return status, payload
+
+    async def _route(
+        self, route: Tuple[str, str], request: Request, trace_id: str
+    ) -> Tuple[int, Payload]:
+        if route == ("GET", "/healthz"):
+            return 200, {
+                "status": "draining" if self._draining else "ok",
+                "num_rr_sets": self.engine.num_rr_sets,
+                "queue_depth": (
+                    self._queue.qsize() if self._queue is not None else 0
+                ),
+                "queue_limit": self.queue_limit,
+                "index": self.engine.index_staleness(),
+            }
+        if route == ("GET", "/metrics"):
+            return 200, TextResponse(
+                prometheus_text(self.obs), PROMETHEUS_CONTENT_TYPE
+            )
+        if route == ("GET", "/stats"):
+            return 200, {
+                "engine": self.engine.stats(),
+                "cache": self.cache.stats(),
+                "queue_depth": (
+                    self._queue.qsize() if self._queue is not None else 0
+                ),
+                "queue_limit": self.queue_limit,
+                "draining": self._draining,
+                "counters": self.obs.counter_values(),
+            }
+        if self._draining:
+            return 503, {"error": "draining"}
+        handler: Optional[
+            Callable[[Request, str], Awaitable[Tuple[int, Dict[str, Any]]]]
+        ] = {
+            ("POST", "/query"): self._handle_query,
+            ("POST", "/extend"): self._handle_extend,
+            ("POST", "/save"): self._handle_save,
+        }.get(route)
+        if handler is None:
+            known = {
+                "/healthz",
+                "/metrics",
+                "/stats",
+                "/query",
+                "/extend",
+                "/save",
+            }
+            if request.path in known:
+                return 405, {"error": f"wrong method for {request.path}"}
+            return 404, {"error": f"unknown path {request.path}"}
+        try:
+            return await handler(request, trace_id)
+        except OverloadedError as exc:
+            self.obs.count("serve.rejected")
+            return 503, {"error": "overloaded", "queue_depth": exc.depth}
+        except TimeoutResponse:
+            return 504, {
+                "error": "timeout",
+                "detail": (
+                    "the engine did not answer within "
+                    f"{self.request_timeout}s; the job keeps running "
+                    "and will fill the cache"
+                ),
+            }
+        except ProtocolError as exc:
+            return 400, {"error": str(exc)}
+        except ParameterError as exc:
+            return 400, {"error": str(exc)}
+        except ReproError as exc:
+            return 500, {"error": str(exc)}
 
     async def _handle_query(
-        self, request: Request
+        self, request: Request, trace_id: str
     ) -> Tuple[int, Dict[str, Any]]:
         params = request.json()
         self.obs.count("serve.queries")
@@ -355,6 +426,7 @@ class SeedQueryServer:
                 bound=bound,
                 alpha_target=target,
                 rr_budget=None if rr_budget is None else int(rr_budget),
+                trace_id=trace_id,
             ),
         )
         response = await self._await_job(future)
@@ -372,7 +444,7 @@ class SeedQueryServer:
             raise TimeoutResponse()
 
     async def _handle_extend(
-        self, request: Request
+        self, request: Request, trace_id: str
     ) -> Tuple[int, Dict[str, Any]]:
         params = request.json()
         try:
@@ -392,7 +464,7 @@ class SeedQueryServer:
         return 200, await self._await_job(self._submit(None, job))
 
     async def _handle_save(
-        self, request: Request
+        self, request: Request, trace_id: str
     ) -> Tuple[int, Dict[str, Any]]:
         engine = self.engine
 
@@ -405,6 +477,27 @@ class SeedQueryServer:
             }
 
         return 200, await self._await_job(self._submit(None, job))
+
+
+def _query_outcome(status: int, payload: Payload) -> str:
+    """Classify a ``POST /query`` response for the latency histogram.
+
+    ``cold`` means the engine had to extend the sketch; ``warm`` means
+    the existing sketch already satisfied the target (no sampling).
+    """
+    if status == 503:
+        return "rejected"
+    if status == 504:
+        return "timeout"
+    if status != 200 or not isinstance(payload, dict):
+        return "error"
+    if payload.get("cached"):
+        return "cached"
+    if payload.get("coalesced"):
+        return "coalesced"
+    if payload.get("sampled", 0) > 0:
+        return "cold"
+    return "warm"
 
 
 class OverloadedError(Exception):

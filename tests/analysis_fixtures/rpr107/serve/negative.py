@@ -1,0 +1,11 @@
+"""RPR107 negative fixture: registry injected and resolved, not built."""
+
+from repro.obs import resolve_registry
+
+
+class Engine:
+    def __init__(self, registry=None):
+        self.obs = resolve_registry(registry)
+
+    def observe(self, elapsed):
+        self.obs.histogram("engine.select_seconds").observe(elapsed)

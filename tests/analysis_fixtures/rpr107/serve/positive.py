@@ -1,0 +1,12 @@
+"""RPR107 positive fixture: hot path constructing its own registry."""
+
+from repro.obs import MetricsRegistry
+from repro.obs.registry import MetricsRegistry as AliasedRegistry
+
+
+class Engine:
+    def __init__(self):
+        self.obs = MetricsRegistry()
+
+    def rebuild(self):
+        return AliasedRegistry(sink=None)

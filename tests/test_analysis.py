@@ -52,6 +52,8 @@ FIXTURE_CASES = [
      FIXTURES / "rpr105" / "sampling" / "negative.py", 2),
     ("RPR106", FIXTURES / "rpr106" / "core" / "positive.py",
      FIXTURES / "rpr106" / "core" / "negative.py", 2),
+    ("RPR107", FIXTURES / "rpr107" / "serve" / "positive.py",
+     FIXTURES / "rpr107" / "serve" / "negative.py", 2),
 ]
 
 
@@ -99,6 +101,24 @@ class TestRuleDetails:
             source, "src/repro/sampling/x.py"
         )
         assert rule_ids(findings) == {"RPR105"}
+
+    def test_registry_rule_allows_composition_roots(self):
+        source = (
+            "from repro.obs import MetricsRegistry\n\n\n"
+            "def make():\n    return MetricsRegistry()\n"
+        )
+        findings, _ = LintEngine().lint_source(source, "src/repro/cli.py")
+        assert "RPR107" not in rule_ids(findings)
+
+    def test_registry_rule_flags_serve_construction(self):
+        source = (
+            "import repro.obs\n\n\n"
+            "def make():\n    return repro.obs.MetricsRegistry()\n"
+        )
+        findings, _ = LintEngine().lint_source(
+            source, "src/repro/serve/x.py"
+        )
+        assert rule_ids(findings) == {"RPR107"}
 
     def test_rng_rule_catches_from_import(self):
         source = (

@@ -171,3 +171,129 @@ class TestFigureCommand:
     def test_ablations(self, capsys, which):
         assert main(["figure", which, "--scale", "0.05"]) == 0
         assert "alpha vs" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def _write_trace(self, path):
+        import json
+
+        events = [
+            {"type": "span", "phase": "serve/query", "depth": 1,
+             "elapsed": 0.200, "counters": {}, "trace_id": "slow1"},
+            {"type": "span", "phase": "serve/answer", "depth": 2,
+             "elapsed": 0.180, "counters": {}, "trace_id": "slow1"},
+            {"type": "span", "phase": "service/chunk", "elapsed": 0.090,
+             "counters": {}, "trace_id": "slow1", "worker_pid": 4242},
+            {"type": "span", "phase": "serve/query", "depth": 1,
+             "elapsed": 0.001, "counters": {}, "trace_id": "fast1"},
+        ]
+        path.write_text(
+            "".join(json.dumps(e) + "\n" for e in events)
+        )
+
+    def test_summarize_prints_phases_and_slow_traces(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        self._write_trace(trace)
+        assert main(["trace", "summarize", str(trace), "--slow-ms", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-phase latency breakdown" in out
+        assert "serve/query" in out
+        assert "service/chunk" in out
+        assert "SLOW slow1" in out
+        assert "4242" in out  # worker pid surfaces in the slow report
+        assert "fast1" not in out.split("SLOW", 1)[1]
+
+    def test_summarize_threshold_filters(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        self._write_trace(trace)
+        assert main(["trace", "summarize", str(trace), "--slow-ms", "9999"]) == 0
+        assert "SLOW" not in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    BASELINE = {
+        "version": 1,
+        "metrics": {
+            "BENCH_x.json:cached.p50_ms": {
+                "value": 1.0,
+                "tolerance": 0.9,
+                "direction": "lower",
+            },
+            "BENCH_x.json:rates.rr_per_s": {
+                "value": 1000.0,
+                "tolerance": 0.5,
+                "direction": "higher",
+            },
+        },
+    }
+
+    def _results_dir(self, tmp_path, p50_ms=1.0, rr_per_s=1000.0):
+        import json
+
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "BENCH_baseline.json").write_text(
+            json.dumps(self.BASELINE)
+        )
+        (results / "BENCH_x.json").write_text(
+            json.dumps(
+                {"cached": {"p50_ms": p50_ms}, "rates": {"rr_per_s": rr_per_s}}
+            )
+        )
+        return results
+
+    def test_compare_passes_at_baseline(self, capsys, tmp_path):
+        results = self._results_dir(tmp_path)
+        assert main(["bench", "compare", "--results", str(results)]) == 0
+        assert "0 regressed" in capsys.readouterr().out
+
+    def test_compare_fails_on_2x_latency_regression(self, capsys, tmp_path):
+        results = self._results_dir(tmp_path, p50_ms=2.0)
+        assert main(["bench", "compare", "--results", str(results)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "cached.p50_ms" in out
+
+    def test_compare_fails_on_throughput_drop(self, tmp_path, capsys):
+        results = self._results_dir(tmp_path, rr_per_s=100.0)
+        assert main(["bench", "compare", "--results", str(results)]) == 1
+        capsys.readouterr()
+
+    def test_compare_missing_metric_policy(self, capsys, tmp_path):
+        import json
+
+        results = self._results_dir(tmp_path)
+        (results / "BENCH_x.json").write_text(json.dumps({"cached": {}}))
+        assert main(["bench", "compare", "--results", str(results)]) == 1
+        capsys.readouterr()
+        assert (
+            main(
+                ["bench", "compare", "--results", str(results), "--skip-missing"]
+            )
+            == 0
+        )
+        assert "missing" in capsys.readouterr().out
+
+    def test_record_appends_history(self, capsys, tmp_path):
+        import json
+
+        results = self._results_dir(tmp_path)
+        for label in ("run1", "run2"):
+            assert (
+                main(
+                    [
+                        "bench",
+                        "record",
+                        "--results",
+                        str(results),
+                        "--label",
+                        label,
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        lines = (results / "history.jsonl").read_text().splitlines()
+        assert [json.loads(l)["label"] for l in lines] == ["run1", "run2"]
+        # The baseline itself is never snapshotted into the history.
+        assert "BENCH_baseline.json" not in json.loads(lines[0])["results"]

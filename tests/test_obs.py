@@ -27,7 +27,9 @@ from repro.obs import (
     RRSetStats,
     TraceRecorder,
     configure_logging,
+    default_buckets,
     events_per_second,
+    prometheus_text,
     resolve_registry,
     throughput_summary,
 )
@@ -167,7 +169,12 @@ class TestNullRegistry:
             with reg.trace("b"):
                 assert reg.current_path() == ""
         assert reg.counter_values() == {}
-        assert reg.summary() == {"counters": {}, "gauges": {}, "stats": {}}
+        assert reg.summary() == {
+            "counters": {},
+            "gauges": {},
+            "stats": {},
+            "histograms": {},
+        }
 
     def test_null_span_is_reused(self):
         reg = NullRegistry()
@@ -329,6 +336,283 @@ class TestEndToEndInstrumentation:
         assert len(algo.alpha_trajectory) == 1
 
 
+class TestHistogram:
+    def test_observe_and_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=[0.1, 1.0, 10.0])
+        for v in [0.05, 0.5, 5.0, 50.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(55.55)
+        assert h.cumulative_buckets() == [
+            (0.1, 1),
+            (1.0, 2),
+            (10.0, 3),
+            (float("inf"), 4),
+        ]
+        # Non-cumulative view: one observation per slot, overflow last.
+        assert h.bucket_counts() == [1, 1, 1, 1]
+
+    def test_boundary_value_lands_in_le_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("edge", buckets=[1.0, 2.0])
+        h.observe(1.0)  # le is inclusive, like Prometheus
+        assert h.cumulative_buckets()[0] == (1.0, 1)
+
+    def test_create_or_get_keyed_by_labels(self):
+        reg = MetricsRegistry()
+        cold = reg.histogram("serve.latency", labels={"outcome": "cold"})
+        warm = reg.histogram("serve.latency", labels={"outcome": "warm"})
+        assert cold is not warm
+        assert reg.histogram("serve.latency", labels={"outcome": "cold"}) is cold
+        assert len(reg.histograms()) == 2
+
+    def test_quantile_interpolates_within_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("q", buckets=[1.0, 2.0, 4.0])
+        for _ in range(100):
+            h.observe(1.5)  # every observation in the (1, 2] bucket
+        assert 1.0 <= h.quantile(0.5) <= 2.0
+        assert set(h.percentiles()) == {"p50", "p95", "p99"}
+
+    def test_quantile_empty_and_overflow(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("q2", buckets=[1.0, 2.0])
+        assert h.quantile(0.5) == 0.0
+        h.observe(100.0)  # overflow bucket: estimate saturates
+        assert h.quantile(0.99) == 2.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_bounds_must_be_strictly_ascending(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("bad", buckets=[2.0, 1.0])
+
+    def test_as_dict_and_histogram_values(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", labels={"outcome": "cold"}, buckets=[1.0]).observe(0.5)
+        snap = reg.histogram_values()
+        assert set(snap) == {"h{outcome=cold}"}
+        d = snap["h{outcome=cold}"]
+        assert d["count"] == 1
+        assert d["buckets"][-1]["le"] == "+Inf"
+        assert d["labels"] == {"outcome": "cold"}
+        json.dumps(reg.summary())  # stays JSON-serializable
+
+    def test_default_buckets_span_latency_range(self):
+        bounds = default_buckets()
+        assert list(bounds) == sorted(bounds)
+        assert bounds[0] <= 0.001 and bounds[-1] >= 10.0
+
+
+class TestTraceContext:
+    def test_record_auto_attaches_trace_id(self):
+        recorder = TraceRecorder()
+        reg = MetricsRegistry(sink=recorder)
+        with reg.trace_context("abc123"):
+            assert reg.current_trace() == "abc123"
+            reg.record("span", phase="p", elapsed=0.1)
+            # An explicit trace_id always wins over the ambient one.
+            reg.record("span", phase="q", elapsed=0.1, trace_id="other")
+        assert reg.current_trace() is None
+        reg.record("span", phase="r", elapsed=0.1)
+        ids = [e.get("trace_id") for e in recorder.spans()]
+        assert ids == ["abc123", "other", None]
+
+    def test_contexts_nest_and_restore(self):
+        reg = MetricsRegistry()
+        with reg.trace_context("outer"):
+            with reg.trace_context("inner"):
+                assert reg.current_trace() == "inner"
+            assert reg.current_trace() == "outer"
+        assert reg.current_trace() is None
+
+    def test_context_is_thread_local(self):
+        reg = MetricsRegistry()
+        seen = []
+        with reg.trace_context("main-thread"):
+            t = threading.Thread(target=lambda: seen.append(reg.current_trace()))
+            t.start()
+            t.join()
+        assert seen == [None]
+
+    def test_null_registry_trace_context(self):
+        reg = NullRegistry()
+        with reg.trace_context("ignored"):
+            assert reg.current_trace() is None
+
+
+class TestPrometheusExport:
+    def test_counters_and_gauges_render(self):
+        reg = MetricsRegistry()
+        reg.count("sampling.rr_sets", 3)
+        reg.set_gauge("serve.queue_depth", 2.0)
+        text = prometheus_text(reg)
+        assert "# TYPE sampling_rr_sets counter" in text
+        assert "sampling_rr_sets 3" in text
+        assert "# TYPE serve_queue_depth gauge" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_and_labels(self):
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "serve.latency", labels={"outcome": "cold"}, buckets=[0.1, 1.0]
+        )
+        h.observe(0.05)
+        text = prometheus_text(reg)
+        assert "# TYPE serve_latency histogram" in text
+        # Labels render sorted; finite bounds drop a trailing ".0".
+        assert 'serve_latency_bucket{le="0.1",outcome="cold"} 1' in text
+        assert 'serve_latency_bucket{le="1",outcome="cold"} 1' in text
+        assert 'serve_latency_bucket{le="+Inf",outcome="cold"} 1' in text
+        assert 'serve_latency_sum{outcome="cold"} 0.05' in text
+        assert 'serve_latency_count{outcome="cold"} 1' in text
+
+    def test_stats_render_untyped_unless_histogram_shadows(self):
+        reg = MetricsRegistry()
+        reg.observe("only.stats", 2.0)
+        reg.observe("service.chunk_seconds", 0.5)
+        reg.histogram("service.chunk_seconds").observe(0.5)
+        text = prometheus_text(reg)
+        assert "# TYPE only_stats untyped" in text
+        assert "only_stats_count 1" in text
+        # The histogram's _count/_sum take precedence for shared names.
+        assert "# TYPE service_chunk_seconds untyped" not in text
+        assert "# TYPE service_chunk_seconds histogram" in text
+
+    def test_span_metric_names_are_sanitized(self):
+        reg = MetricsRegistry()
+        with reg.trace("serve/query"):
+            pass
+        text = prometheus_text(reg)
+        assert "span_serve_query_count 1" in text
+        assert "span:serve" not in text
+
+
+class TestStreamingRecorder:
+    def test_streaming_writes_each_event(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        rec = TraceRecorder(path=str(path))
+        rec.record("span", phase="a", elapsed=0.1)
+        # Each record is flushed eagerly, visible before close().
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1 and json.loads(lines[0])["phase"] == "a"
+        rec.record("meta", k=5)
+        rec.close()
+        assert rec.closed
+        rec.close()  # idempotent
+        lines = [json.loads(l) for l in path.read_text().strip().splitlines()]
+        assert [e["type"] for e in lines] == ["span", "meta"]
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path=str(path)) as rec:
+            rec.record("meta", k=1)
+        assert rec.closed
+        assert json.loads(path.read_text())["k"] == 1
+
+    def test_reopen_appends(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path=str(path)) as rec:
+            rec.record("meta", run=1)
+        with TraceRecorder(path=str(path)) as rec:
+            rec.record("meta", run=2)
+        runs = [json.loads(l)["run"] for l in path.read_text().splitlines()]
+        assert runs == [1, 2]
+
+    def test_rotation_at_max_bytes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        rec = TraceRecorder(path=str(path), max_bytes=256)
+        for i in range(50):
+            rec.record("span", phase="p" * 10, elapsed=float(i))
+        rec.close()
+        assert rec.rotations >= 1
+        rotated = tmp_path / "trace.jsonl.1"
+        assert rotated.exists()
+        assert os.path.getsize(str(path)) <= 256
+        # Every surviving line is intact JSON (no torn writes).
+        for text in (path.read_text(), rotated.read_text()):
+            for line in text.strip().splitlines():
+                json.loads(line)
+
+    def test_concurrent_writers_produce_intact_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        rec = TraceRecorder(path=str(path))
+        per_thread, threads = 200, 6
+
+        def work(tid):
+            for i in range(per_thread):
+                rec.record("span", phase=f"t{tid}", elapsed=float(i))
+
+        pool = [threading.Thread(target=work, args=(t,)) for t in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        rec.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == per_thread * threads == len(rec)
+        assert all(json.loads(l)["type"] == "span" for l in lines)
+
+
+class TestConcurrencyHammer:
+    def test_threads_and_asyncio_exact_totals(self):
+        import asyncio
+
+        reg = MetricsRegistry()
+        per_worker, n_threads, n_tasks = 500, 6, 8
+        stop = threading.Event()
+
+        def thread_work(tid):
+            hist = reg.histogram("hammer.latency", labels={"outcome": "thread"})
+            for _ in range(per_worker):
+                reg.count("hammer.ops")
+                hist.observe(0.001)
+
+        async def task_work(tid):
+            hist = reg.histogram("hammer.latency", labels={"outcome": "async"})
+            for i in range(per_worker):
+                reg.count("hammer.ops")
+                hist.observe(0.002)
+                if i % 128 == 0:
+                    await asyncio.sleep(0)
+
+        async def run_tasks():
+            await asyncio.gather(*(task_work(i) for i in range(n_tasks)))
+
+        def scraper():
+            # A concurrent /metrics-style reader must never crash.
+            while not stop.is_set():
+                prometheus_text(reg)
+
+        loop_thread = threading.Thread(target=lambda: asyncio.run(run_tasks()))
+        scrape_thread = threading.Thread(target=scraper)
+        pool = [
+            threading.Thread(target=thread_work, args=(t,))
+            for t in range(n_threads)
+        ]
+        scrape_thread.start()
+        loop_thread.start()
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        loop_thread.join()
+        stop.set()
+        scrape_thread.join()
+
+        assert reg.counter("hammer.ops").value == per_worker * (
+            n_threads + n_tasks
+        )
+        by_thread = reg.histogram("hammer.latency", labels={"outcome": "thread"})
+        by_async = reg.histogram("hammer.latency", labels={"outcome": "async"})
+        assert by_thread.count == per_worker * n_threads
+        assert by_async.count == per_worker * n_tasks
+        assert by_thread.sum == pytest.approx(0.001 * per_worker * n_threads)
+        assert by_async.sum == pytest.approx(0.002 * per_worker * n_tasks)
+
+
 @pytest.mark.skipif(
     os.environ.get("CI") == "slow-variance",
     reason="timing-sensitive; skipped on high-variance CI runners",
@@ -371,3 +655,49 @@ def test_noop_instrumentation_overhead_guard(medium_graph):
     nooped = best_of(instrumented)
     # 10% relative tolerance with a small absolute floor for timer noise.
     assert nooped <= baseline * 1.10 + 0.005
+
+
+@pytest.mark.skipif(
+    os.environ.get("CI") == "slow-variance",
+    reason="timing-sensitive; skipped on high-variance CI runners",
+)
+def test_noop_histogram_and_trace_overhead_guard(medium_graph):
+    """Histogram recording and trace-id plumbing on the null registry
+    must stay within ~2% of the same sampling work with no obs calls —
+    the serving hot path pays nothing when instrumentation is off."""
+    from repro.sampling.generator import RRSampler
+
+    count, repeats = 400, 5
+    reg = NULL_REGISTRY
+
+    def plain(rep):
+        sampler = RRSampler(medium_graph, "IC", seed=rep, registry=None)
+        sampler.fill(sampler.new_collection(), count)
+
+    def instrumented(rep):
+        # The per-request serving pattern: a trace context around the
+        # fill, latency histograms per outcome, and a shipped span.
+        with reg.trace_context(f"req-{rep}"):
+            sampler = RRSampler(medium_graph, "IC", seed=rep, registry=None)
+            t0 = time.perf_counter()
+            sampler.fill(sampler.new_collection(), count)
+            elapsed = time.perf_counter() - t0
+            reg.histogram("engine.sample_seconds").observe(elapsed)
+            reg.histogram(
+                "serve.latency", labels={"outcome": "cold"}
+            ).observe(elapsed)
+            reg.record("span", phase="serve/answer", elapsed=elapsed)
+
+    def best_of(fn):
+        best = float("inf")
+        for rep in range(repeats):
+            fn(rep)  # warm-up pass primes caches and allocations
+            t0 = time.perf_counter()
+            fn(rep)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    baseline = best_of(plain)
+    nooped = best_of(instrumented)
+    # 2% relative tolerance with a small absolute floor for timer noise.
+    assert nooped <= baseline * 1.02 + 0.002

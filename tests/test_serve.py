@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import time
 
 import numpy as np
@@ -28,7 +29,7 @@ import pytest
 
 from repro.exceptions import GraphFormatError, ParameterError, StateError
 from repro.graph.build import from_edge_list
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, TraceRecorder
 from repro.serve import (
     LRUCache,
     SeedQueryEngine,
@@ -532,6 +533,184 @@ class TestServer:
         assert counters["serve.cache_hits"] == 1
         assert counters["serve.extend_rr_sets"] > 0
         assert registry.stats("span:serve/query").count == 2
+
+
+# ----------------------------------------------------------------------
+# Observability endpoints: /metrics, /healthz, request tracing
+# ----------------------------------------------------------------------
+class TestObservabilityEndpoints:
+    def test_trace_tree_is_stitched_across_processes(
+        self, medium_graph, tmp_path
+    ):
+        trace_path = tmp_path / "trace.jsonl"
+        recorder = TraceRecorder(path=str(trace_path))
+        registry = MetricsRegistry(sink=recorder)
+        engine = SeedQueryEngine(
+            medium_graph, "IC", seed=42, step=400, registry=registry, workers=2
+        )
+
+        async def scenario():
+            server = await _started_server(engine, registry=registry)
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            status, reply = await client.request(
+                "POST", "/query", {"k": 4, "alpha_target": 0.2}
+            )
+            assert status == 200
+            await client.close()
+            await server.close()
+            return reply
+
+        reply = run(scenario())
+        engine.close()
+        recorder.close()
+        trace_id = reply["trace_id"]
+        assert trace_id
+        events = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        spans = [
+            e
+            for e in events
+            if e["type"] == "span" and e.get("trace_id") == trace_id
+        ]
+        phases = {e["phase"] for e in spans}
+        # One tree: the HTTP span, the engine span, and worker chunks.
+        assert "serve/query" in phases
+        assert any(p.startswith("serve/answer") for p in phases)
+        chunks = [e for e in spans if e["phase"] == "service/chunk"]
+        assert chunks
+        for chunk in chunks:
+            assert chunk["worker_pid"] != os.getpid()
+            assert "chunk_seed" in chunk and "chunk_index" in chunk
+
+    def test_client_supplied_trace_id_is_honored(self, engine):
+        async def scenario():
+            server = await _started_server(engine)
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            status, reply = await client.request(
+                "POST",
+                "/query",
+                {"k": 3, "alpha_target": 0.2},
+                headers={"x-trace-id": "req-fixed-1"},
+            )
+            assert status == 200
+            assert reply["trace_id"] == "req-fixed-1"
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_metrics_scrape_while_serving(self, medium_graph):
+        registry = MetricsRegistry()
+        engine = SeedQueryEngine(
+            medium_graph, "IC", seed=42, step=400, registry=registry
+        )
+
+        async def scenario():
+            server = await _started_server(engine, registry=registry)
+            query_client = await ServeClient.connect("127.0.0.1", server.port)
+            scrape_client = await ServeClient.connect("127.0.0.1", server.port)
+
+            async def scrape_loop():
+                texts = []
+                for _ in range(5):
+                    status, text = await scrape_client.request_text(
+                        "GET", "/metrics"
+                    )
+                    assert status == 200
+                    texts.append(text)
+                    await asyncio.sleep(0)
+                return texts
+
+            payload = {"k": 4, "alpha_target": 0.2}
+            (status, reply), _texts = await asyncio.gather(
+                query_client.request("POST", "/query", payload),
+                scrape_loop(),
+            )
+            assert status == 200
+            await query_client.request("POST", "/query", payload)  # cached
+            status, final = await scrape_client.request_text("GET", "/metrics")
+            assert status == 200
+            await query_client.close()
+            await scrape_client.close()
+            await server.close()
+            return final
+
+        final = run(scenario())
+        engine.close()
+        assert "# TYPE serve_latency histogram" in final
+        assert 'serve_latency_bucket{le="+Inf",outcome="cold"} 1' in final
+        assert 'serve_latency_count{outcome="cached"} 1' in final
+        assert "engine_sample_seconds_count" in final
+        # Exact totals survive concurrent scraping.
+        assert registry.counter("serve.queries").value == 2
+
+    def test_healthz_reports_queue_and_index_staleness(self, engine, tmp_path):
+        engine.index_dir = tmp_path
+
+        async def scenario():
+            server = await _started_server(engine)
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            status, health = await client.request("GET", "/healthz")
+            assert status == 200
+            assert health["queue_limit"] == server.queue_limit
+            assert health["index"] == {
+                "synced": False,
+                "stale_rr_sets": None,
+                "age_seconds": None,
+            }
+            await client.request("POST", "/extend", {"count": 200})
+            await client.request("POST", "/save", {})
+            _, health = await client.request("GET", "/healthz")
+            assert health["index"]["synced"] is True
+            assert health["index"]["stale_rr_sets"] == 0
+            assert health["index"]["age_seconds"] >= 0.0
+            await client.request("POST", "/extend", {"count": 200})
+            _, health = await client.request("GET", "/healthz")
+            assert health["index"]["stale_rr_sets"] == 200
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_queue_depth_gauge_tracks_rejection_and_drain(self, medium_graph):
+        registry = MetricsRegistry()
+        engine = SeedQueryEngine(
+            medium_graph, "IC", seed=42, step=400, registry=registry
+        )
+
+        async def scenario():
+            server = await _started_server(
+                engine, registry=registry, queue_limit=1
+            )
+            clients = [
+                await ServeClient.connect("127.0.0.1", server.port)
+                for _ in range(5)
+            ]
+            replies = await asyncio.gather(
+                *(
+                    c.request(
+                        "POST",
+                        "/query",
+                        {"k": 3, "alpha_target": 0.05 + 0.01 * i},
+                    )
+                    for i, c in enumerate(clients)
+                )
+            )
+            assert 503 in [status for status, _ in replies]
+            # The rejection path refreshes the gauge too, so it can
+            # never report a stale pre-overflow depth.
+            assert "serve.queue_depth" in registry.gauge_values()
+            for client in clients:
+                await client.close()
+            await server.close()
+
+        run(scenario())
+        engine.close()
+        assert registry.counter("serve.rejected").value >= 1
+        # After drain the queue is empty and the gauge says so.
+        assert registry.gauge_values()["serve.queue_depth"] == 0
 
 
 # ----------------------------------------------------------------------
