@@ -92,3 +92,17 @@ class Baseline:
             else:
                 new.append(finding)
         return new, baselined
+
+    def unmatched(self, findings: Iterable[Finding]) -> int:
+        """Baseline entries the current tree no longer produces.
+
+        Nonzero means accepted debt was paid down but the baseline
+        still grants credit for it; prune (``--prune-baseline``) so the
+        ratchet cannot regrow — a fixed finding that reappears must
+        surface as *new*, not silently re-absorb the stale entry.
+        """
+        remaining = Counter(self.counts)
+        for finding in findings:
+            if remaining.get(finding.fingerprint, 0) > 0:
+                remaining[finding.fingerprint] -= 1
+        return sum(count for count in remaining.values() if count > 0)

@@ -1,0 +1,349 @@
+"""Call-graph construction over a :class:`~repro.analysis.project.Project`.
+
+The graph answers the one question every RPR2xx rule asks: *which
+function bodies can this call site reach?*  Resolution is deliberately
+conservative-but-useful rather than complete:
+
+* plain calls (``extend_stream(...)``) resolve through each module's
+  :class:`~repro.analysis.visitors.ImportMap` and the project symbol
+  table;
+* method calls resolve through a per-function **type environment**:
+  ``self`` is the enclosing class, annotated parameters contribute
+  their annotation classes, and local variables pick up types from
+  constructor calls, annotated-return calls, ``self.attr`` loads
+  (using the project's inferred attribute types, including ``@property``
+  forwarders), and container subscripts
+  (``self._sessions[k]`` → the ``Dict[int, OPIMSession]`` value type);
+* anything unresolvable stays an *external* edge carrying only its
+  canonical dotted name — enough for rules keyed on stdlib names
+  (``time.sleep``, ``multiprocessing.shared_memory.SharedMemory``).
+
+Edges record whether the call site sits inside a loop and whether its
+enclosing function is async, which RPR201/RPR203 consume directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.project import (
+    MODULE_SCOPE,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+)
+from repro.analysis.visitors import dotted_name
+
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While)
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def walk_function_scope(fn_node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's own statements, excluding nested def/lambda
+    bodies (each is its own scope and, for RPR203, its own execution
+    context — a lambda handed to ``run_in_executor`` never blocks the
+    event loop)."""
+    return walk_function_scope_body(list(getattr(fn_node, "body", [])))
+
+
+@dataclass
+class CallSite:
+    """One call expression, annotated with everything resolution found."""
+
+    caller: str  # qualname of the enclosing function, or "<module>" scope
+    module: ModuleInfo
+    node: ast.Call
+    callee_text: str  # the call target as written (dotted)
+    canonical: str  # import-resolved dotted name
+    targets: Tuple[str, ...] = ()  # resolved FunctionInfo qualnames
+    receiver: Optional[ast.expr] = None  # expr before the final attr, if any
+    receiver_classes: Tuple[str, ...] = ()  # inferred receiver class qualnames
+    in_loop: bool = False
+    in_async: bool = False
+
+    @property
+    def method_name(self) -> str:
+        return self.canonical.split(".")[-1]
+
+
+class TypeEnv:
+    """Flow-insensitive local-variable typing for one function body."""
+
+    def __init__(self) -> None:
+        self.vars: Dict[str, Set[str]] = {}
+
+    def add(self, name: str, classes: Set[str]) -> None:
+        if classes:
+            self.vars.setdefault(name, set()).update(classes)
+
+    def get(self, name: str) -> Set[str]:
+        return self.vars.get(name, set())
+
+
+class CallGraph:
+    """Call sites + resolved edges for every function in a project."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.sites: List[CallSite] = []
+        self.by_caller: Dict[str, List[CallSite]] = {}
+        self.site_by_node: Dict[int, CallSite] = {}
+        self._envs: Dict[str, TypeEnv] = {}
+        for fn in project.iter_functions():
+            self._envs[fn.qualname] = self._build_env(fn)
+        for fn in project.iter_functions():
+            self._collect_sites(fn)
+        for module in project.modules:
+            self._collect_module_scope(module)
+
+    # ------------------------------------------------------------------
+    # Type environments
+    # ------------------------------------------------------------------
+    def env(self, qualname: str) -> TypeEnv:
+        return self._envs.get(qualname, TypeEnv())
+
+    def _build_env(self, fn: FunctionInfo) -> TypeEnv:
+        from repro.analysis.project import _annotation_class_names
+
+        env = TypeEnv()
+        if fn.class_qualname:
+            env.add("self", {fn.class_qualname})
+        args = fn.node.args  # type: ignore[attr-defined]
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            for name in _annotation_class_names(arg.annotation):
+                resolved = self.project.resolve_class(fn.module, name)
+                if resolved is not None:
+                    env.add(arg.arg, {resolved.qualname})
+        # Two passes so ``a = make(); b = a`` types ``b``.
+        for _ in range(2):
+            for node in walk_function_scope(fn.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                types = self._expr_types(fn, env, node.value)
+                if not types:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        env.add(target.id, types)
+        return env
+
+    def _expr_types(
+        self, fn: FunctionInfo, env: TypeEnv, expr: ast.expr
+    ) -> Set[str]:
+        """Classes *expr* may evaluate to, under *env*."""
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self._expr_types(fn, env, expr.value)
+            out: Set[str] = set()
+            for class_qualname in base:
+                info = self.project.classes.get(class_qualname)
+                if info is not None:
+                    out.update(info.attr_types.get(expr.attr, set()))
+            return out
+        if isinstance(expr, ast.Subscript):
+            container = expr.value
+            if isinstance(container, ast.Attribute):
+                base = self._expr_types(fn, env, container.value)
+                out = set()
+                for class_qualname in base:
+                    info = self.project.classes.get(class_qualname)
+                    if info is not None:
+                        out.update(
+                            info.attr_value_types.get(container.attr, set())
+                        )
+                return out
+            return set()
+        if isinstance(expr, ast.IfExp):
+            return self._expr_types(fn, env, expr.body) | self._expr_types(
+                fn, env, expr.orelse
+            )
+        if isinstance(expr, ast.Call):
+            dotted = dotted_name(expr.func)
+            if dotted is not None:
+                constructed = self.project.resolve_class(fn.module, dotted)
+                if constructed is not None:
+                    return {constructed.qualname}
+                # Annotated-return resolution, both plain functions and
+                # methods on typed receivers.
+                for target in self._call_targets(fn, env, expr):
+                    target_fn = self.project.functions.get(target)
+                    if target_fn is None:
+                        continue
+                    returns = getattr(target_fn.node, "returns", None)
+                    out = set()
+                    from repro.analysis.project import _annotation_class_names
+
+                    for name in _annotation_class_names(returns):
+                        cls = self.project.resolve_class(
+                            target_fn.module, name
+                        )
+                        if cls is not None:
+                            out.add(cls.qualname)
+                    if out:
+                        return out
+            return set()
+        return set()
+
+    # ------------------------------------------------------------------
+    # Site collection
+    # ------------------------------------------------------------------
+    def _call_targets(
+        self, fn: Optional[FunctionInfo], env: TypeEnv, call: ast.Call
+    ) -> List[str]:
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return []
+        module = fn.module if fn is not None else None
+        if isinstance(call.func, ast.Attribute) and fn is not None:
+            receiver = call.func.value
+            method = call.func.attr
+            targets: List[str] = []
+            for class_qualname in self._expr_types(fn, env, receiver):
+                target = self.project.method(class_qualname, method)
+                if target is not None:
+                    targets.append(target.qualname)
+            if targets:
+                return targets
+        if module is not None:
+            resolved = self.project.resolve_callable(module, dotted)
+            if resolved is not None:
+                return [resolved.qualname]
+        return []
+
+    def _make_site(
+        self,
+        caller: str,
+        module: ModuleInfo,
+        fn: Optional[FunctionInfo],
+        env: TypeEnv,
+        call: ast.Call,
+        in_async: bool,
+        loop_depth_nodes: Set[int],
+    ) -> Optional[CallSite]:
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        receiver: Optional[ast.expr] = None
+        receiver_classes: Tuple[str, ...] = ()
+        if isinstance(call.func, ast.Attribute):
+            receiver = call.func.value
+            if fn is not None:
+                receiver_classes = tuple(
+                    sorted(self._expr_types(fn, env, receiver))
+                )
+        site = CallSite(
+            caller=caller,
+            module=module,
+            node=call,
+            callee_text=dotted,
+            canonical=module.imports.resolve(dotted),
+            targets=tuple(self._call_targets(fn, env, call)),
+            receiver=receiver,
+            receiver_classes=receiver_classes,
+            in_loop=id(call) in loop_depth_nodes,
+            in_async=in_async,
+        )
+        self.sites.append(site)
+        self.by_caller.setdefault(caller, []).append(site)
+        self.site_by_node[id(call)] = site
+        return site
+
+    def _collect_scope(
+        self,
+        caller: str,
+        module: ModuleInfo,
+        fn: Optional[FunctionInfo],
+        env: TypeEnv,
+        body: Sequence[ast.stmt],
+        in_async: bool,
+    ) -> None:
+        # One walk marking which call nodes sit under a loop.
+        in_loop_ids: Set[int] = set()
+
+        def mark(node: ast.AST, looped: bool) -> None:
+            if isinstance(node, ast.Call) and looped:
+                in_loop_ids.add(id(node))
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, _SCOPE_NODES):
+                    continue
+                mark(child, looped or isinstance(node, _LOOP_NODES))
+
+        for stmt in body:
+            if not isinstance(stmt, _SCOPE_NODES):
+                mark(stmt, False)
+
+        for node in walk_function_scope_body(body):
+            if isinstance(node, ast.Call):
+                self._make_site(
+                    caller, module, fn, env, node, in_async, in_loop_ids
+                )
+
+    def _collect_sites(self, fn: FunctionInfo) -> None:
+        env = self._envs[fn.qualname]
+        self._collect_scope(
+            caller=fn.qualname,
+            module=fn.module,
+            fn=fn,
+            env=env,
+            body=list(fn.node.body),  # type: ignore[attr-defined]
+            in_async=fn.is_async,
+        )
+
+    def _collect_module_scope(self, module: ModuleInfo) -> None:
+        body = [
+            stmt
+            for stmt in module.tree.body
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        ]
+        self._collect_scope(
+            caller=f"{module.name}.{MODULE_SCOPE}",
+            module=module,
+            fn=None,
+            env=TypeEnv(),
+            body=body,
+            in_async=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def sites_in(self, qualname: str) -> List[CallSite]:
+        return self.by_caller.get(qualname, [])
+
+    def site_targets(self, call: ast.Call) -> Tuple[str, ...]:
+        """Resolved targets for a call node already collected as a site."""
+        site = self.site_by_node.get(id(call))
+        return site.targets if site is not None else ()
+
+    def reachable_functions(
+        self, start: str, max_depth: int = 8
+    ) -> Set[str]:
+        """Function qualnames reachable from *start* via resolved edges."""
+        seen: Set[str] = {start}
+        frontier = [start]
+        depth = 0
+        while frontier and depth < max_depth:
+            next_frontier: List[str] = []
+            for caller in frontier:
+                for site in self.sites_in(caller):
+                    for target in site.targets:
+                        if target not in seen:
+                            seen.add(target)
+                            next_frontier.append(target)
+            frontier = next_frontier
+            depth += 1
+        return seen
+
+
+def walk_function_scope_body(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk *body* without descending into nested def/lambda scopes."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

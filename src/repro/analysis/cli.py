@@ -1,20 +1,28 @@
 """Command-line entry point: ``python -m repro.analysis [paths...]``.
 
-Exit codes: 0 — clean (no findings beyond the baseline); 1 — new
-findings (or parse errors); 2 — usage errors (argparse).
+Exit codes (identical for ``--format text`` and ``--format json`` —
+both renderers derive from the same ``LintReport.exit_code``):
+
+* ``0`` — clean: no findings beyond the baseline (baselined and
+  ``noqa``-suppressed findings do not fail the run);
+* ``1`` — new findings (including parse errors);
+* ``2`` — usage or internal errors (bad rule ids, missing files,
+  argparse errors).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import textwrap
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Type
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
 from repro.analysis.engine import LintEngine
 from repro.analysis.reporters import render_json, render_text
 from repro.analysis.rules import ALL_RULES, get_rules
+from repro.analysis.rules.base import Rule
 
 
 def build_parser(prog: str = "repro-lint") -> argparse.ArgumentParser:
@@ -35,13 +43,24 @@ def build_parser(prog: str = "repro-lint") -> argparse.ArgumentParser:
         "--format",
         choices=["text", "json"],
         default="text",
-        help="output format",
+        help="output format (exit codes are identical either way)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the rendered report to this file",
     )
     parser.add_argument(
         "--select",
         default=None,
         metavar="IDS",
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip the whole-program RPR2xx pass (file rules only)",
     )
     parser.add_argument(
         "--baseline",
@@ -60,6 +79,14 @@ def build_parser(prog: str = "repro-lint") -> argparse.ArgumentParser:
         help="accept all current findings into the baseline file and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline keeping only entries the tree still "
+            "produces (the ratchet: accepted debt can only shrink)"
+        ),
+    )
+    parser.add_argument(
         "--show-baselined",
         action="store_true",
         help="also print findings matched by the baseline",
@@ -69,6 +96,15 @@ def build_parser(prog: str = "repro-lint") -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="IDS",
+        help=(
+            "print rationale and paper citation for rule ids and exit "
+            "(comma-separated; families like RPR2xx and 'all' work)"
+        ),
+    )
     return parser
 
 
@@ -76,18 +112,82 @@ def _default_paths() -> List[str]:
     return ["src"] if Path("src").is_dir() else ["."]
 
 
+def _match_rules(spec: str) -> List[Type[Rule]]:
+    """Rule classes matching a ``--explain`` spec.
+
+    Accepts exact ids (``RPR201``), family globs (``RPR2xx`` /
+    ``rpr1XX``), and ``all``; raises ValueError for anything unknown.
+    """
+    matched: List[Type[Rule]] = []
+    unknown: List[str] = []
+    for token in (t.strip() for t in spec.split(",")):
+        if not token:
+            continue
+        upper = token.upper()
+        if upper == "ALL":
+            hits = list(ALL_RULES)
+        elif upper.endswith("XX") and len(upper) > 2:
+            prefix = upper[:-2]
+            hits = [c for c in ALL_RULES if c.rule_id.startswith(prefix)]
+        else:
+            hits = [c for c in ALL_RULES if c.rule_id == upper]
+        if hits:
+            matched.extend(h for h in hits if h not in matched)
+        else:
+            unknown.append(token)
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+    return matched
+
+
+def _explain(spec: str) -> int:
+    try:
+        rules = _match_rules(spec)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    blocks: List[str] = []
+    for cls in rules:
+        lines = [f"{cls.rule_id} — {cls.name} [{cls.severity}, {cls.scope}]"]
+        body = cls.rationale or cls.description
+        lines.extend(
+            textwrap.wrap(body, width=72, initial_indent="  ",
+                          subsequent_indent="  ")
+        )
+        if cls.citation:
+            lines.append(f"  Reference: {cls.citation}")
+        blocks.append("\n".join(lines))
+    print("\n\n".join(blocks))
+    return 0
+
+
+def _emit(rendered: str, output: Optional[str]) -> None:
+    print(rendered)
+    if output is not None:
+        Path(output).write_text(rendered + "\n", encoding="utf-8")
+
+
 def main(argv: Optional[List[str]] = None, prog: str = "repro-lint") -> int:
     args = build_parser(prog=prog).parse_args(argv)
 
+    if args.explain is not None:
+        return _explain(args.explain)
+
     if args.list_rules:
         for cls in ALL_RULES:
-            print(f"{cls.rule_id}  {cls.name:28s} [{cls.severity}]")
+            print(
+                f"{cls.rule_id}  {cls.name:28s} "
+                f"[{cls.severity}, {cls.scope}]"
+            )
             print(f"        {cls.description}")
         return 0
 
     select = args.select.split(",") if args.select else None
     try:
-        engine = LintEngine(rules=get_rules(select))
+        engine = LintEngine(
+            rules=get_rules(select),
+            project_analysis=not args.no_project,
+        )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -122,10 +222,24 @@ def main(argv: Optional[List[str]] = None, prog: str = "repro-lint") -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if args.prune_baseline:
+        if baseline is None:
+            print("error: --prune-baseline needs a baseline", file=sys.stderr)
+            return 2
+        target = baseline_path or DEFAULT_BASELINE_NAME
+        kept = Baseline.write(target, report.baselined)
+        pruned = report.stale_baseline
+        print(
+            f"reprolint: pruned {pruned} stale entr"
+            f"{'y' if pruned == 1 else 'ies'}, kept {kept} in {target}"
+        )
+        report.stale_baseline = 0
+
     if args.format == "json":
-        print(render_json(report))
+        _emit(render_json(report), args.output)
     else:
-        print(render_text(report, show_baselined=args.show_baselined))
+        _emit(render_text(report, show_baselined=args.show_baselined),
+              args.output)
     return report.exit_code
 
 

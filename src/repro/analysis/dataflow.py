@@ -1,0 +1,522 @@
+"""Interprocedural dataflow passes shared by the RPR2xx rules.
+
+Two taint lattices run over the :class:`~repro.analysis.callgraph
+.CallGraph`:
+
+* **δ-budget fractions** — every expression is abstracted to "a
+  constant fraction *f* of budget parameter *p*", to the SCHEDULE
+  element (a fraction with a non-constant divisor/exponent, i.e. a
+  failure schedule such as ``delta / 2**i`` whose geometric sum stays
+  under the budget by construction), or to ⊥ (not budget-derived).
+  :func:`compute_delta_spend` then sums, per function and per budget
+  parameter, the fractions that reach a *base consumer*
+  (``sigma_lower_bound`` / ``sigma_upper_bound``, where a δ is
+  irrevocably turned into a confidence statement) along any call
+  path.  RPR202 flags functions whose summed spend exceeds 1.
+
+* **RR-collection adoption** — :class:`AdoptionFlow` marks every
+  object that flowed through an ``adopt_collections`` call (the
+  shared-sketch idiom of the serve layer), propagating through local
+  aliases, ``self.*`` attribute stores, container stores, and
+  functions that return adopted objects.  RPR201 then checks that
+  repeated selections on adopted objects go through an *adaptive*
+  δ split (a division of a δ-named value by a non-constant
+  expression, e.g. ``delta / 2**(queries_made+1)``) rather than a
+  fixed one — fixed-split reuse is exactly the adaptivity leak of
+  Chen (arXiv:1808.09363).
+
+The module also hosts the small predicates RPR203/RPR205 share:
+blocking-call classification and the finite-string-return check for
+metric label values.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.analysis.callgraph import CallGraph, CallSite, walk_function_scope
+from repro.analysis.project import FunctionInfo, Project
+
+#: Parameter names treated as failure budgets (mirrors RPR102).
+DELTA_PARAM_RE = re.compile(r"^(?:query_)?delta\d*$")
+
+#: Attribute/name tails treated as δ-valued in adaptive-split scans.
+DELTA_TAIL_RE = re.compile(r"(?:^|_)delta\d*$")
+
+#: Functions where a δ fraction is irrevocably consumed.
+BASE_CONSUMERS = frozenset({"sigma_lower_bound", "sigma_upper_bound"})
+
+
+class _Schedule:
+    """Lattice element for schedule-shaped (non-constant) fractions."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "SCHEDULE"
+
+
+SCHEDULE = _Schedule()
+
+FracValue = Union[float, _Schedule]
+#: ``(budget_param, fraction)`` — the abstract value of an expression.
+Fraction = Tuple[str, FracValue]
+
+
+def const_eval(expr: ast.expr) -> Optional[float]:
+    """Evaluate a purely-literal arithmetic expression, else None."""
+    if isinstance(expr, ast.Constant):
+        value = expr.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        return float(value)
+    if isinstance(expr, ast.UnaryOp) and isinstance(
+        expr.op, (ast.USub, ast.UAdd)
+    ):
+        inner = const_eval(expr.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(expr.op, ast.USub) else inner
+    if isinstance(expr, ast.BinOp):
+        left = const_eval(expr.left)
+        right = const_eval(expr.right)
+        if left is None or right is None:
+            return None
+        try:
+            if isinstance(expr.op, ast.Add):
+                return left + right
+            if isinstance(expr.op, ast.Sub):
+                return left - right
+            if isinstance(expr.op, ast.Mult):
+                return left * right
+            if isinstance(expr.op, ast.Div):
+                return left / right
+            if isinstance(expr.op, ast.Pow):
+                return float(left**right)
+        except (ZeroDivisionError, OverflowError, ValueError):
+            return None
+    return None
+
+
+def fraction_of(
+    expr: ast.expr, env: Dict[str, Fraction]
+) -> Optional[Fraction]:
+    """Abstract *expr* to a fraction of a budget parameter under *env*.
+
+    *env* maps names to known fractions (budget parameters start at
+    ``(param, 1.0)``; locals derived from them are folded in by the
+    caller).  Returns None when the expression is not budget-derived.
+    """
+    if isinstance(expr, ast.Name):
+        return env.get(expr.id)
+    if isinstance(expr, ast.BinOp):
+        if isinstance(expr.op, ast.Div):
+            inner = fraction_of(expr.left, env)
+            if inner is not None:
+                param, frac = inner
+                divisor = const_eval(expr.right)
+                if (
+                    divisor is None
+                    or divisor == 0
+                    or isinstance(frac, _Schedule)
+                ):
+                    return (param, SCHEDULE)
+                return (param, frac / divisor)
+        elif isinstance(expr.op, ast.Mult):
+            for budget_side, factor_side in (
+                (expr.left, expr.right),
+                (expr.right, expr.left),
+            ):
+                inner = fraction_of(budget_side, env)
+                if inner is not None:
+                    param, frac = inner
+                    factor = const_eval(factor_side)
+                    if factor is None or isinstance(frac, _Schedule):
+                        return (param, SCHEDULE)
+                    return (param, frac * factor)
+    return None
+
+
+def local_fraction_env(fn: FunctionInfo) -> Dict[str, Fraction]:
+    """Budget-fraction environment for *fn*'s body.
+
+    Seeds every δ-named parameter at fraction 1.0 and folds in simple
+    local derivations (``d1 = delta / 2``); two passes settle chains.
+    """
+    env: Dict[str, Fraction] = {
+        p: (p, 1.0) for p in fn.params if DELTA_PARAM_RE.match(p)
+    }
+    if not env:
+        return env
+    for _ in range(2):
+        for node in walk_function_scope(fn.node):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if DELTA_PARAM_RE.match(target.id):
+                # Re-binding a budget parameter itself keeps identity.
+                continue
+            result = fraction_of(node.value, env)
+            if result is not None:
+                env[target.id] = result
+    return env
+
+
+@dataclass(frozen=True)
+class Spend:
+    """Summed consumption of one budget parameter inside a function."""
+
+    amount: float = 0.0
+    schedule: bool = False  # a schedule-shaped fraction also flows out
+
+
+SpendSummary = Dict[str, Spend]
+
+
+def _base_consumer_delta_arg(call: ast.Call) -> Optional[ast.expr]:
+    """The ``delta`` argument of a sigma-bound call (kw or position 3)."""
+    for keyword in call.keywords:
+        if keyword.arg == "delta":
+            return keyword.value
+    if len(call.args) > 3 and not any(
+        isinstance(a, ast.Starred) for a in call.args[:4]
+    ):
+        return call.args[3]
+    return None
+
+
+def compute_delta_spend(
+    project: Project, graph: CallGraph
+) -> Dict[str, SpendSummary]:
+    """Per-function δ-spend summaries, to a fixpoint over the call graph.
+
+    Each call site is counted **once** even inside loops: loops either
+    re-derive fresh collections per iteration (ablation harnesses) or
+    run under a schedule, and flagging them wholesale would drown the
+    real signal.  The rule therefore catches *structural* over-spend —
+    distinct call paths whose constant fractions sum past 1.
+    """
+    summaries: Dict[str, SpendSummary] = {}
+    for fn in project.iter_functions():
+        if fn.name in BASE_CONSUMERS:
+            summaries[fn.qualname] = {
+                p: Spend(1.0, False)
+                for p in fn.params
+                if DELTA_PARAM_RE.match(p)
+            }
+    for _ in range(8):
+        changed = False
+        for fn in project.iter_functions():
+            if fn.name in BASE_CONSUMERS:
+                continue
+            summary = _spend_of(fn, project, graph, summaries)
+            if summaries.get(fn.qualname) != summary:
+                summaries[fn.qualname] = summary
+                changed = True
+        if not changed:
+            break
+    return summaries
+
+
+def _spend_of(
+    fn: FunctionInfo,
+    project: Project,
+    graph: CallGraph,
+    summaries: Dict[str, SpendSummary],
+) -> SpendSummary:
+    env = local_fraction_env(fn)
+    if not env:
+        return {}
+    amounts: Dict[str, float] = {}
+    schedules: Set[str] = set()
+
+    def add(result: Optional[Fraction], callee_spend: Spend) -> None:
+        if result is None:
+            return
+        param, frac = result
+        if isinstance(frac, _Schedule):
+            schedules.add(param)
+            return
+        if callee_spend.schedule:
+            schedules.add(param)
+        amounts[param] = amounts.get(param, 0.0) + frac * callee_spend.amount
+
+    for site in graph.sites_in(fn.qualname):
+        if site.method_name in BASE_CONSUMERS:
+            delta_arg = _base_consumer_delta_arg(site.node)
+            if delta_arg is not None:
+                add(fraction_of(delta_arg, env), Spend(1.0, False))
+            continue
+        for target in site.targets:
+            callee_summary = summaries.get(target)
+            callee = project.functions.get(target)
+            if not callee_summary or callee is None:
+                continue
+            argmap = callee.param_for_call(site.node)
+            for callee_param, arg in argmap.items():
+                callee_spend = callee_summary.get(callee_param)
+                if callee_spend is None or (
+                    callee_spend.amount == 0.0 and not callee_spend.schedule
+                ):
+                    continue
+                add(fraction_of(arg, env), callee_spend)
+            break  # one resolved target per site; avoid double counting
+    return {
+        param: Spend(amounts.get(param, 0.0), param in schedules)
+        for param in set(amounts) | schedules
+    }
+
+
+# ----------------------------------------------------------------------
+# RR-collection adoption flow (RPR201)
+# ----------------------------------------------------------------------
+
+ADOPT_METHOD = "adopt_collections"
+
+#: Methods that perform (or drive) seed selection on a collection.
+SELECTION_METHODS = frozenset({"query", "query_all", "run_until"})
+
+
+def _receiver_root(expr: ast.expr) -> Tuple[Optional[str], List[str]]:
+    """Decompose ``a.b.c`` into ``("a", ["b", "c"])``."""
+    attrs: List[str] = []
+    current = expr
+    while isinstance(current, ast.Attribute):
+        attrs.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id, list(reversed(attrs))
+    return None, []
+
+
+class AdoptionFlow:
+    """Which objects flowed through ``adopt_collections``.
+
+    Tracks three facts to a fixpoint: per-function adopted local
+    variables, adopted ``(class, attribute)`` slots (both plain and
+    container-valued), and functions whose return value is adopted.
+    """
+
+    def __init__(self, project: Project, graph: CallGraph) -> None:
+        self.project = project
+        self.graph = graph
+        self.adopted_vars: Dict[str, Set[str]] = {}
+        self.adopted_attrs: Set[Tuple[str, str]] = set()
+        self.returns_adopted: Set[str] = set()
+        self.adoption_sites: List[CallSite] = [
+            site
+            for site in graph.sites
+            if site.method_name == ADOPT_METHOD and site.receiver is not None
+        ]
+        for _ in range(8):
+            if not self._propagate():
+                break
+
+    def _propagate(self) -> bool:
+        changed = False
+        # Seed: the receiver roots of every adoption call.
+        for site in self.adoption_sites:
+            root, attrs = _receiver_root(site.receiver)
+            if root is None:
+                continue
+            fn = self.project.functions.get(site.caller)
+            if root == "self" and fn is not None and fn.class_qualname:
+                key = (fn.class_qualname, attrs[0]) if attrs else None
+                if key and key not in self.adopted_attrs:
+                    self.adopted_attrs.add(key)
+                    changed = True
+                if not attrs:
+                    # ``self.adopt_collections(...)`` taints nothing new
+                    # (the class itself is the adopter).
+                    continue
+            else:
+                vars_here = self.adopted_vars.setdefault(site.caller, set())
+                if root not in vars_here:
+                    vars_here.add(root)
+                    changed = True
+        # Flow: aliases, attribute stores, returns.
+        for fn in self.project.iter_functions():
+            adopted = self.adopted_vars.setdefault(fn.qualname, set())
+            for _ in range(2):
+                for node in walk_function_scope(fn.node):
+                    if isinstance(node, ast.Assign):
+                        if not self.expr_adopted(fn, node.value):
+                            continue
+                        for target in node.targets:
+                            changed |= self._mark_target(fn, adopted, target)
+                    elif isinstance(node, ast.Return) and node.value is not None:
+                        if (
+                            self.expr_adopted(fn, node.value)
+                            and fn.qualname not in self.returns_adopted
+                        ):
+                            self.returns_adopted.add(fn.qualname)
+                            changed = True
+        return changed
+
+    def _mark_target(
+        self, fn: FunctionInfo, adopted: Set[str], target: ast.expr
+    ) -> bool:
+        if isinstance(target, ast.Name):
+            if target.id not in adopted:
+                adopted.add(target.id)
+                return True
+            return False
+        root, attrs = _receiver_root(
+            target.value if isinstance(target, ast.Subscript) else target
+        )
+        if root == "self" and attrs and fn.class_qualname:
+            key = (fn.class_qualname, attrs[0])
+            if key not in self.adopted_attrs:
+                self.adopted_attrs.add(key)
+                return True
+        return False
+
+    def expr_adopted(self, fn: FunctionInfo, expr: ast.expr) -> bool:
+        """Does *expr* evaluate to an adopted object?"""
+        if isinstance(expr, ast.Name):
+            return expr.id in self.adopted_vars.get(fn.qualname, set())
+        if isinstance(expr, (ast.Attribute, ast.Subscript)):
+            inner = expr.value if isinstance(expr, ast.Subscript) else expr
+            root, attrs = _receiver_root(inner)
+            if root == "self" and attrs and fn.class_qualname:
+                return (fn.class_qualname, attrs[0]) in self.adopted_attrs
+            if root is not None and not attrs:
+                return root in self.adopted_vars.get(fn.qualname, set())
+            return False
+        if isinstance(expr, ast.Call):
+            targets = self.graph.site_targets(expr)
+            return bool(targets) and all(
+                t in self.returns_adopted for t in targets
+            )
+        return False
+
+
+def has_adaptive_split(fn: FunctionInfo) -> bool:
+    """Does *fn* divide a δ-named value by a non-constant expression?
+
+    Matches the simultaneous-guarantee schedule shapes
+    (``delta / 2**(i+1)``, ``delta / (3 * i_max)``) and rejects fixed
+    splits (``delta / 2.0``).
+    """
+    for node in walk_function_scope(fn.node):
+        if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div)):
+            continue
+        left = node.left
+        tail: Optional[str] = None
+        if isinstance(left, ast.Name):
+            tail = left.id
+        elif isinstance(left, ast.Attribute):
+            tail = left.attr
+        if tail is None or not DELTA_TAIL_RE.search(tail):
+            continue
+        if const_eval(node.right) is None:
+            return True
+    return False
+
+
+def reachable_adaptive_split(
+    graph: CallGraph, project: Project, entry_qualnames: Tuple[str, ...]
+) -> bool:
+    """True when any function reachable from *entry_qualnames* computes
+    an adaptive δ split."""
+    for entry in entry_qualnames:
+        for qualname in graph.reachable_functions(entry):
+            fn = project.functions.get(qualname)
+            if fn is not None and has_adaptive_split(fn):
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Blocking-call classification (RPR203)
+# ----------------------------------------------------------------------
+
+#: Canonical dotted names that block the event loop outright.
+BLOCKING_CANONICAL = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "os.system",
+        "socket.create_connection",
+    }
+)
+
+#: File-I/O method names blocking regardless of receiver type.
+BLOCKING_IO_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+#: Compute/sampling entry points that must stay on the executor thread.
+BLOCKING_COMPUTE_METHODS = frozenset(
+    {
+        "fill",
+        "sample_batch",
+        "extend",
+        "extend_to",
+        "run_until",
+        "answer",
+        "query",
+        "query_all",
+        "save_index",
+        "load_index",
+    }
+)
+
+#: Receiver classes whose compute methods are known CPU/IPC-bound.
+_COMPUTE_CLASS_NAMES = frozenset(
+    {"SamplingPool", "RRSampler", "SeedQueryEngine", "OPIMSession", "OnlineOPIM"}
+)
+_COMPUTE_MODULE_MARKERS = ("sampling", "core", "serve.engine")
+
+
+def _is_compute_receiver(project: Project, class_qualname: str) -> bool:
+    info = project.classes.get(class_qualname)
+    if info is None:
+        return False
+    if info.name in _COMPUTE_CLASS_NAMES:
+        return True
+    return any(
+        marker in info.module.name for marker in _COMPUTE_MODULE_MARKERS
+    )
+
+
+def blocking_reason(project: Project, site: CallSite) -> Optional[str]:
+    """Why *site* blocks the event loop, or None when it doesn't."""
+    if site.canonical in BLOCKING_CANONICAL:
+        return f"blocking call {site.canonical}()"
+    method = site.method_name
+    if method in BLOCKING_IO_METHODS and site.receiver is not None:
+        return f"blocking file I/O .{method}()"
+    if method in BLOCKING_COMPUTE_METHODS and site.receiver_classes:
+        for class_qualname in site.receiver_classes:
+            if _is_compute_receiver(project, class_qualname):
+                simple = class_qualname.split(".")[-1]
+                return f"CPU-bound {simple}.{method}()"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Finite-return check (RPR205)
+# ----------------------------------------------------------------------
+
+
+def finite_string_returns(fn: FunctionInfo) -> bool:
+    """True when every return of *fn* is a string literal (so values
+    used as metric labels have bounded cardinality)."""
+    saw_return = False
+    for node in walk_function_scope(fn.node):
+        if isinstance(node, ast.Return):
+            saw_return = True
+            if not (
+                isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                return False
+    return saw_return

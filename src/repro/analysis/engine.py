@@ -16,6 +16,7 @@ from repro.analysis.baseline import Baseline
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.rules import get_rules
 from repro.analysis.rules.base import Rule
+from repro.analysis.rules.project_base import ProjectRule
 from repro.analysis.suppressions import is_suppressed, noqa_lines
 
 PathLike = Union[str, Path]
@@ -43,12 +44,21 @@ class FileContext:
 
 @dataclass
 class LintReport:
-    """Outcome of one engine run."""
+    """Outcome of one engine run.
+
+    ``exit_code`` is the single source of truth for the CLI, whatever
+    the output format: 0 — clean (baselined/suppressed findings do not
+    count), 1 — new findings, 2 — usage or internal errors (set by the
+    CLI layer, never here).  ``stale_baseline`` counts baseline entries
+    the tree no longer produces — the ratchet surface: prune them so
+    the accepted-debt count can only go down.
+    """
 
     findings: List[Finding] = field(default_factory=list)
     baselined: List[Finding] = field(default_factory=list)
     suppressed: int = 0
     files_checked: int = 0
+    stale_baseline: int = 0
 
     @property
     def exit_code(self) -> int:
@@ -89,20 +99,37 @@ def iter_python_files(paths: Sequence[PathLike]) -> List[Path]:
 
 
 class LintEngine:
-    """Run a set of rules over files, applying noqa suppressions."""
+    """Run a set of rules over files, applying noqa suppressions.
 
-    def __init__(self, rules: Optional[Iterable[Rule]] = None) -> None:
-        self.rules: List[Rule] = (
+    File rules run per parsed file; :class:`ProjectRule` instances run
+    once against the whole-program symbol table built from every file
+    of the invocation (skipped under ``project_analysis=False`` or
+    when only file rules are selected).
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Iterable[Rule]] = None,
+        project_analysis: bool = True,
+    ) -> None:
+        all_rules: List[Rule] = (
             list(rules) if rules is not None else get_rules()
+        )
+        self.rules: List[Rule] = [
+            r for r in all_rules if not isinstance(r, ProjectRule)
+        ]
+        self.project_rules: List[ProjectRule] = (
+            [r for r in all_rules if isinstance(r, ProjectRule)]
+            if project_analysis
+            else []
         )
 
     # ------------------------------------------------------------------
     # Single-file interface (used heavily by tests)
     # ------------------------------------------------------------------
-    def lint_source(
-        self, source: str, path: PathLike = "<string>"
-    ) -> Tuple[List[Finding], int]:
-        """Lint *source*; returns ``(findings, suppressed_count)``."""
+    def _lint_source_ctx(
+        self, source: str, path: PathLike
+    ) -> Tuple[List[Finding], int, Optional[FileContext]]:
         display = (
             _display_path(Path(path))
             if path != "<string>"
@@ -119,7 +146,7 @@ class LintEngine:
                 severity=Severity.ERROR,
                 message=f"file does not parse: {exc.msg}",
             )
-            return [finding], 0
+            return [finding], 0, None
         ctx = FileContext(
             path=Path(path), display_path=display, source=source, tree=tree
         )
@@ -129,11 +156,49 @@ class LintEngine:
         noqa = noqa_lines(source)
         kept = [f for f in raw if not is_suppressed(f, noqa)]
         kept.sort()
-        return kept, len(raw) - len(kept)
+        return kept, len(raw) - len(kept), ctx
+
+    def lint_source(
+        self, source: str, path: PathLike = "<string>"
+    ) -> Tuple[List[Finding], int]:
+        """Lint *source* with the file rules; returns
+        ``(findings, suppressed_count)``.  Project rules need the whole
+        tree and only run through :meth:`run`."""
+        findings, suppressed, _ = self._lint_source_ctx(source, path)
+        return findings, suppressed
 
     def lint_file(self, path: PathLike) -> Tuple[List[Finding], int]:
         source = Path(path).read_text(encoding="utf-8")
         return self.lint_source(source, path)
+
+    # ------------------------------------------------------------------
+    # Project pass
+    # ------------------------------------------------------------------
+    def _run_project_rules(
+        self, contexts: List[FileContext]
+    ) -> Tuple[List[Finding], int]:
+        """Run the RPR2xx pass over every parsed file; returns
+        ``(findings, suppressed_count)``."""
+        from repro.analysis.callgraph import CallGraph
+        from repro.analysis.project import build_module, build_project
+
+        modules = [
+            build_module(ctx.path, ctx.display_path, ctx.source, ctx.tree)
+            for ctx in contexts
+        ]
+        project = build_project(modules)
+        graph = CallGraph(project)
+        noqa_by_path = {m.display_path: m.noqa for m in modules}
+        findings: List[Finding] = []
+        suppressed = 0
+        for rule in self.project_rules:
+            for finding in rule.check_project(project, graph):
+                noqa = noqa_by_path.get(finding.path)
+                if noqa is not None and is_suppressed(finding, noqa):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+        return findings, suppressed
 
     # ------------------------------------------------------------------
     # Tree interface
@@ -145,16 +210,25 @@ class LintEngine:
     ) -> LintReport:
         report = LintReport()
         all_findings: List[Finding] = []
+        contexts: List[FileContext] = []
         for path in iter_python_files(paths):
-            findings, suppressed = self.lint_file(path)
+            source = Path(path).read_text(encoding="utf-8")
+            findings, suppressed, ctx = self._lint_source_ctx(source, path)
             all_findings.extend(findings)
             report.suppressed += suppressed
             report.files_checked += 1
+            if ctx is not None:
+                contexts.append(ctx)
+        if self.project_rules and contexts:
+            project_findings, suppressed = self._run_project_rules(contexts)
+            all_findings.extend(project_findings)
+            report.suppressed += suppressed
         all_findings.sort()
         if baseline is not None:
             report.findings, report.baselined = baseline.partition(
                 all_findings
             )
+            report.stale_baseline = baseline.unmatched(all_findings)
         else:
             report.findings = all_findings
         return report
@@ -164,10 +238,13 @@ def run_lint(
     paths: Sequence[PathLike],
     baseline_path: Optional[PathLike] = None,
     select: Optional[Iterable[str]] = None,
+    project_analysis: bool = True,
 ) -> LintReport:
     """Convenience wrapper: lint *paths* with an optional baseline file."""
     baseline = None
     if baseline_path is not None and Path(baseline_path).exists():
         baseline = Baseline.load(baseline_path)
-    engine = LintEngine(rules=get_rules(select))
+    engine = LintEngine(
+        rules=get_rules(select), project_analysis=project_analysis
+    )
     return engine.run(paths, baseline=baseline)

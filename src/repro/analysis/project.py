@@ -1,0 +1,449 @@
+"""Whole-program model for reprolint's interprocedural rules.
+
+The RPR1xx family inspects one file at a time; that is structurally
+blind to the bugs that matter most for a long-lived OPIM service — a
+δ budget minted in ``core/`` and over-spent in ``serve/``, or an RR
+collection shared through :meth:`~repro.core.opim.OnlineOPIM
+.adopt_collections` and re-consumed without a fresh split (the failure
+mode of Chen, arXiv:1808.09363).  This module builds the project-wide
+substrate those rules (RPR2xx) reason over:
+
+* :class:`ModuleInfo` — one parsed module with its import map, parent
+  links, and ``noqa`` suppression map retained;
+* :class:`ClassInfo` / :class:`FunctionInfo` — a qualified-name symbol
+  table over every class, method, and function in the analyzed tree;
+* attribute-type inference — ``self.sampler = SamplingPool(...)`` in
+  ``__init__`` types ``self.sampler`` for every other method, including
+  through ``@property`` forwarders and ``Dict[k, V]``-annotated
+  containers (``self._sessions[k] = session``);
+* :meth:`Project.resolve_class` / :meth:`Project.resolve_callable` —
+  import-aware resolution of dotted references to symbols, with a
+  simple-name fallback so fixture projects that merely *mimic* repo
+  classes still resolve.
+
+Everything is stdlib ``ast``; building the model for the full
+``src/repro`` tree takes well under a second (the acceptance budget
+for a whole analysis run is ten).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.suppressions import NoqaMap, noqa_lines
+from repro.analysis.visitors import ImportMap, attach_parents, dotted_name
+
+#: pseudo function name for a module's top-level statements.
+MODULE_SCOPE = "<module>"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the analyzed project."""
+
+    name: str
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    imports: ImportMap
+    noqa: NoqaMap
+
+    @property
+    def path_parts(self) -> Tuple[str, ...]:
+        return tuple(Path(self.display_path).parts)
+
+
+@dataclass
+class FunctionInfo:
+    """A function or method, addressable by qualified name."""
+
+    qualname: str
+    module: ModuleInfo
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_qualname: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name  # type: ignore[attr-defined]
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+    @property
+    def params(self) -> List[str]:
+        args = self.node.args  # type: ignore[attr-defined]
+        names = [
+            a.arg
+            for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        ]
+        if self.class_qualname and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        return names
+
+    def param_for_call(
+        self, call: ast.Call
+    ) -> Dict[str, ast.expr]:
+        """Map this function's parameter names to the call's arguments."""
+        mapping: Dict[str, ast.expr] = {}
+        params = self.params
+        for position, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if position < len(params):
+                mapping[params[position]] = arg
+        for keyword in call.keywords:
+            if keyword.arg is not None:
+                mapping[keyword.arg] = keyword.value
+        return mapping
+
+
+@dataclass
+class ClassInfo:
+    """A class with method table and inferred attribute types."""
+
+    qualname: str
+    module: ModuleInfo
+    node: ast.ClassDef
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> fn qualname
+    #: attribute name -> class qualnames its values may have.
+    attr_types: Dict[str, Set[str]] = field(default_factory=dict)
+    #: container attribute name -> element class qualnames
+    #: (``self._sessions[k] = session`` / ``Dict[int, OPIMSession]``).
+    attr_value_types: Dict[str, Set[str]] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+def _module_name(path: Path) -> str:
+    """Best-effort dotted module name for *path*.
+
+    Inside a source tree the name is rooted at the innermost ``src``
+    directory (``src/repro/serve/engine.py`` → ``repro.serve.engine``);
+    elsewhere (test fixtures, ad-hoc trees) the relative path itself
+    becomes the dotted name — uniqueness is all the analysis needs.
+    """
+    parts = list(path.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for anchor in range(len(parts) - 1, -1, -1):
+        if parts[anchor] == "src":
+            parts = parts[anchor + 1:]
+            break
+    cleaned = [p for p in parts if p not in ("", ".", "..", "/")]
+    return ".".join(cleaned) or path.stem
+
+
+def _annotation_class_names(annotation: Optional[ast.expr]) -> List[str]:
+    """Extract candidate class names from a return/attr annotation.
+
+    Handles ``X``, ``"X"``, ``Optional[X]``, ``Dict[K, V]`` (yields the
+    value type last), and ``Union[...]``/``X | Y`` members.
+    """
+    if annotation is None:
+        return []
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return []
+    names: List[str] = []
+    def visit(node: ast.expr) -> None:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            dotted = dotted_name(node)
+            if dotted:
+                names.append(dotted)
+        elif isinstance(node, ast.Subscript):
+            head = dotted_name(node.value) or ""
+            inner = node.slice
+            elements = (
+                list(inner.elts) if isinstance(inner, ast.Tuple) else [inner]
+            )
+            if head.split(".")[-1] in ("Dict", "dict", "Mapping", "DefaultDict"):
+                elements = elements[1:]  # the value type carries objects
+            for element in elements:
+                visit(element)
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            visit(node.left)
+            visit(node.right)
+    visit(annotation)
+    return [n for n in names if n not in ("None", "Optional", "Any", "object")]
+
+
+class Project:
+    """Symbol table + type facts over a set of parsed modules."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        self.modules: List[ModuleInfo] = list(modules)
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self._class_by_simple_name: Dict[str, List[str]] = {}
+        self._function_by_suffix: Dict[str, List[str]] = {}
+        for module in self.modules:
+            self._index_module(module)
+        for info in self.classes.values():
+            self._infer_attr_types(info)
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def _index_module(self, module: ModuleInfo) -> None:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, node, class_info=None)
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(module, node)
+
+    def _add_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        qualname = f"{module.name}.{node.name}"
+        info = ClassInfo(qualname=qualname, module=module, node=node)
+        self.classes[qualname] = info
+        self._class_by_simple_name.setdefault(node.name, []).append(qualname)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._add_function(module, item, class_info=info)
+                info.methods[item.name] = fn.qualname
+
+    def _add_function(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        class_info: Optional[ClassInfo],
+    ) -> FunctionInfo:
+        name = node.name  # type: ignore[attr-defined]
+        if class_info is not None:
+            qualname = f"{class_info.qualname}.{name}"
+        else:
+            qualname = f"{module.name}.{name}"
+        info = FunctionInfo(
+            qualname=qualname,
+            module=module,
+            node=node,
+            class_qualname=class_info.qualname if class_info else None,
+        )
+        self.functions[qualname] = info
+        # Suffix index: "Class.method" and bare "function".
+        if class_info is not None:
+            suffix = f"{class_info.name}.{name}"
+        else:
+            suffix = name
+        self._function_by_suffix.setdefault(suffix, []).append(qualname)
+        return info
+
+    # ------------------------------------------------------------------
+    # Attribute-type inference
+    # ------------------------------------------------------------------
+    def _param_annotation_types(
+        self, fn: FunctionInfo, name: str
+    ) -> Set[str]:
+        """Classes an identically-named parameter's annotation names."""
+        args = fn.node.args  # type: ignore[attr-defined]
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.arg != name:
+                continue
+            types: Set[str] = set()
+            for candidate in _annotation_class_names(arg.annotation):
+                resolved = self.resolve_class(fn.module, candidate)
+                if resolved is not None:
+                    types.add(resolved.qualname)
+            return types
+        return set()
+
+    def _infer_attr_types(self, info: ClassInfo) -> None:
+        module = info.module
+        for method_name, fn_qualname in info.methods.items():
+            fn = self.functions[fn_qualname]
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.AnnAssign):
+                    target = node.target
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        self._record_annotation(info, target.attr, node.annotation)
+                        if node.value is not None:
+                            # ``self.sampler: Any = SamplingPool(...)``
+                            # — the constructed type beats the (often
+                            # deliberately loose) annotation.
+                            types = self._expr_constructed_types(
+                                module, node.value
+                            )
+                            if types:
+                                info.attr_types.setdefault(
+                                    target.attr, set()
+                                ).update(types)
+                elif isinstance(node, ast.Assign):
+                    types = self._expr_constructed_types(module, node.value)
+                    if not types and isinstance(node.value, ast.Name):
+                        # ``self.engine = engine`` with an annotated
+                        # parameter of the same name.
+                        types = self._param_annotation_types(
+                            fn, node.value.id
+                        )
+                    if not types:
+                        continue
+                    for target in node.targets:
+                        self._record_assign_target(info, target, types)
+        # Property forwarders: ``@property def online(self): return self._x``
+        for method_name, fn_qualname in info.methods.items():
+            fn = self.functions[fn_qualname]
+            node = fn.node
+            decorators = getattr(node, "decorator_list", [])
+            is_property = any(
+                (isinstance(d, ast.Name) and d.id == "property")
+                or (isinstance(d, ast.Attribute) and d.attr in ("property", "cached_property"))
+                for d in decorators
+            )
+            if not is_property:
+                continue
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Return) and isinstance(
+                    stmt.value, ast.Attribute
+                ):
+                    value = stmt.value
+                    if (
+                        isinstance(value.value, ast.Name)
+                        and value.value.id == "self"
+                        and value.attr in info.attr_types
+                    ):
+                        info.attr_types.setdefault(method_name, set()).update(
+                            info.attr_types[value.attr]
+                        )
+
+    def _record_assign_target(
+        self, info: ClassInfo, target: ast.expr, types: Set[str]
+    ) -> None:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            info.attr_types.setdefault(target.attr, set()).update(types)
+        elif isinstance(target, ast.Subscript):
+            container = target.value
+            if (
+                isinstance(container, ast.Attribute)
+                and isinstance(container.value, ast.Name)
+                and container.value.id == "self"
+            ):
+                info.attr_value_types.setdefault(
+                    container.attr, set()
+                ).update(types)
+
+    def _record_annotation(
+        self, info: ClassInfo, attr: str, annotation: ast.expr
+    ) -> None:
+        for name in _annotation_class_names(annotation):
+            resolved = self.resolve_class(info.module, name)
+            if resolved is not None:
+                target = (
+                    info.attr_value_types
+                    if "Dict" in ast.unparse(annotation)
+                    else info.attr_types
+                )
+                target.setdefault(attr, set()).add(resolved.qualname)
+
+    def _expr_constructed_types(
+        self, module: ModuleInfo, expr: ast.expr
+    ) -> Set[str]:
+        """Class qualnames *expr* may evaluate to (constructors and
+        annotated-return calls only; conservative otherwise)."""
+        if isinstance(expr, ast.IfExp):
+            return self._expr_constructed_types(
+                module, expr.body
+            ) | self._expr_constructed_types(module, expr.orelse)
+        if not isinstance(expr, ast.Call):
+            return set()
+        dotted = dotted_name(expr.func)
+        if dotted is None:
+            return set()
+        resolved = self.resolve_class(module, dotted)
+        if resolved is not None:
+            return {resolved.qualname}
+        fn = self.resolve_callable(module, dotted)
+        if fn is not None:
+            returns = getattr(fn.node, "returns", None)
+            types: Set[str] = set()
+            for name in _annotation_class_names(returns):
+                cls = self.resolve_class(fn.module, name)
+                if cls is not None:
+                    types.add(cls.qualname)
+            return types
+        return set()
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve_class(
+        self, module: ModuleInfo, dotted: str
+    ) -> Optional[ClassInfo]:
+        """Resolve a (possibly aliased) dotted reference to a class."""
+        canonical = module.imports.resolve(dotted)
+        if canonical in self.classes:
+            return self.classes[canonical]
+        local = f"{module.name}.{dotted}"
+        if local in self.classes:
+            return self.classes[local]
+        simple = canonical.split(".")[-1]
+        candidates = self._class_by_simple_name.get(simple, [])
+        if len(candidates) == 1:
+            return self.classes[candidates[0]]
+        return None
+
+    def resolve_callable(
+        self, module: ModuleInfo, dotted: str
+    ) -> Optional[FunctionInfo]:
+        """Resolve a dotted reference to a module-level function."""
+        canonical = module.imports.resolve(dotted)
+        if canonical in self.functions:
+            return self.functions[canonical]
+        local = f"{module.name}.{dotted}"
+        if local in self.functions:
+            return self.functions[local]
+        simple = canonical.split(".")[-1]
+        candidates = self._function_by_suffix.get(simple, [])
+        if len(candidates) == 1:
+            return self.functions[candidates[0]]
+        return None
+
+    def method(self, class_qualname: str, name: str) -> Optional[FunctionInfo]:
+        info = self.classes.get(class_qualname)
+        if info is None:
+            return None
+        fn_qualname = info.methods.get(name)
+        return self.functions.get(fn_qualname) if fn_qualname else None
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        return iter(self.functions.values())
+
+
+def build_module(
+    path: Path, display_path: str, source: str, tree: ast.Module
+) -> ModuleInfo:
+    """Wrap one already-parsed file as a :class:`ModuleInfo`."""
+    attach_parents(tree)
+    return ModuleInfo(
+        name=_module_name(Path(display_path)),
+        path=path,
+        display_path=display_path,
+        source=source,
+        tree=tree,
+        imports=ImportMap(tree),
+        noqa=noqa_lines(source),
+    )
+
+
+def build_project(modules: Sequence[ModuleInfo]) -> Project:
+    """Assemble the symbol table over *modules* (parse errors excluded)."""
+    return Project(modules)

@@ -9,6 +9,9 @@ from repro.analysis.engine import LintReport
 
 
 def report_to_dict(report: LintReport) -> Dict[str, Any]:
+    # ``summary.exit_code`` mirrors what the CLI returns for this run
+    # (0 clean / 1 findings); both renderers derive it from the same
+    # LintReport property so text and JSON can never disagree.
     return {
         "findings": [f.to_dict() for f in report.findings],
         "baselined": [f.to_dict() for f in report.baselined],
@@ -17,6 +20,7 @@ def report_to_dict(report: LintReport) -> Dict[str, Any]:
             "new": len(report.findings),
             "baselined": len(report.baselined),
             "suppressed": report.suppressed,
+            "stale_baseline": report.stale_baseline,
             "exit_code": report.exit_code,
         },
     }
@@ -31,10 +35,17 @@ def render_text(report: LintReport, show_baselined: bool = False) -> str:
     if show_baselined and report.baselined:
         lines.append("-- baselined (accepted) --")
         lines.extend(f.render() for f in report.baselined)
-    lines.append(
+    summary = (
         f"reprolint: {report.files_checked} file(s) checked, "
         f"{len(report.findings)} new finding(s), "
         f"{len(report.baselined)} baselined, "
         f"{report.suppressed} suppressed"
     )
+    if report.stale_baseline:
+        summary += (
+            f", {report.stale_baseline} stale baseline entr"
+            f"{'y' if report.stale_baseline == 1 else 'ies'} "
+            "(run --prune-baseline)"
+        )
+    lines.append(summary)
     return "\n".join(lines)

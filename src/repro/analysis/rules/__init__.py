@@ -1,9 +1,13 @@
 """Rule registry.
 
 ``ALL_RULES`` is the ordered tuple of rule classes the engine runs by
-default; :func:`get_rules` instantiates an optionally-filtered subset.
-Adding a rule means writing a :class:`~repro.analysis.rules.base.Rule`
-subclass and appending it here.
+default: the RPR1xx family checks one parsed file at a time, the
+RPR2xx family (subclasses of
+:class:`~repro.analysis.rules.project_base.ProjectRule`) runs once
+over the whole-program symbol table and call graph.  Adding a rule
+means writing a :class:`~repro.analysis.rules.base.Rule` (or
+``ProjectRule``) subclass and appending it here; :func:`get_rules`
+instantiates an optionally-filtered subset of either kind.
 """
 
 from __future__ import annotations
@@ -11,15 +15,22 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Tuple, Type
 
 from repro.analysis.rules.aliasing import AliasingRule
+from repro.analysis.rules.async_blocking import AsyncBlockingRule
 from repro.analysis.rules.base import Rule
+from repro.analysis.rules.budget_flow import BudgetFlowRule
 from repro.analysis.rules.delta_budget import DeltaBudgetRule
 from repro.analysis.rules.dtype_discipline import DtypeDisciplineRule
 from repro.analysis.rules.float_equality import FloatEqualityRule
+from repro.analysis.rules.label_cardinality import LabelCardinalityRule
+from repro.analysis.rules.project_base import ProjectRule
 from repro.analysis.rules.registry_injection import RegistryInjectionRule
 from repro.analysis.rules.rng_determinism import RngDeterminismRule
+from repro.analysis.rules.sample_reuse import SampleReuseRule
+from repro.analysis.rules.shm_lifecycle import ShmLifecycleRule
 from repro.analysis.rules.traceability import TraceabilityRule
 
-ALL_RULES: Tuple[Type[Rule], ...] = (
+#: Per-file rules (RPR1xx).
+FILE_RULES: Tuple[Type[Rule], ...] = (
     AliasingRule,
     DeltaBudgetRule,
     RngDeterminismRule,
@@ -28,6 +39,17 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     TraceabilityRule,
     RegistryInjectionRule,
 )
+
+#: Whole-program rules (RPR2xx).
+PROJECT_RULES: Tuple[Type[Rule], ...] = (
+    SampleReuseRule,
+    BudgetFlowRule,
+    AsyncBlockingRule,
+    ShmLifecycleRule,
+    LabelCardinalityRule,
+)
+
+ALL_RULES: Tuple[Type[Rule], ...] = FILE_RULES + PROJECT_RULES
 
 
 def get_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
@@ -43,13 +65,21 @@ def get_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
 
 __all__ = [
     "ALL_RULES",
+    "FILE_RULES",
+    "PROJECT_RULES",
     "AliasingRule",
+    "AsyncBlockingRule",
+    "BudgetFlowRule",
     "DeltaBudgetRule",
     "DtypeDisciplineRule",
     "FloatEqualityRule",
+    "LabelCardinalityRule",
+    "ProjectRule",
     "RegistryInjectionRule",
     "RngDeterminismRule",
     "Rule",
+    "SampleReuseRule",
+    "ShmLifecycleRule",
     "TraceabilityRule",
     "get_rules",
 ]

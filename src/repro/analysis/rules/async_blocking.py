@@ -1,0 +1,97 @@
+"""RPR203 — blocking call reachable from an async serve handler.
+
+The serve layer's contract (``serve/server.py`` docstring) is that the
+event loop only parses HTTP and consults caches; all CPU-bound sketch
+work crosses to the single engine thread via ``run_in_executor``.  A
+synchronous sampler/pool/engine call — or plain file I/O — executed
+directly inside an ``async def`` stalls every in-flight connection for
+the duration of the call.
+
+The rule inspects every ``async def`` in ``serve`` modules and flags
+non-awaited calls that block: known blocking primitives
+(``time.sleep``, ``open``, ``subprocess.*``, ``Path.read_text``-style
+I/O) and compute entry points (``fill`` / ``extend`` / ``run_until`` /
+``answer`` …) on sampler/engine-typed receivers, including calls that
+reach such work transitively through synchronous helpers.  Work routed
+through ``run_in_executor`` is exempt by construction: executor jobs
+are closures (lambdas / nested defs), which are separate scopes the
+analysis does not treat as event-loop code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from repro.analysis.dataflow import blocking_reason
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.project_base import ProjectRule
+from repro.analysis.visitors import parent_of
+
+
+class AsyncBlockingRule(ProjectRule):
+    rule_id = "RPR203"
+    name = "async-blocking-call"
+    severity = Severity.WARNING
+    description = (
+        "async defs in serve/ must not invoke blocking sampler/engine "
+        "work or file I/O directly; route it through run_in_executor."
+    )
+    rationale = (
+        "The asyncio server multiplexes every connection on one event "
+        "loop; a single synchronous SamplingPool.fill or engine query "
+        "inside an async handler freezes health checks, metrics "
+        "scrapes, and all concurrent queries until it returns. The "
+        "serving design funnels CPU-bound sketch work through a "
+        "one-thread executor — this rule pins that invariant so a "
+        "refactor cannot quietly reintroduce a blocking path."
+    )
+    citation = "Tang et al. SIGMOD 2018, Section 6 (online processing)"
+
+    def check_project(self, project, graph) -> List[Finding]:
+        findings: List[Finding] = []
+        for fn in project.iter_functions():
+            if not fn.is_async or "serve" not in fn.module.name:
+                continue
+            for site in graph.sites_in(fn.qualname):
+                if isinstance(parent_of(site.node), ast.Await):
+                    # Awaited: a coroutine (checked on its own) or a
+                    # run_in_executor hop — either way not a stall.
+                    continue
+                reason = blocking_reason(project, site)
+                via: Optional[str] = None
+                if reason is None:
+                    reason, via = self._transitive_reason(project, graph, site)
+                if reason is None:
+                    continue
+                path = f" (via {via})" if via else ""
+                findings.append(
+                    self.project_finding(
+                        site.module,
+                        site.node,
+                        f"{reason} reachable from async {fn.name}(){path} "
+                        "blocks the event loop; run it on the engine "
+                        "executor (loop.run_in_executor)",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _transitive_reason(
+        project, graph, site
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """Blocking work reached through synchronous helper calls."""
+        for target in site.targets:
+            target_fn = project.functions.get(target)
+            if target_fn is None or target_fn.is_async:
+                continue
+            for qualname in sorted(
+                graph.reachable_functions(target, max_depth=6)
+            ):
+                for inner in graph.sites_in(qualname):
+                    reason = blocking_reason(project, inner)
+                    if reason is not None:
+                        short = qualname.split(".")
+                        via = ".".join(short[-2:]) if len(short) > 1 else qualname
+                        return reason, f"{via}()"
+        return None, None

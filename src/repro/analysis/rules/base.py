@@ -24,6 +24,13 @@ class Rule:
     name: str = ""
     severity: Severity = Severity.WARNING
     description: str = ""
+    #: analysis granularity: "file" rules see one parsed file at a
+    #: time; "project" rules run once over the whole symbol table.
+    scope: str = "file"
+    #: longer prose for ``--explain``: why the rule exists (falls back
+    #: to ``description`` when empty) and the paper it traces to.
+    rationale: str = ""
+    citation: str = ""
 
     def check(self, ctx: "FileContext") -> List[Finding]:
         raise NotImplementedError

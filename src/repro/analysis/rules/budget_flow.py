@@ -1,0 +1,74 @@
+"""RPR202 — δ-budget over-spend along call paths.
+
+Every confidence statement the reproduction makes is bought with a
+fraction of a failure budget δ: ``sigma_lower_bound`` /
+``sigma_upper_bound`` each consume the δ they are handed, and the
+union bound only covers the caller when the fractions handed out sum
+to at most 1 (the paper's ``delta/2`` split in Lemma 4.4 is the
+canonical example).  A function that passes ``delta/2`` to three
+consumers has spent 1.5δ — its advertised ``1 - delta`` guarantee is
+silently wrong.
+
+The rule runs the δ-fraction lattice of
+:func:`repro.analysis.dataflow.compute_delta_spend` to a fixpoint over
+the call graph and flags any function whose summed constant fractions
+exceed 1.  Schedule-shaped fractions (non-constant divisors such as
+``delta / 2**i`` or ``delta / (3 * i_max)``) are by-construction
+convergent and contribute nothing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.dataflow import BASE_CONSUMERS, compute_delta_spend
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.project_base import ProjectRule
+
+#: Tolerance: exactly-1.0 spends (delta/2 + delta/2) are the sanctioned
+#: split; only strictly-greater sums are over-spends.
+_EPSILON = 1e-6
+
+
+class BudgetFlowRule(ProjectRule):
+    rule_id = "RPR202"
+    name = "delta-budget-overspend"
+    severity = Severity.ERROR
+    description = (
+        "Constant delta fractions handed to sigma bounds along any "
+        "call path must sum to <= 1 of the caller's budget."
+    )
+    rationale = (
+        "Guarantees compose by the union bound: a caller advertising "
+        "failure probability delta may distribute at most delta across "
+        "the concentration bounds it invokes (directly or through "
+        "callees). Summed constant fractions above 1 mean the "
+        "advertised confidence is overstated — the exact failure mode "
+        "the delta/2 split of Lemma 4.4 exists to prevent. Adaptive "
+        "schedules (delta/2^i) telescope below delta and are exempt."
+    )
+    citation = (
+        "Tang et al. SIGMOD 2018, Lemma 4.4; Chen, arXiv:1808.09363"
+    )
+
+    def check_project(self, project, graph) -> List[Finding]:
+        summaries = compute_delta_spend(project, graph)
+        findings: List[Finding] = []
+        for qualname, summary in sorted(summaries.items()):
+            fn = project.functions.get(qualname)
+            if fn is None or fn.name in BASE_CONSUMERS:
+                continue
+            for param, spend in sorted(summary.items()):
+                if spend.amount <= 1.0 + _EPSILON:
+                    continue
+                findings.append(
+                    self.project_finding(
+                        fn.module,
+                        fn.node,
+                        f"{fn.name}() spends {spend.amount:.2f}x its "
+                        f"'{param}' failure budget across call paths "
+                        "(fractions handed to sigma bounds must sum to "
+                        "<= 1; split the budget as in Lemma 4.4)",
+                    )
+                )
+        return findings

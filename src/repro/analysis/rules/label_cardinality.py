@@ -1,0 +1,162 @@
+"""RPR205 — unbounded metric label cardinality.
+
+Every distinct label value materializes a new time series in the
+metrics registry and in whatever scrapes it; labelling
+``serve.latency`` with a trace id or a raw request field turns a
+handful of histograms into one per request and eventually OOMs the
+registry.  Label values must come from a finite set.
+
+The rule inspects ``labels={...}`` dict literals passed to registry
+methods (``histogram`` / ``counter`` / ``gauge`` / ``observe`` …) and
+flags values that are provably unbounded: f-string interpolation of
+runtime values, request parameters passed through, payload subscripts,
+string arithmetic, and calls to functions that can return unboundedly
+many strings.  Calls whose resolved implementation returns only string
+literals (the ``_query_outcome`` outcome-classifier pattern) are
+bounded and pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.dataflow import finite_string_returns
+from repro.analysis.callgraph import walk_function_scope
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.project_base import ProjectRule
+
+#: Registry entry points that accept a ``labels=`` keyword.
+METRIC_METHODS = frozenset(
+    {
+        "histogram",
+        "counter",
+        "gauge",
+        "count",
+        "observe",
+        "set_gauge",
+        "increment",
+    }
+)
+
+
+class LabelCardinalityRule(ProjectRule):
+    rule_id = "RPR205"
+    name = "metric-label-cardinality"
+    severity = Severity.WARNING
+    description = (
+        "Metric label values must come from a finite set; request-"
+        "derived values create unbounded time series."
+    )
+    rationale = (
+        "The registry keeps one series per (metric, label-values) "
+        "combination for the life of the process, and the Prometheus "
+        "exporter renders all of them on every scrape. A label fed "
+        "from a request id, user input, or an f-string over runtime "
+        "state grows without bound — a slow memory leak plus "
+        "ever-larger scrape payloads. Classify outcomes into a fixed "
+        "vocabulary first (the _query_outcome pattern) and label with "
+        "that."
+    )
+    citation = "Tang et al. SIGMOD 2018, Section 6 (serving telemetry)"
+
+    def check_project(self, project, graph) -> List[Finding]:
+        findings: List[Finding] = []
+        for site in graph.sites:
+            if site.method_name not in METRIC_METHODS:
+                continue
+            labels_kw = next(
+                (kw for kw in site.node.keywords if kw.arg == "labels"),
+                None,
+            )
+            if labels_kw is None or not isinstance(labels_kw.value, ast.Dict):
+                continue
+            fn = project.functions.get(site.caller)
+            for key, value in zip(
+                labels_kw.value.keys, labels_kw.value.values
+            ):
+                reason = self._unbounded_reason(project, graph, fn, value)
+                if reason is None:
+                    continue
+                label = (
+                    repr(key.value)
+                    if isinstance(key, ast.Constant)
+                    else "<dynamic>"
+                )
+                findings.append(
+                    self.project_finding(
+                        site.module,
+                        value,
+                        f"metric label {label} {reason}; label values "
+                        "must come from a finite vocabulary",
+                    )
+                )
+        return findings
+
+    def _unbounded_reason(
+        self, project, graph, fn, expr: ast.expr, depth: int = 0
+    ) -> Optional[str]:
+        if depth > 3 or isinstance(expr, ast.Constant):
+            return None
+        if isinstance(expr, ast.JoinedStr):
+            for part in expr.values:
+                if isinstance(part, ast.FormattedValue) and not isinstance(
+                    part.value, ast.Constant
+                ):
+                    return "interpolates a runtime value into an f-string"
+            return None
+        if isinstance(expr, ast.Subscript):
+            return "indexes request/payload data"
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.Add, ast.Mod)
+        ):
+            return "builds the value with string arithmetic"
+        if isinstance(expr, ast.Call):
+            return self._call_reason(project, graph, fn, expr, depth)
+        if isinstance(expr, ast.Name) and fn is not None:
+            if expr.id in fn.params:
+                return f"passes parameter '{expr.id}' straight through"
+            for node in walk_function_scope(fn.node):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id == expr.id
+                ):
+                    reason = self._unbounded_reason(
+                        project, graph, fn, node.value, depth + 1
+                    )
+                    if reason is not None:
+                        return reason
+            return None
+        return None
+
+    def _call_reason(
+        self, project, graph, fn, call: ast.Call, depth: int
+    ) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "str" and call.args:
+            inner = self._unbounded_reason(
+                project, graph, fn, call.args[0], depth + 1
+            )
+            if inner is not None:
+                return inner
+            if isinstance(call.args[0], ast.Name) and fn is not None:
+                if call.args[0].id in fn.params:
+                    return (
+                        "stringifies request parameter "
+                        f"'{call.args[0].id}'"
+                    )
+            return None
+        targets = graph.site_targets(call)
+        if not targets:
+            return None  # unresolved: assume the author knows
+        for target in targets:
+            target_fn = project.functions.get(target)
+            if target_fn is None or not finite_string_returns(target_fn):
+                name = target.split(".")[-1]
+                return (
+                    f"takes its value from {name}(), which does not "
+                    "return a fixed set of string literals"
+                )
+        return None

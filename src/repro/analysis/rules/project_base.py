@@ -1,0 +1,53 @@
+"""Base class for project-scope (interprocedural) rules.
+
+A :class:`ProjectRule` runs once per lint invocation, after every file
+has been parsed, against the whole-program
+:class:`~repro.analysis.project.Project` and its
+:class:`~repro.analysis.callgraph.CallGraph`.  Its findings carry the
+same shape as file findings — same fingerprinting, baselining, and
+``# repro: noqa[RPR2xx]`` suppression semantics apply.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.callgraph import CallGraph
+    from repro.analysis.engine import FileContext
+    from repro.analysis.project import ModuleInfo, Project
+
+
+class ProjectRule(Rule):
+    """A rule over the whole project rather than one file."""
+
+    scope = "project"
+
+    def check(self, ctx: "FileContext") -> List[Finding]:
+        # Project rules contribute nothing in the per-file pass.
+        return []
+
+    def check_project(
+        self, project: "Project", graph: "CallGraph"
+    ) -> List[Finding]:
+        raise NotImplementedError
+
+    def project_finding(
+        self,
+        module: "ModuleInfo",
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        return Finding(
+            path=module.display_path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            severity=severity or self.severity,
+            message=message,
+        )

@@ -17,7 +17,11 @@ flagged everywhere outside ``repro/utils/rng.py``:
 
 Constructing ``Generator`` / ``SeedSequence`` / bit-generator objects
 with explicit arguments inside a function is allowed (that is how
-deterministic child streams are derived).
+deterministic child streams are derived).  One module-level exception:
+an *explicitly seeded* ``SeedSequence`` is a pure function of its
+entropy argument, so ``np.random.SeedSequence(2018).spawn(8)`` at
+import time is deterministic and permitted; the no-arg form is flagged
+everywhere instead.
 """
 
 from __future__ import annotations
@@ -93,6 +97,19 @@ class RngDeterminismRule(Rule):
                         "module-level default_rng(): RNG state created "
                         "at import time; construct generators inside "
                         "the consuming function"
+                    )
+                return None
+            if attr == "SeedSequence":
+                # An explicitly-seeded SeedSequence is a pure function of
+                # its entropy argument — spawning child streams from it
+                # (``SeedSequence(2018).spawn(8)``) is deterministic even
+                # at import time.  Only the no-arg form draws unrecorded
+                # OS entropy.
+                if not node.args and not node.keywords:
+                    return (
+                        "unseeded SeedSequence(): the OS entropy is never "
+                        "recorded, so spawned streams cannot be replayed; "
+                        "pass an explicit seed"
                     )
                 return None
             if attr in _CONSTRUCTORS:

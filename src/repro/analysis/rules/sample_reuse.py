@@ -1,0 +1,96 @@
+"""RPR201 — adaptive sample reuse without a fresh δ split.
+
+The serve layer shares one R1/R2 RR-sketch across every query via
+:meth:`~repro.core.opim.OnlineOPIM.adopt_collections`.  That is sound
+*only* if each successive selection on the shared collections runs
+under a fresh slice of the failure budget — the simultaneous-guarantee
+schedule ``delta / 2^i`` (Section 4, "Discussions").  Re-running a
+selection with a *fixed* split (``delta / 2``) on samples that already
+influenced a previous answer is adaptive reuse: the martingale
+concentration argument no longer applies and the reported guarantees
+silently void (Chen, arXiv:1808.09363).
+
+The rule tracks every object that flowed through ``adopt_collections``
+(through aliases, attribute stores, and returning functions) and flags
+selection calls (``query`` / ``query_all`` / ``run_until``) on adopted
+objects that repeat — a second call, or a call in a loop — when no
+function reachable from the selection computes an adaptive split (a
+δ-named value divided by a non-constant expression).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.dataflow import (
+    SELECTION_METHODS,
+    AdoptionFlow,
+    reachable_adaptive_split,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.project_base import ProjectRule
+
+
+class SampleReuseRule(ProjectRule):
+    rule_id = "RPR201"
+    name = "adaptive-sample-reuse"
+    severity = Severity.ERROR
+    description = (
+        "RR collections shared via adopt_collections must not be "
+        "re-selected under a fixed delta split; repeated queries need "
+        "the adaptive delta/2^i schedule."
+    )
+    rationale = (
+        "RR samples that already influenced a reported answer are no "
+        "longer independent of the next selection; the OPIM martingale "
+        "bounds (Lemma 4.4) assume each query's failure budget covers "
+        "fresh randomness. Sharing one sketch across queries is sound "
+        "only under a failure schedule whose per-query budgets sum "
+        "below delta (e.g. delta/2^i). A fixed delta/2 split re-applied "
+        "to the same adopted collections is exactly the adaptivity leak "
+        "that breaks IMM-style guarantees."
+    )
+    citation = "Chen, arXiv:1808.09363; Tang et al. SIGMOD 2018, Section 4"
+
+    def check_project(self, project, graph) -> List[Finding]:
+        flow = AdoptionFlow(project, graph)
+        if not flow.adoption_sites:
+            return []
+        findings: List[Finding] = []
+        for caller, sites in graph.by_caller.items():
+            fn = project.functions.get(caller)
+            if fn is None:
+                continue
+            selections = sorted(
+                (
+                    site
+                    for site in sites
+                    if site.method_name in SELECTION_METHODS
+                    and site.receiver is not None
+                    and flow.expr_adopted(fn, site.receiver)
+                ),
+                key=lambda s: (s.node.lineno, s.node.col_offset),
+            )
+            for index, site in enumerate(selections):
+                if not (site.in_loop or index >= 1):
+                    continue
+                if not site.targets:
+                    # Unresolvable selection: stay silent rather than
+                    # guess (the committed tree resolves everything
+                    # that matters).
+                    continue
+                if reachable_adaptive_split(graph, project, site.targets):
+                    continue
+                shape = "in a loop" if site.in_loop else "a second time"
+                findings.append(
+                    self.project_finding(
+                        site.module,
+                        site.node,
+                        f"adopted RR collections are re-selected {shape} "
+                        f"via {site.callee_text}() without a fresh delta "
+                        "split (no adaptive delta/2^i schedule on the "
+                        "selection path); adaptive sample reuse voids "
+                        "the martingale guarantee (Chen, arXiv:1808.09363)",
+                    )
+                )
+        return findings

@@ -1,0 +1,137 @@
+"""RPR204 — SharedMemory segments must be closed *and* unlinked.
+
+``multiprocessing.shared_memory.SharedMemory(create=True, ...)``
+allocates a named POSIX segment that outlives the process unless some
+owner calls both ``close()`` (drop the mapping) and ``unlink()``
+(remove the name).  The sampling service hands segments to worker
+processes, so a leak is not hypothetical: a crashed run leaves graph
+CSR arrays pinned in ``/dev/shm`` until reboot.
+
+For every ``create=True`` call the rule requires a release path:
+
+* ``close()`` **and** ``unlink()`` both appear in the creating
+  function, or — when the segment escapes into ``self`` state — in the
+  owning class (the pool-lifecycle pattern, released by
+  ``SamplingPool.close``);
+* when the release is local, some ``try`` in the function must release
+  in a handler or ``finally`` — straight-line create → use → release
+  leaks the segment on any exception in between.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.callgraph import walk_function_scope_body
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.project_base import ProjectRule
+
+
+def _release_calls(nodes: Iterable[ast.AST]) -> set:
+    """Which of ``{"close", "unlink"}`` are invoked anywhere in *nodes*."""
+    seen = set()
+    for node in nodes:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("close", "unlink")
+        ):
+            seen.add(node.func.attr)
+    return seen
+
+
+class ShmLifecycleRule(ProjectRule):
+    rule_id = "RPR204"
+    name = "sharedmemory-lifecycle"
+    severity = Severity.WARNING
+    description = (
+        "SharedMemory(create=True) must be released with close()+"
+        "unlink() on all paths, including exception edges."
+    )
+    rationale = (
+        "A created shared-memory segment is a named kernel object; "
+        "close() alone drops this process's mapping but leaves the "
+        "segment allocated, and an exception between creation and "
+        "release leaks it entirely. The sampling service's own idiom — "
+        "create inside try, release every segment in the BaseException "
+        "handler, transfer ownership to the pool for steady-state "
+        "teardown — is the accepted shape; this rule flags departures."
+    )
+    citation = "Tang et al. SIGMOD 2018, Section 6 (shared-sketch service)"
+
+    def check_project(self, project, graph) -> List[Finding]:
+        findings: List[Finding] = []
+        for site in graph.sites:
+            if site.canonical.split(".")[-1] != "SharedMemory":
+                continue
+            if not any(
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in site.node.keywords
+            ):
+                continue
+            finding = self._check_site(project, site)
+            if finding is not None:
+                findings.append(finding)
+        return findings
+
+    def _check_site(self, project, site) -> Optional[Finding]:
+        fn = project.functions.get(site.caller)
+        if fn is not None:
+            scope_body = list(fn.node.body)
+        else:
+            scope_body = [
+                stmt
+                for stmt in site.module.tree.body
+                if not isinstance(stmt, ast.ClassDef)
+            ]
+        local = _release_calls(walk_function_scope_body(scope_body))
+
+        class_release = set()
+        if fn is not None and fn.class_qualname:
+            info = project.classes.get(fn.class_qualname)
+            if info is not None:
+                class_release = _release_calls(ast.walk(info.node))
+
+        released = local | class_release
+        missing = {"close", "unlink"} - released
+        if missing:
+            what = " and ".join(f"{name}()" for name in sorted(missing))
+            return self.project_finding(
+                site.module,
+                site.node,
+                f"SharedMemory segment created here is never released "
+                f"with {what}; the named segment outlives the process "
+                "(leaks into /dev/shm)",
+            )
+        # Exception edges: when the release lives in this function, it
+        # must sit in a handler/finally of some try; a class-level
+        # release (pool teardown) owns the segment past this scope.
+        if {"close", "unlink"} <= local:
+            protected = any(
+                {"close", "unlink"}
+                <= _release_calls(
+                    walk_function_scope_body(
+                        [
+                            stmt
+                            for handler in node.handlers
+                            for stmt in handler.body
+                        ]
+                        + list(node.finalbody)
+                    )
+                )
+                for node in walk_function_scope_body(scope_body)
+                if isinstance(node, ast.Try)
+            )
+            if not protected and not ({"close", "unlink"} <= class_release):
+                return self.project_finding(
+                    site.module,
+                    site.node,
+                    "SharedMemory release is straight-line only; an "
+                    "exception between create and close()/unlink() "
+                    "leaks the segment — release in a finally/except "
+                    "handler",
+                )
+        return None

@@ -7,6 +7,7 @@ from repro.bounds.concentration import (
     sigma_lower_bound,
     sigma_upper_bound,
 )
+from repro.bounds.delta_ledger import DeltaBudgetError, DeltaLedger
 
 __all__ = [
     "sigma_lower_bound",
@@ -14,4 +15,6 @@ __all__ = [
     "lemma44_f",
     "lemma44_g",
     "delta_split_ratio",
+    "DeltaLedger",
+    "DeltaBudgetError",
 ]

@@ -1,0 +1,101 @@
+"""Runtime accounting for a session's failure budget.
+
+The static analyzer's RPR202 checks at lint time that delta fractions
+handed to the sigma bounds sum to at most the caller's budget.
+:class:`DeltaLedger` is the runtime counterpart: every consumer of a
+slice of ``delta`` records its spend, so a session can assert — or a
+serving endpoint can report — that the union bound it advertises is
+actually covered by the slices it used.
+
+The ledger is advisory by default: over-spend is recorded and visible
+in :meth:`audit`, but only raises :class:`DeltaBudgetError` when strict
+mode is on (``strict=True`` or the ``REPRO_DELTA_STRICT`` environment
+variable is set to a truthy value).  Geometric schedules such as
+``delta / 2^i`` never exhaust the budget, so a correct session stays
+below 1.0 forever; a ledger that reaches its budget is a bug.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, List, Optional
+
+from repro.exceptions import ParameterError
+
+__all__ = ["DeltaLedger", "DeltaBudgetError"]
+
+_TOLERANCE = 1e-9
+
+
+def _env_strict() -> bool:
+    value = os.environ.get("REPRO_DELTA_STRICT", "").strip().lower()
+    return value not in ("", "0", "false", "no")
+
+
+class DeltaBudgetError(RuntimeError):
+    """Raised in strict mode when recorded spends exceed the budget."""
+
+
+class DeltaLedger:
+    """Track slices spent out of a total failure probability ``budget``.
+
+    >>> ledger = DeltaLedger(0.1)
+    >>> ledger.spend(0.05, label="query-1")
+    >>> ledger.spend(0.025, label="query-2")
+    >>> round(ledger.remaining, 6)
+    0.025
+    >>> ledger.over_budget
+    False
+    """
+
+    def __init__(self, budget: float, strict: Optional[bool] = None) -> None:
+        if not (0.0 < budget < 1.0) or not math.isfinite(budget):
+            raise ParameterError(f"delta budget must be in (0, 1), got {budget}")
+        self.budget = float(budget)
+        self.strict = _env_strict() if strict is None else bool(strict)
+        self._entries: List[Dict[str, object]] = []
+        self._spent = 0.0
+
+    def spend(self, amount: float, label: str = "") -> None:
+        """Record ``amount`` of failure probability consumed by ``label``."""
+        if not math.isfinite(amount) or amount <= 0.0:
+            raise ParameterError(f"delta spend must be positive, got {amount}")
+        self._entries.append({"label": label, "amount": float(amount)})
+        self._spent += float(amount)
+        if self.strict and self.over_budget:
+            raise DeltaBudgetError(
+                f"delta ledger over budget: spent {self._spent:.6g} "
+                f"of {self.budget:.6g} after '{label}'"
+            )
+
+    @property
+    def spent(self) -> float:
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.budget - self._spent)
+
+    @property
+    def over_budget(self) -> bool:
+        return self._spent > self.budget + _TOLERANCE
+
+    def audit(self) -> Dict[str, object]:
+        """A JSON-friendly statement of the ledger, for stats endpoints."""
+        return {
+            "budget": self.budget,
+            "spent": self._spent,
+            "remaining": self.remaining,
+            "over_budget": self.over_budget,
+            "entries": [dict(entry) for entry in self._entries],
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeltaLedger(budget={self.budget!r}, spent={self._spent!r}, "
+            f"entries={len(self._entries)})"
+        )

@@ -248,12 +248,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*", default=None, help="files/directories (default: src/)"
     )
     lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--output", default=None, metavar="PATH")
     lint.add_argument("--select", default=None, metavar="IDS")
+    lint.add_argument("--no-project", action="store_true")
     lint.add_argument("--baseline", default=None, metavar="PATH")
     lint.add_argument("--no-baseline", action="store_true")
     lint.add_argument("--write-baseline", action="store_true")
+    lint.add_argument("--prune-baseline", action="store_true")
     lint.add_argument("--show-baselined", action="store_true")
     lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument("--explain", default=None, metavar="IDS")
 
     serve = sub.add_parser(
         "serve", help="start the long-lived seed-query server"
@@ -641,8 +645,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         forwarded += ["--select", args.select]
     if args.baseline:
         forwarded += ["--baseline", args.baseline]
+    if args.output:
+        forwarded += ["--output", args.output]
+    if args.explain:
+        forwarded += ["--explain", args.explain]
     for flag in (
-        "no_baseline", "write_baseline", "show_baselined", "list_rules"
+        "no_baseline", "write_baseline", "prune_baseline",
+        "show_baselined", "list_rules", "no_project",
     ):
         if getattr(args, flag):
             forwarded.append("--" + flag.replace("_", "-"))

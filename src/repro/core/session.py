@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Optional
 
+from repro.bounds.delta_ledger import DeltaLedger
 from repro.core.opim import OnlineOPIM
 from repro.core.results import OnlineSnapshot
 from repro.exceptions import ParameterError
@@ -85,6 +86,10 @@ class OPIMSession:
         )
         self.queries_made = 0
         self.history: List[OnlineSnapshot] = []
+        # Runtime mirror of the schedule's union bound: every query's
+        # slice is recorded so the joint guarantee is auditable (and,
+        # under REPRO_DELTA_STRICT, asserted) at run time.
+        self.ledger = DeltaLedger(self._online.delta)
 
     def close(self) -> None:
         """Release the sampling pool owned by the underlying algorithm
@@ -137,6 +142,7 @@ class OPIMSession:
         snapshot = self._online.query(
             bound=bound, delta1=query_delta / 2.0, delta2=query_delta / 2.0
         )
+        self.ledger.spend(query_delta, label=f"query-{self.queries_made + 1}")
         self.queries_made += 1
         self.history.append(snapshot)
         self._online.obs.record(

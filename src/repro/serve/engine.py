@@ -309,6 +309,9 @@ class SeedQueryEngine:
             "sessions": {
                 str(k): s.queries_made for k, s in sorted(self._sessions.items())
             },
+            "delta_audit": {
+                str(k): s.ledger.audit() for k, s in sorted(self._sessions.items())
+            },
             "sets_generated": int(self.sampler.sets_generated),
             "edges_examined": int(self.sampler.edges_examined),
             "loaded_from_index": self.loaded_from_index,

@@ -2,6 +2,10 @@
 
 import numpy as np
 
+# Deterministic: an explicitly seeded SeedSequence is a pure function of
+# its entropy, so spawning child streams at import time is replayable.
+_CHILD_STREAMS = np.random.SeedSequence(2018).spawn(8)
+
 
 def seeded_generator(seed):
     return np.random.default_rng(seed)

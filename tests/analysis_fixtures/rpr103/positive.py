@@ -11,6 +11,10 @@ def unseeded_generator():
     return np.random.default_rng()
 
 
+def unseeded_children(count):
+    return np.random.SeedSequence().spawn(count)
+
+
 def legacy_draw(n):
     return np.random.rand(n)
 

@@ -1,0 +1,38 @@
+"""RPR201 negative: adopted collections under an adaptive schedule.
+
+``ScheduledSession`` mirrors the serve layer's sound idiom — the i-th
+query on the shared collections runs with failure budget
+``delta / 2**i``, so the union over all queries stays within delta
+even though the samples are shared (looped selection included).
+"""
+
+
+def select_seeds(collection, delta):
+    return sorted(collection)[: max(1, int(1.0 / delta))]
+
+
+class ScheduledSession:
+    def __init__(self, delta):
+        self.delta = delta
+        self.queries_made = 0
+        self.r1 = None
+        self.r2 = None
+
+    def adopt_collections(self, r1, r2):
+        self.r1 = r1
+        self.r2 = r2
+
+    def query(self):
+        query_delta = self.delta / (2.0 ** (self.queries_made + 1))
+        self.queries_made += 1
+        half = query_delta / 2.0
+        return select_seeds(self.r1, half), select_seeds(self.r2, half)
+
+
+def serve_queries(r1, r2):
+    session = ScheduledSession(0.1)
+    session.adopt_collections(r1, r2)
+    answers = []
+    for _ in range(5):
+        answers.append(session.query())
+    return answers

@@ -1,0 +1,35 @@
+"""RPR201 positive: adopted collections re-selected under a fixed split.
+
+``SharedOPIM`` mimics the core algorithm's shape — it owns a delta
+budget, adopts shared R1/R2 collections, and selects with a *fixed*
+``delta / 2`` split.  The driver adopts once and queries twice: the
+second selection re-consumes samples that already influenced the first
+answer without a fresh budget slice.
+"""
+
+
+def select_seeds(collection, delta):
+    return sorted(collection)[: max(1, int(1.0 / delta))]
+
+
+class SharedOPIM:
+    def __init__(self, delta):
+        self.delta = delta
+        self.r1 = None
+        self.r2 = None
+
+    def adopt_collections(self, r1, r2):
+        self.r1 = r1
+        self.r2 = r2
+
+    def query(self):
+        half = self.delta / 2.0
+        return select_seeds(self.r1, half), select_seeds(self.r2, half)
+
+
+def serve_queries(r1, r2):
+    algo = SharedOPIM(0.01)
+    algo.adopt_collections(r1, r2)
+    first = algo.query()
+    second = algo.query()
+    return first, second

@@ -1,0 +1,28 @@
+"""RPR202 negative: budget splits that stay within delta.
+
+``balanced_audit`` spends exactly ``delta/2 + delta/2`` (the Lemma 4.4
+split); ``scheduled_audit`` spends under a ``delta / 2**i`` schedule,
+whose geometric sum stays below delta by construction.
+"""
+
+
+def sigma_lower_bound(coverage, theta, n, delta):
+    return coverage * n / theta - delta
+
+
+def sigma_upper_bound(coverage, theta, n, delta):
+    return coverage * n / theta + delta
+
+
+def balanced_audit(coverage, theta, n, delta):
+    low = sigma_lower_bound(coverage, theta, n, delta / 2)
+    high = sigma_upper_bound(coverage, theta, n, delta / 2)
+    return low, high
+
+
+def scheduled_audit(coverage, theta, n, delta, rounds):
+    bounds = []
+    for i in range(rounds):
+        slice_delta = delta / (2.0 ** (i + 1))
+        bounds.append(sigma_lower_bound(coverage, theta, n, slice_delta))
+    return bounds

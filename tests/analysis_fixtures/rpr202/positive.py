@@ -1,0 +1,26 @@
+"""RPR202 positive: constant delta fractions summing past the budget.
+
+``over_spent_audit`` hands ``delta/2`` to both sigma bounds and then
+spends another ``delta/2`` through a helper — 1.5x the budget it
+advertises.  The helper itself stays within its own (sub-)budget, so
+only the caller is flagged.
+"""
+
+
+def sigma_lower_bound(coverage, theta, n, delta):
+    return coverage * n / theta - delta
+
+
+def sigma_upper_bound(coverage, theta, n, delta):
+    return coverage * n / theta + delta
+
+
+def refine_lower(coverage, theta, n, delta):
+    return sigma_lower_bound(coverage, theta, n, delta)
+
+
+def over_spent_audit(coverage, theta, n, delta):
+    low = sigma_lower_bound(coverage, theta, n, delta / 2)
+    high = sigma_upper_bound(coverage, theta, n, delta / 2)
+    tightened = refine_lower(coverage, theta, n, delta / 2)
+    return low, high, tightened

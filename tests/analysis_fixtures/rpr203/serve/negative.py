@@ -1,0 +1,41 @@
+"""RPR203 negative: blocking work correctly routed to the executor.
+
+The handlers hand the sampler call to ``run_in_executor`` as a lambda
+(a separate scope that runs on the engine thread) and await the
+result; pure event-loop work (cache lookups, awaited coroutines) stays
+inline.
+"""
+
+import asyncio
+import time
+
+
+class SamplingPool:
+    def fill(self, collection, count):
+        time.sleep(0.1)
+        collection.extend(range(count))
+
+
+class QueryHandler:
+    def __init__(self, pool: SamplingPool):
+        self.pool = pool
+        self.r1 = []
+        self.cache = {}
+
+    async def handle_query(self, request):
+        key = len(self.r1)
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, lambda: self.pool.fill(self.r1, 100))
+        response = {"rr_sets": len(self.r1)}
+        self.cache[key] = response
+        return response
+
+    async def handle_stats(self, request):
+        depth = await self._queue_depth()
+        return {"rr_sets": len(self.r1), "depth": depth}
+
+    async def _queue_depth(self):
+        return len(self.cache)

@@ -1,0 +1,35 @@
+"""RPR203 positive: blocking sampler work inside async serve handlers.
+
+``handle_query`` runs ``SamplingPool.fill`` (CPU/IPC-bound) directly
+on the event loop; ``handle_refresh`` reaches the same work through a
+synchronous helper; ``handle_dump`` performs file I/O inline.
+"""
+
+import time
+
+
+class SamplingPool:
+    def fill(self, collection, count):
+        time.sleep(0.1)
+        collection.extend(range(count))
+
+
+class QueryHandler:
+    def __init__(self, pool: SamplingPool):
+        self.pool = pool
+        self.r1 = []
+
+    def _refill(self, count):
+        self.pool.fill(self.r1, count)
+
+    async def handle_query(self, request):
+        self.pool.fill(self.r1, 100)
+        return {"rr_sets": len(self.r1)}
+
+    async def handle_refresh(self, request):
+        self._refill(2000)
+        return {"rr_sets": len(self.r1)}
+
+    async def handle_dump(self, request, path):
+        open(path, "w").write(str(len(self.r1)))
+        return {"dumped": True}

@@ -1,0 +1,39 @@
+"""RPR204 negative: exception-safe SharedMemory lifecycles.
+
+``safe_copy`` releases in a ``finally``; ``SegmentPool`` transfers
+ownership of created segments to the class, whose ``close`` releases
+them (and whose creation loop cleans up on failure) — the sampling
+service's pattern.
+"""
+
+from multiprocessing import shared_memory
+
+
+def safe_copy(payload):
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    try:
+        segment.buf[: len(payload)] = payload
+        return bytes(segment.buf[:4])
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+class SegmentPool:
+    def __init__(self, sizes):
+        self.segments = []
+        try:
+            for size in sizes:
+                segment = shared_memory.SharedMemory(create=True, size=size)
+                self.segments.append(segment)
+        except BaseException:
+            for segment in self.segments:
+                segment.close()
+                segment.unlink()
+            raise
+
+    def close(self):
+        for segment in self.segments:
+            segment.close()
+            segment.unlink()
+        self.segments = []

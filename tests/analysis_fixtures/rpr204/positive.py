@@ -1,0 +1,25 @@
+"""RPR204 positive: SharedMemory segments that can leak.
+
+``leak_name`` never unlinks the segment it creates; ``racy_copy``
+releases on the happy path only — any exception while writing the
+buffer leaks the named segment.
+"""
+
+from multiprocessing import shared_memory
+
+
+def leak_name(payload):
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    segment.buf[: len(payload)] = payload
+    name = segment.name
+    segment.close()
+    return name
+
+
+def racy_copy(payload):
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    segment.buf[: len(payload)] = payload
+    digest = bytes(segment.buf[:4])
+    segment.close()
+    segment.unlink()
+    return digest

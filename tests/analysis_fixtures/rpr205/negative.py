@@ -1,0 +1,29 @@
+"""RPR205 negative: labels drawn from a finite vocabulary.
+
+The outcome classifier returns only string literals, so labelling by
+its result keeps cardinality bounded — the ``_query_outcome`` pattern.
+"""
+
+
+def classify_outcome(status, cached):
+    if status >= 500:
+        return "error"
+    if cached:
+        return "cached"
+    return "served"
+
+
+class Telemetry:
+    def __init__(self, registry):
+        self.obs = registry
+
+    def record(self, elapsed, status, cached):
+        outcome = classify_outcome(status, cached)
+        self.obs.histogram(
+            "serve.latency", labels={"outcome": outcome}
+        ).observe(elapsed)
+
+    def record_static(self, elapsed):
+        self.obs.histogram(
+            "serve.latency", labels={"outcome": "probe"}
+        ).observe(elapsed)

@@ -1,0 +1,26 @@
+"""RPR205 positive: request-derived metric label values.
+
+Each handler labels a metric with something unbounded: a raw request
+parameter, an f-string over runtime state, and an indexed payload
+field — every distinct value materializes a new time series.
+"""
+
+
+class Telemetry:
+    def __init__(self, registry):
+        self.obs = registry
+
+    def record_user(self, elapsed, user_id):
+        self.obs.histogram(
+            "serve.latency", labels={"user": user_id}
+        ).observe(elapsed)
+
+    def record_trace(self, elapsed, trace_id):
+        self.obs.histogram(
+            "serve.latency", labels={"trace": f"req-{trace_id}"}
+        ).observe(elapsed)
+
+    def record_payload(self, elapsed, payload):
+        self.obs.histogram(
+            "serve.latency", labels={"path": payload["path"]}
+        ).observe(elapsed)

@@ -45,7 +45,7 @@ FIXTURE_CASES = [
     ("RPR102", FIXTURES / "rpr102" / "positive.py",
      FIXTURES / "rpr102" / "negative.py", 2),
     ("RPR103", FIXTURES / "rpr103" / "positive.py",
-     FIXTURES / "rpr103" / "negative.py", 4),
+     FIXTURES / "rpr103" / "negative.py", 5),
     ("RPR104", FIXTURES / "rpr104" / "positive.py",
      FIXTURES / "rpr104" / "negative.py", 2),
     ("RPR105", FIXTURES / "rpr105" / "sampling" / "positive.py",
@@ -177,6 +177,24 @@ class TestSuppressions:
         findings, suppressed = LintEngine().lint_source(source, "a.py")
         assert findings == [] and suppressed == 1
 
+    def test_noqa_on_decorated_def(self):
+        # RPR106 anchors at the ``def`` line (not the decorator), so a
+        # noqa there must suppress the finding on a decorated function.
+        source = (
+            "import functools\n\n\n"
+            "def _cached(fn):\n"
+            "    return functools.lru_cache()(fn)\n\n\n"
+            "@_cached\n"
+            "def lemma_free_helper(x):  # repro: noqa[RPR106]\n"
+            "    return x + 1\n"
+        )
+        findings, suppressed = LintEngine().lint_source(source, "core/h.py")
+        assert findings == [] and suppressed == 1
+
+        bare = source.replace("  # repro: noqa[RPR106]", "")
+        findings, suppressed = LintEngine().lint_source(bare, "core/h.py")
+        assert rule_ids(findings) == {"RPR106"} and suppressed == 0
+
 
 # ----------------------------------------------------------------------
 # Baseline
@@ -226,6 +244,34 @@ class TestBaseline:
             message="m",
         )
         assert a.fingerprint == b.fingerprint
+
+    def test_unmatched_counts_stale_entries(self):
+        fixed = Finding(
+            path="a.py", line=1, col=0, rule_id="RPR103",
+            severity=Severity.ERROR, message="gone",
+        )
+        kept = Finding(
+            path="a.py", line=2, col=0, rule_id="RPR103",
+            severity=Severity.ERROR, message="still here",
+        )
+        baseline = Baseline.from_findings([fixed, kept])
+        # The tree now only produces ``kept``: one entry is stale.
+        assert baseline.unmatched([kept]) == 1
+        assert baseline.unmatched([fixed, kept]) == 0
+
+    def test_ratchet_no_silent_regrowth(self, tmp_path):
+        finding = Finding(
+            path="a.py", line=1, col=0, rule_id="RPR103",
+            severity=Severity.ERROR, message="m",
+        )
+        path = tmp_path / "baseline.json"
+        Baseline.write(path, [finding])
+        # Prune after the finding is fixed: the baseline empties...
+        Baseline.write(path, [])
+        pruned = Baseline.load(path)
+        # ...and the reintroduced finding no longer matches anything.
+        new, baselined = pruned.partition([finding])
+        assert new == [finding] and baselined == []
 
     def test_version_mismatch_rejected(self, tmp_path):
         path = tmp_path / "baseline.json"

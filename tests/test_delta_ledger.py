@@ -1,0 +1,97 @@
+"""DeltaLedger: runtime failure-budget accounting (RPR202's runtime twin)."""
+
+import math
+
+import pytest
+
+from repro.bounds import DeltaBudgetError, DeltaLedger
+from repro.core.session import OPIMSession
+from repro.exceptions import ParameterError
+from repro.graph import assign_wc_weights, power_law_graph
+
+
+class TestDeltaLedger:
+    def test_tracks_spend_and_remaining(self):
+        ledger = DeltaLedger(0.1)
+        ledger.spend(0.05, label="query-1")
+        ledger.spend(0.025, label="query-2")
+        assert ledger.spent == pytest.approx(0.075)
+        assert ledger.remaining == pytest.approx(0.025)
+        assert not ledger.over_budget
+        assert len(ledger) == 2
+
+    def test_over_budget_is_advisory_by_default(self):
+        ledger = DeltaLedger(0.1, strict=False)
+        ledger.spend(0.08)
+        ledger.spend(0.08)
+        assert ledger.over_budget
+        assert ledger.remaining == 0.0
+
+    def test_strict_mode_raises_on_over_spend(self):
+        ledger = DeltaLedger(0.1, strict=True)
+        ledger.spend(0.09, label="first")
+        with pytest.raises(DeltaBudgetError, match="over budget"):
+            ledger.spend(0.09, label="second")
+
+    def test_strict_mode_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DELTA_STRICT", "1")
+        assert DeltaLedger(0.1).strict
+        monkeypatch.setenv("REPRO_DELTA_STRICT", "false")
+        assert not DeltaLedger(0.1).strict
+        monkeypatch.delenv("REPRO_DELTA_STRICT")
+        assert not DeltaLedger(0.1).strict
+
+    def test_exact_budget_is_not_over(self):
+        ledger = DeltaLedger(0.5, strict=True)
+        ledger.spend(0.25)
+        ledger.spend(0.25)
+        assert not ledger.over_budget
+
+    def test_rejects_bad_budget_and_spend(self):
+        for bad in (0.0, 1.0, -0.1, math.inf, math.nan):
+            with pytest.raises(ParameterError):
+                DeltaLedger(bad)
+        ledger = DeltaLedger(0.1)
+        for bad in (0.0, -0.01, math.nan):
+            with pytest.raises(ParameterError):
+                ledger.spend(bad)
+
+    def test_audit_is_json_friendly(self):
+        ledger = DeltaLedger(0.2)
+        ledger.spend(0.1, label="query-1")
+        audit = ledger.audit()
+        assert audit["budget"] == pytest.approx(0.2)
+        assert audit["spent"] == pytest.approx(0.1)
+        assert audit["over_budget"] is False
+        assert audit["entries"] == [{"label": "query-1", "amount": 0.1}]
+        # Mutating the returned audit must not corrupt the ledger.
+        audit["entries"][0]["amount"] = 99.0
+        assert ledger.audit()["entries"][0]["amount"] == pytest.approx(0.1)
+
+
+class TestSessionLedger:
+    def test_session_schedule_never_exhausts_budget(self):
+        graph = assign_wc_weights(power_law_graph(120, 4, seed=5))
+        with OPIMSession(graph, "IC", k=3, delta=0.2, seed=5) as session:
+            session.extend(400)
+            for _ in range(4):
+                session.query()
+            audit = session.ledger.audit()
+        # Geometric delta/2^i slices: spent strictly below the budget.
+        assert audit["spent"] < audit["budget"]
+        assert not audit["over_budget"]
+        assert len(audit["entries"]) == 4
+        spends = [entry["amount"] for entry in audit["entries"]]
+        for i, amount in enumerate(spends, start=1):
+            assert amount == pytest.approx(0.2 / 2.0**i)
+
+    def test_session_ledger_strict_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DELTA_STRICT", "1")
+        graph = assign_wc_weights(power_law_graph(80, 4, seed=7))
+        with OPIMSession(graph, "IC", k=2, delta=0.1, seed=7) as session:
+            assert session.ledger.strict
+            session.extend(200)
+            # The schedule can never trip strict mode.
+            for _ in range(3):
+                session.query()
+            assert not session.ledger.over_budget

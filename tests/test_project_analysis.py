@@ -1,0 +1,243 @@
+"""Whole-program (RPR2xx) analysis: fixtures, CLI surface, acceptance gates.
+
+The per-rule fixtures live in ``tests/analysis_fixtures/rpr2*``; each
+directory holds a ``positive.py`` the rule must flag and a
+``negative.py`` it must leave alone (the negative encodes the
+sanctioned pattern from the shipped tree — the ``delta/2^i`` schedule,
+executor-routed sampler work, try/finally SharedMemory release, the
+finite-vocabulary outcome classifier).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import run_lint
+from repro.analysis.rules import FILE_RULES, PROJECT_RULES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
+
+PROJECT_FIXTURE_CASES = [
+    ("RPR201", FIXTURES / "rpr201"),
+    ("RPR202", FIXTURES / "rpr202"),
+    ("RPR203", FIXTURES / "rpr203"),
+    ("RPR204", FIXTURES / "rpr204"),
+    ("RPR205", FIXTURES / "rpr205"),
+]
+
+
+def project_findings(path, rule_id):
+    report = run_lint([path], select=[rule_id])
+    return report.findings
+
+
+class TestProjectRuleFixtures:
+    @pytest.mark.parametrize(
+        "rule_id,fixture_dir",
+        PROJECT_FIXTURE_CASES,
+        ids=[case[0] for case in PROJECT_FIXTURE_CASES],
+    )
+    def test_positive_fires_and_negative_is_silent(self, rule_id, fixture_dir):
+        findings = project_findings(fixture_dir, rule_id)
+        assert findings, f"{rule_id} silent on its positive fixture"
+        flagged_files = {Path(f.path).name for f in findings}
+        assert flagged_files == {"positive.py"}, [
+            f.render() for f in findings
+        ]
+        assert all(f.rule_id == rule_id for f in findings)
+
+    def test_rpr201_names_reuse_and_citation(self):
+        findings = project_findings(FIXTURES / "rpr201", "RPR201")
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "adopted" in message and "1808.09363" in message
+
+    def test_rpr202_reports_overspend_factor(self):
+        findings = project_findings(FIXTURES / "rpr202", "RPR202")
+        assert len(findings) == 1
+        assert "1.50x" in findings[0].message
+
+    def test_rpr203_reports_transitive_path(self):
+        findings = project_findings(FIXTURES / "rpr203", "RPR203")
+        via = [f for f in findings if "via" in f.message]
+        assert via, [f.render() for f in findings]
+
+    def test_rpr204_flags_both_leak_modes(self):
+        findings = project_findings(FIXTURES / "rpr204", "RPR204")
+        messages = " | ".join(f.message for f in findings)
+        assert "never released" in messages or "unlink" in messages
+        assert "exception" in messages
+
+    def test_rpr205_names_the_label_key(self):
+        findings = project_findings(FIXTURES / "rpr205", "RPR205")
+        keys = {f.message.split("'")[1] for f in findings}
+        assert keys == {"user", "trace", "path"}
+
+    def test_no_project_flag_skips_rpr2xx(self):
+        report = run_lint(
+            [FIXTURES / "rpr201"], select=["RPR201"], project_analysis=False
+        )
+        assert report.findings == []
+
+
+class TestProjectSuppressions:
+    def test_noqa_on_decorated_def_suppresses_project_rule(self, tmp_path):
+        (tmp_path / "audit.py").write_text(
+            "import functools\n\n"
+            "from repro.bounds import sigma_lower_bound\n\n\n"
+            "def logged(fn):\n"
+            "    return functools.wraps(fn)(fn)\n\n\n"
+            "@logged\n"
+            "def over_spent(cov, theta, n, delta):"
+            "  # repro: noqa[RPR202]\n"
+            "    low = sigma_lower_bound(cov, theta, n, delta / 2)\n"
+            "    mid = sigma_lower_bound(cov, theta, n, delta / 2)\n"
+            "    high = sigma_lower_bound(cov, theta, n, delta / 2)\n"
+            "    return low + mid + high\n"
+        )
+        report = run_lint([tmp_path], select=["RPR202"])
+        assert report.findings == [], [f.render() for f in report.findings]
+        assert report.suppressed == 1
+
+        # Same tree without the noqa: the decorated def is flagged.
+        source = (tmp_path / "audit.py").read_text()
+        (tmp_path / "audit.py").write_text(
+            source.replace("  # repro: noqa[RPR202]", "")
+        )
+        report = run_lint([tmp_path], select=["RPR202"])
+        assert [f.rule_id for f in report.findings] == ["RPR202"]
+
+
+class TestExitCodeParity:
+    """Satellite: text and JSON runs agree on 0/1/2 for the same input."""
+
+    def test_findings_exit_one_both_formats(self, capsys):
+        target = str(FIXTURES / "rpr201")
+        assert lint_main([target, "--no-baseline"]) == 1
+        capsys.readouterr()
+        assert lint_main([target, "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["exit_code"] == 1
+
+    def test_clean_exit_zero_both_formats(self, capsys):
+        target = str(FIXTURES / "rpr201" / "negative.py")
+        assert lint_main([target, "--no-baseline"]) == 0
+        capsys.readouterr()
+        assert lint_main([target, "--no-baseline", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["exit_code"] == 0
+
+    def test_usage_error_exit_two_both_formats(self):
+        assert lint_main(["does/not/exist.py"]) == 2
+        assert lint_main(["does/not/exist.py", "--format", "json"]) == 2
+        assert lint_main(["--select", "NOPE"]) == 2
+        assert lint_main(["--select", "NOPE", "--format", "json"]) == 2
+
+    def test_output_flag_writes_report_file(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = lint_main(
+            [
+                str(FIXTURES / "rpr202"),
+                "--no-baseline",
+                "--format",
+                "json",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["exit_code"] == 1
+        assert payload["summary"]["new"] >= 1
+
+
+class TestExplain:
+    def test_explain_prints_rationale_and_citation(self, capsys):
+        assert lint_main(["--explain", "RPR201"]) == 0
+        out = capsys.readouterr().out
+        assert "RPR201" in out
+        assert "1808.09363" in out
+
+    def test_explain_family_glob(self, capsys):
+        assert lint_main(["--explain", "RPR2xx"]) == 0
+        out = capsys.readouterr().out
+        for cls in PROJECT_RULES:
+            assert cls.rule_id in out
+
+    def test_explain_all(self, capsys):
+        assert lint_main(["--explain", "all"]) == 0
+        out = capsys.readouterr().out
+        for cls in FILE_RULES + PROJECT_RULES:
+            assert cls.rule_id in out
+
+    def test_explain_unknown_is_usage_error(self, capsys):
+        assert lint_main(["--explain", "RPR999"]) == 2
+
+
+class TestBaselineRatchet:
+    """Satellite: accepted debt can only shrink, never silently regrow."""
+
+    def _write_tree(self, tmp_path, with_violation):
+        body = "import numpy as np\n\n\ndef f():\n"
+        if with_violation:
+            body += "    return np.random.default_rng()\n"
+        else:
+            body += "    return np.random.default_rng(7)\n"
+        (tmp_path / "mod.py").write_text(body)
+
+    def test_stale_entries_reported_and_pruned(self, tmp_path, capsys):
+        self._write_tree(tmp_path, with_violation=True)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(
+            [str(tmp_path), "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        capsys.readouterr()
+
+        # Fix the violation: the run is clean but the baseline is stale.
+        self._write_tree(tmp_path, with_violation=False)
+        assert lint_main([str(tmp_path), "--baseline", str(baseline)]) == 0
+        assert "stale baseline" in capsys.readouterr().out
+
+        assert lint_main(
+            [str(tmp_path), "--baseline", str(baseline), "--prune-baseline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 stale entry" in out
+        assert len(Baseline.load(baseline)) == 0
+
+        # Ratchet: the pruned debt cannot regrow silently.
+        self._write_tree(tmp_path, with_violation=True)
+        assert lint_main([str(tmp_path), "--baseline", str(baseline)]) == 1
+
+    def test_prune_without_baseline_is_usage_error(self, tmp_path, monkeypatch):
+        # chdir away from the repo so the default baseline is not picked up
+        # (and cannot be rewritten by the prune).
+        monkeypatch.chdir(tmp_path)
+        self._write_tree(tmp_path, with_violation=False)
+        assert lint_main(["mod.py", "--prune-baseline"]) == 2
+
+
+class TestAcceptance:
+    def test_shipped_tree_has_zero_unsuppressed_project_findings(
+        self, monkeypatch
+    ):
+        monkeypatch.chdir(REPO_ROOT)
+        started = time.perf_counter()
+        report = run_lint(
+            ["src"], baseline_path=REPO_ROOT / ".reprolint-baseline.json"
+        )
+        elapsed = time.perf_counter() - started
+        assert report.findings == [], [f.render() for f in report.findings]
+        assert elapsed < 10.0, f"full analysis took {elapsed:.1f}s"
+
+    def test_project_rules_are_registered(self):
+        ids = {cls.rule_id for cls in PROJECT_RULES}
+        assert ids == {"RPR201", "RPR202", "RPR203", "RPR204", "RPR205"}
+        assert all(cls.scope == "project" for cls in PROJECT_RULES)
+        assert all(cls.rationale for cls in PROJECT_RULES)
+        assert all(cls.citation for cls in PROJECT_RULES)
