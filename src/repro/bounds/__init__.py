@@ -1,5 +1,9 @@
 """Martingale concentration bounds for RR-set influence estimation."""
 
+from repro.bounds.binomial import (
+    clopper_pearson_interval,
+    clopper_pearson_upper,
+)
 from repro.bounds.concentration import (
     delta_split_ratio,
     lemma44_f,
@@ -17,4 +21,6 @@ __all__ = [
     "delta_split_ratio",
     "DeltaLedger",
     "DeltaBudgetError",
+    "clopper_pearson_upper",
+    "clopper_pearson_interval",
 ]

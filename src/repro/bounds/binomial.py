@@ -1,0 +1,180 @@
+"""Exact binomial (Clopper–Pearson) confidence bounds.
+
+The statistical acceptance harness (:mod:`repro.stats_harness`) judges
+the paper's Theorem 6.2 guarantee empirically: it counts guarantee
+violations over many independent trials and must decide whether the
+observed failure *rate* is consistent with the promised failure
+*probability* ``delta``.  The referee for that decision is the exact
+binomial bound of Clopper & Pearson (Biometrika 26, 1934): unlike the
+normal approximation it is valid at zero observed failures — the
+common case — where the one-sided upper bound collapses to
+``1 - (1 - confidence)^(1/trials)``.
+
+Everything here is pure Python on top of ``math`` — the regularized
+incomplete beta function is evaluated with the standard continued
+fraction (Lentz's algorithm) and inverted by bisection, so the package
+keeps its numpy-only dependency footprint.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "betainc_regularized",
+    "beta_ppf",
+    "clopper_pearson_upper",
+    "clopper_pearson_interval",
+]
+
+#: Convergence tolerance of the continued fraction / bisection.
+_EPS = 1e-12
+_MAX_ITER = 300
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta (Lentz's method)."""
+    tiny = 1e-30
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, _MAX_ITER + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta_term = d * c
+        h *= delta_term
+        if abs(delta_term - 1.0) < _EPS:
+            return h
+    return h
+
+
+def betainc_regularized(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta ``I_x(a, b)``.
+
+    The CDF of the Beta distribution, which by the classical identity
+    ``Pr[Bin(n, p) <= k] = I_{1-p}(n - k, k + 1)`` carries the exact
+    binomial tail used by the Clopper–Pearson referee of the
+    Theorem 6.2 failure-rate experiments.
+    """
+    if a <= 0.0 or b <= 0.0:
+        raise ParameterError(f"beta parameters must be positive, got ({a}, {b})")
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log1p(-x)
+    )
+    front = math.exp(ln_front)
+    # The continued fraction converges fast for x < (a+1)/(a+b+2);
+    # otherwise use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def beta_ppf(q: float, a: float, b: float) -> float:
+    """Quantile of Beta(a, b): the inverse of ``I_x(a, b)`` by bisection.
+
+    Bisection (not Newton) keeps the inversion unconditionally stable
+    for the extreme quantiles the Theorem 6.2 harness asks for (e.g.
+    the 0.95 quantile of Beta(1, 200) at zero observed failures).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ParameterError(f"quantile must be in [0, 1], got {q}")
+    if q <= 0.0:
+        return 0.0
+    if q >= 1.0:
+        return 1.0
+    lo, hi = 0.0, 1.0
+    for _ in range(_MAX_ITER):
+        mid = 0.5 * (lo + hi)
+        if betainc_regularized(a, b, mid) < q:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < _EPS:
+            break
+    return 0.5 * (lo + hi)
+
+
+def clopper_pearson_upper(
+    failures: int, trials: int, confidence: float = 0.95
+) -> float:
+    """One-sided exact upper confidence bound on a binomial proportion.
+
+    With ``failures`` observed among ``trials`` independent trials, the
+    true failure probability ``p`` satisfies ``p <= upper`` with
+    probability at least ``confidence``; ``upper`` is the
+    ``confidence`` quantile of ``Beta(failures + 1, trials -
+    failures)``.  This is the harness's acceptance statistic for the
+    paper's Theorem 6.2: a scenario passes when this bound does not
+    exceed the ``delta`` the algorithm promised.
+    """
+    _check_counts(failures, trials, confidence)
+    if failures >= trials:
+        return 1.0
+    return beta_ppf(confidence, failures + 1.0, float(trials - failures))
+
+
+def clopper_pearson_interval(
+    failures: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Two-sided exact (Clopper–Pearson) confidence interval.
+
+    Splits ``1 - confidence`` evenly across the two tails; the
+    endpoints are Beta quantiles as in :func:`clopper_pearson_upper`.
+    Reported alongside the one-sided Theorem 6.2 acceptance bound so
+    benchmark records carry the full interval.
+    """
+    _check_counts(failures, trials, confidence)
+    tail = 0.5 * (1.0 - confidence)
+    if failures <= 0:
+        low = 0.0
+    else:
+        low = beta_ppf(tail, float(failures), trials - failures + 1.0)
+    if failures >= trials:
+        high = 1.0
+    else:
+        high = beta_ppf(1.0 - tail, failures + 1.0, float(trials - failures))
+    return low, high
+
+
+def _check_counts(failures: int, trials: int, confidence: float) -> None:
+    if trials < 1:
+        raise ParameterError(f"trials must be >= 1, got {trials}")
+    if not 0 <= failures <= trials:
+        raise ParameterError(
+            f"failures must be in [0, trials={trials}], got {failures}"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise ParameterError(f"confidence must be in (0, 1), got {confidence}")

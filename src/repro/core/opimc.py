@@ -34,7 +34,7 @@ from repro.bounds.concentration import (
     sigma_upper_bound,
 )
 from repro.core.results import IMResult
-from repro.core.theta import i_max_iterations, theta_0, theta_max
+from repro.core.theta import i_max_iterations, theta_0, theta_max, theta_sadeh
 from repro.exceptions import BudgetExceededError, ParameterError
 from repro.graph.digraph import DiGraph
 from repro.maxcover.bounds import (
@@ -55,6 +55,10 @@ _VARIANT_NAMES = {
     "leskovec": "OPIM-C'",
 }
 
+#: Stopping rules: the paper's Eq. 16 worst case, or the Sadeh et al.
+#: sample-complexity cap (see :func:`repro.core.theta.theta_sadeh`).
+STOPPING_RULES = ("paper", "sadeh")
+
 
 class OPIMC:
     """Reusable OPIM-C runner bound to a graph and diffusion model.
@@ -71,6 +75,12 @@ class OPIMC:
     the parallel path pay off).  Alternatively an already-open ``pool``
     may be injected and shared across multiple runs; the caller owns
     its lifetime.
+
+    ``stopping`` selects the unconditional-acceptance cap on ``|R1|``:
+    ``"paper"`` (Eq. 16's ``theta_max``) or ``"sadeh"`` (the
+    sample-complexity bound of arXiv:1907.13301, refined each
+    iteration with the Eq. 5 certified lower bound on ``OPT`` — see
+    :func:`~repro.core.theta.theta_sadeh`).
     """
 
     def __init__(
@@ -83,10 +93,15 @@ class OPIMC:
         registry: Optional[object] = None,
         workers: Optional[int] = None,
         pool: Optional[SamplingPool] = None,
+        stopping: str = "paper",
     ) -> None:
         if bound not in _VARIANT_NAMES:
             raise ParameterError(
                 f"bound must be one of {tuple(_VARIANT_NAMES)}, got {bound!r}"
+            )
+        if stopping not in STOPPING_RULES:
+            raise ParameterError(
+                f"stopping must be one of {STOPPING_RULES}, got {stopping!r}"
             )
         if workers is not None and workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
@@ -95,6 +110,7 @@ class OPIMC:
         self.graph = graph
         self.model = model
         self.bound = bound
+        self.stopping = stopping
         self.fast = bool(fast)
         self.obs = resolve_registry(registry)
         self.workers = workers
@@ -172,6 +188,14 @@ class OPIMC:
                 i_max = i_max_iterations(graph.n, k, epsilon, delta)
                 delta_iter = delta / (3.0 * i_max)
                 target = 1.0 - 1.0 / math.e - epsilon
+                # The stopping cap on |R1|: Eq. 16 for the paper rule;
+                # the Sadeh et al. sample-complexity bound (refined
+                # each iteration with the certified OPT lower bound)
+                # for stopping="sadeh".  theta_sadeh <= theta_max
+                # always, so the cap only ever shrinks.
+                cap = t_max
+                if self.stopping == "sadeh":
+                    cap = min(cap, theta_sadeh(graph.n, k, epsilon, delta))
 
                 r1 = sampler.new_collection()
                 r2 = sampler.new_collection()
@@ -179,6 +203,7 @@ class OPIMC:
                 size = t_0
                 alpha = 0.0
                 greedy_result = None
+                stopped_by = "i_max"
                 for iteration in range(1, i_max + 1):
                     with obs.trace(f"iter_{iteration}"):
                         grow = size - len(r1)
@@ -212,6 +237,24 @@ class OPIMC:
                             )
                             alpha = approximation_guarantee(sigma_low, sigma_up)
 
+                        if self.stopping == "sadeh":
+                            # sigma_low <= sigma(S*) <= OPT holds on
+                            # the same high-probability event already
+                            # budgeted for this iteration's alpha test,
+                            # so refining the cap spends no extra delta
+                            # (the martingale-reuse caveat of
+                            # arXiv:1808.09363 concerns reusing *RR
+                            # sets* across adaptive decisions, which
+                            # Algorithm 2's per-iteration budget
+                            # already accounts for).
+                            cap = min(
+                                cap,
+                                theta_sadeh(
+                                    graph.n, k, epsilon, delta,
+                                    opt_lower=sigma_low,
+                                ),
+                            )
+
                         row = {
                             "algorithm": algorithm,
                             "iteration": iteration,
@@ -221,12 +264,19 @@ class OPIMC:
                             "sigma_up": sigma_up,
                             "alpha": alpha,
                             "target": target,
+                            "theta_cap": cap,
                         }
                         trajectory.append(row)
                         obs.record("alpha_row", **row)
-                    if alpha >= target or iteration == i_max:
+                    if alpha >= target:
+                        stopped_by = "alpha"
                         break
-                    size = min(size * 2, max(1, math.ceil(t_max)))
+                    if iteration == i_max:
+                        break
+                    if self.stopping == "sadeh" and len(r1) >= cap:
+                        stopped_by = "theta_cap"
+                        break
+                    size = min(size * 2, max(1, math.ceil(cap)))
         finally:
             if owns_pool:
                 sampler.close()
@@ -249,6 +299,9 @@ class OPIMC:
                 "i_max": i_max,
                 "target_alpha": target,
                 "alpha_trajectory": trajectory,
+                "stopping": self.stopping,
+                "theta_cap": cap,
+                "stopped_by": stopped_by,
             },
         )
 
@@ -266,6 +319,7 @@ def opim_c(
     registry: Optional[object] = None,
     workers: Optional[int] = None,
     pool: Optional[SamplingPool] = None,
+    stopping: str = "paper",
 ) -> IMResult:
     """One-shot functional interface to :class:`OPIMC` (Algorithm 2).
 
@@ -276,7 +330,12 @@ def opim_c(
     ``workers > 1`` samples through a persistent
     :class:`~repro.sampling.service.SamplingPool` kept warm across the
     doubling iterations (pass an open ``pool`` instead to share one
-    across calls).
+    across calls).  ``stopping="sadeh"`` caps the doubling loop at the
+    Sadeh et al. sample-complexity bound
+    (:func:`~repro.core.theta.theta_sadeh`) instead of Eq. 16's
+    ``theta_max``, sampling strictly fewer RR sets when the bound
+    binds; the empirical guarantee is refereed by
+    :mod:`repro.stats_harness`.
     """
     return OPIMC(
         graph,
@@ -287,4 +346,5 @@ def opim_c(
         registry=registry,
         workers=workers,
         pool=pool,
+        stopping=stopping,
     ).run(k, epsilon, delta=delta, rr_budget=rr_budget)

@@ -18,7 +18,7 @@ Two features the paper describes around its core algorithm:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.bounds.delta_ledger import DeltaLedger
 from repro.core.opim import OnlineOPIM
@@ -153,6 +153,29 @@ class OPIMSession:
             alpha=snapshot.alpha,
         )
         return snapshot
+
+    def guarantee_claims(self) -> List[Dict[str, Any]]:
+        """Every guarantee this session has reported, as checkable claims.
+
+        One dict per query taken through the Section 4 simultaneous-
+        guarantee schedule: the seed set, the alpha certified for it,
+        and the ``delta / 2^i`` slice it was charged.  All claims hold
+        *jointly* w.p. >= ``1 - delta`` — the statement the statistical
+        acceptance harness (:mod:`repro.stats_harness`) verifies end to
+        end against brute-force ``OPT`` oracles.
+        """
+        claims: List[Dict[str, Any]] = []
+        for index, snap in enumerate(self.history, start=1):
+            claims.append(
+                {
+                    "query": index,
+                    "seeds": [int(s) for s in snap.seeds],
+                    "alpha": float(snap.alpha),
+                    "query_delta": self.delta / (2.0 ** index),
+                    "num_rr_sets": int(snap.num_rr_sets),
+                }
+            )
+        return claims
 
     def run_until(
         self,

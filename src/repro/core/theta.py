@@ -5,14 +5,33 @@
 instantiated with ``delta/3``); ``theta_0`` is the starting collection
 size; OPIM-C doubles from ``theta_0`` at most ``i_max`` times before it
 reaches ``theta_max``.
+
+``theta_sadeh`` is a tighter stopping cap following the
+sample-complexity analysis of Sadeh, Cohen & Kaplan (arXiv:1907.13301):
+Eq. 16's union bound over all ``C(n, k)`` candidate seed sets
+(``ln C(n, k) ~ k ln n``) is replaced by a term linear in ``k``, and
+the pessimistic ``OPT >= k`` floor in the denominator by any valid
+lower bound on ``OPT`` — e.g. the Eq. 5 lower bound the algorithm has
+already certified for its current greedy solution.  OPIM-C consumes it
+through ``OPIMC(stopping="sadeh")``; the statistical acceptance
+harness (:mod:`repro.stats_harness`) is the referee that the cheaper
+cap preserves the empirical ``(1 - 1/e - eps, 1 - delta)`` guarantee.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 from repro.exceptions import ParameterError
 from repro.utils.validation import check_delta, check_epsilon, check_k
+
+#: Constant of the linear-in-k union-bound term of the Sadeh et al.
+#: analysis (their Theorem 1 counts candidate sets through a
+#: per-element argument rather than ``C(n, k)``; ``1 + ln 2`` makes the
+#: k-term an explicit-constant analogue of ``ln C(n, k)`` that no
+#: longer grows with ``n``).
+SADEH_K_CONSTANT = 1.0 + math.log(2.0)
 
 
 def log_binomial(n: int, k: int) -> float:
@@ -58,3 +77,51 @@ def i_max_iterations(n: int, k: int, epsilon: float, delta: float) -> int:
     t_max = theta_max(n, k, epsilon, delta)
     t_0 = theta_0(n, k, epsilon, delta)
     return max(1, math.ceil(math.log2(t_max / t_0)))
+
+
+def theta_sadeh(
+    n: int,
+    k: int,
+    epsilon: float,
+    delta: float,
+    opt_lower: Optional[float] = None,
+) -> float:
+    """Sample-complexity stopping cap after Sadeh et al. (Theorem 1 of
+    arXiv:1907.13301), as an explicit-constant analogue of Eq. 16.
+
+    Two tightenings over the paper's ``theta_max``:
+
+    * the union-bound term ``ln C(n, k)`` (which grows like
+      ``k ln n``) is replaced by ``min(ln C(n, k), k (1 + ln 2))`` —
+      the Sadeh et al. dependence on the *size* of the optimal seed
+      set rather than on the number of candidate sets; the ``min``
+      guarantees the cap never exceeds Eq. 16 on any input;
+    * the denominator's pessimistic ``OPT >= k`` floor may be raised
+      by ``opt_lower``, any lower bound on ``OPT`` that holds within
+      the caller's failure budget — OPIM-C passes the Eq. 5 certified
+      lower bound of its current greedy seed set, which is a valid
+      bound on ``sigma(S*) <= OPT`` on the very same high-probability
+      event the alpha guarantee already spends.
+
+    With ``opt_lower=None`` the result is at most ``theta_max`` and
+    the dependence is monotone: non-increasing in ``epsilon``,
+    ``delta``, and ``opt_lower``.
+    """
+    check_k(k, n)
+    check_epsilon(epsilon)
+    check_delta(delta)
+    if opt_lower is not None and opt_lower < 0.0:
+        raise ParameterError(f"opt_lower must be >= 0, got {opt_lower}")
+    c = 1.0 - 1.0 / math.e
+    log_term = math.log(6.0 / delta)
+    union_term = min(log_binomial(n, k), SADEH_K_CONSTANT * k)
+    numerator = (
+        c * math.sqrt(log_term)
+        + math.sqrt(c * (union_term + log_term))
+    ) ** 2
+    # OPT >= max(k, opt_lower): a seed set reaches at least itself, and
+    # opt_lower (when given) certifies more.  OPT never exceeds n, so
+    # the denominator is clamped there to keep the cap a valid bound.
+    opt_floor = float(k) if opt_lower is None else max(float(k), opt_lower)
+    opt_floor = min(opt_floor, float(n))
+    return 2.0 * n * numerator / (epsilon * epsilon * opt_floor)

@@ -27,7 +27,7 @@ from __future__ import annotations
 import math
 import time
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.core.session import OPIMSession, SessionResult
 from repro.exceptions import ParameterError, StateError
@@ -78,6 +78,13 @@ class SeedQueryEngine:
         Optional :class:`~repro.obs.MetricsRegistry` — the engine
         maintains ``serve.extend_rr_sets`` / ``serve.extend_seconds``
         and the underlying sampler metrics.
+    on_answer:
+        Optional callback invoked with every completed :meth:`answer`
+        response dict (after metrics, before return).  This is the
+        trial hook the statistical acceptance harness
+        (:mod:`repro.stats_harness`) uses to capture the exact
+        guarantees the serving path emitted, without patching the
+        engine; exceptions from the callback propagate to the caller.
     """
 
     def __init__(
@@ -91,6 +98,7 @@ class SeedQueryEngine:
         step: int = DEFAULT_STEP,
         max_rr_sets: int = DEFAULT_MAX_RR_SETS,
         registry: Optional[object] = None,
+        on_answer: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         if step < 2:
             raise ParameterError(f"step must be >= 2, got {step}")
@@ -103,6 +111,7 @@ class SeedQueryEngine:
         self.step = int(step)
         self.max_rr_sets = int(max_rr_sets)
         self.obs = resolve_registry(registry)
+        self.on_answer = on_answer
         self.graph_hash = graph_fingerprint(graph)
         self.workers = int(workers) if workers is not None else 1
         if self.workers > 1:
@@ -271,7 +280,7 @@ class SeedQueryEngine:
             self.obs.count("serve.extend_rr_sets", sampled)
             self.obs.observe("serve.extend_seconds", elapsed)
         snapshot = result.snapshot
-        return {
+        response = {
             "k": k,
             "bound": snapshot.variant,
             "seeds": [int(s) for s in snapshot.seeds],
@@ -289,6 +298,24 @@ class SeedQueryEngine:
             "engine_seconds": elapsed,
             "sample_seconds": sample_seconds,
             "select_seconds": select_seconds,
+        }
+        if self.on_answer is not None:
+            self.on_answer(response)
+        return response
+
+    def guarantee_claims(self) -> Dict[int, List[Dict[str, Any]]]:
+        """All guarantees the engine has emitted, grouped by ``k``.
+
+        Each ``k`` maps to the per-``k`` session's
+        :meth:`~repro.core.session.OPIMSession.guarantee_claims` — the
+        claims inside one group hold jointly w.p. >= ``1 - delta``
+        under the ``delta / 2^i`` schedule, while distinct ``k`` groups
+        carry independent budgets.  The statistical acceptance harness
+        checks every group against a brute-force ``OPT`` oracle.
+        """
+        return {
+            k: session.guarantee_claims()
+            for k, session in sorted(self._sessions.items())
         }
 
     def stats(self) -> Dict[str, Any]:

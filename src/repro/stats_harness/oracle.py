@@ -1,0 +1,74 @@
+"""Brute-force ground-truth oracles for tiny graphs.
+
+The harness turns the paper's probabilistic guarantee into a countable
+event, which requires *exact* values on both sides of
+
+    ``sigma(S*) >= factor * OPT_k``:
+
+* ``sigma(S)`` via :func:`~repro.diffusion.spread.exact_spread_ic`
+  (enumeration of all ``2^m`` live-edge worlds);
+* ``OPT_k`` by exhaustive search over all ``C(n, k)`` seed sets.
+
+Both are exponential, so the oracle refuses graphs beyond a small
+edge/node budget instead of silently taking minutes.  Results are
+memoized: one oracle instance amortizes its enumeration across the
+hundreds of trials of a scenario run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Tuple
+
+from repro.diffusion.spread import exact_spread_ic
+from repro.exceptions import ParameterError
+from repro.graph.digraph import DiGraph
+
+#: Enumeration budgets: 2^m live-edge worlds and C(n, k) seed sets.
+MAX_EDGES = 20
+MAX_NODES = 16
+
+
+class ExactOracle:
+    """Memoized exact-spread and brute-force-OPT oracle (IC model)."""
+
+    def __init__(self, graph: DiGraph) -> None:
+        if graph.m > MAX_EDGES or graph.n > MAX_NODES:
+            raise ParameterError(
+                f"graph {graph.name!r} (n={graph.n}, m={graph.m}) is too "
+                f"large for exact enumeration (limits: n<={MAX_NODES}, "
+                f"m<={MAX_EDGES})"
+            )
+        self.graph = graph
+        self._spread_cache: Dict[Tuple[int, ...], float] = {}
+        self._opt_cache: Dict[int, Tuple[float, Tuple[int, ...]]] = {}
+
+    def spread(self, seeds: Iterable[int]) -> float:
+        """Exact ``sigma(S)`` under IC."""
+        key = tuple(sorted({int(s) for s in seeds}))
+        cached = self._spread_cache.get(key)
+        if cached is None:
+            cached = float(exact_spread_ic(self.graph, key))
+            self._spread_cache[key] = cached
+        return cached
+
+    def opt(self, k: int) -> float:
+        """Exact ``OPT_k = max_{|S| = k} sigma(S)``."""
+        return self.opt_with_set(k)[0]
+
+    def opt_with_set(self, k: int) -> Tuple[float, Tuple[int, ...]]:
+        """``OPT_k`` together with one maximizing seed set."""
+        if not 1 <= k <= self.graph.n:
+            raise ParameterError(
+                f"k must be in [1, {self.graph.n}], got {k}"
+            )
+        cached = self._opt_cache.get(k)
+        if cached is None:
+            best, best_set = -1.0, ()
+            for combo in itertools.combinations(range(self.graph.n), k):
+                value = self.spread(combo)
+                if value > best:
+                    best, best_set = value, combo
+            cached = (best, best_set)
+            self._opt_cache[k] = cached
+        return cached

@@ -1,0 +1,145 @@
+"""Datatypes and formatting for the statistical acceptance harness.
+
+The harness's unit of accounting is the **claim group**: a set of
+``(seeds, factor)`` claims that the algorithm asserts hold *jointly*
+with probability at least ``1 - delta`` (e.g. every snapshot one
+per-``k`` session reported under the ``delta / 2^i`` schedule).  A
+group *fails* when any claim in it is violated against the exact
+oracle, so each group is one Bernoulli observation of the guarantee's
+failure probability.
+
+Groups with the same label across trials are i.i.d. (each trial runs
+from an independent seed), which is what licenses the per-label
+Clopper–Pearson bound; groups inside one trial share RR sets and are
+*not* independent, so the report never pools them into one interval —
+the headline statistic is the worst per-label upper bound.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checkable guarantee: ``sigma(seeds) >= factor * OPT(|seeds|)``.
+
+    ``factor`` is either the conventional threshold ``1 - 1/e - eps``
+    (OPIM-C's Theorem 6.2 claim) or a reported online ``alpha``
+    (OPIM's instance-specific claim, Section 4).
+    """
+
+    seeds: Tuple[int, ...]
+    factor: float
+    source: str = ""
+
+
+@dataclass(frozen=True)
+class ClaimGroup:
+    """Claims asserted to hold jointly w.p. >= ``1 - delta``."""
+
+    label: str
+    delta: float
+    claims: Tuple[Claim, ...]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """What one scenario trial produced: claim groups + sampling cost."""
+
+    groups: Tuple[ClaimGroup, ...]
+    rr_sets: int
+
+
+@dataclass(frozen=True)
+class ClaimFailure:
+    """A violated claim, with enough context to replay the trial."""
+
+    trial: int
+    seed: int
+    label: str
+    seeds: Tuple[int, ...]
+    factor: float
+    spread: float
+    opt: float
+    source: str
+
+
+@dataclass
+class LabelStats:
+    """Per-label failure statistics over all trials (i.i.d. units)."""
+
+    label: str
+    trials: int
+    failures: int
+    failure_rate: float
+    cp_upper: float
+    cp_low: float
+    cp_high: float
+
+
+@dataclass
+class ScenarioReport:
+    """Statistical verdict of one scenario.
+
+    ``passed`` means: for every claim-group label, the one-sided
+    Clopper–Pearson upper bound on the failure rate (at ``confidence``)
+    does not exceed the ``delta`` the algorithm promised — a
+    statistical statement, not a vibe.
+    """
+
+    scenario: str
+    trials: int
+    delta: float
+    epsilon: float
+    confidence: float
+    labels: List[LabelStats]
+    max_cp_upper: float
+    passed: bool
+    rr_sets_mean: float
+    rr_sets_max: int
+    params: Dict[str, Any] = field(default_factory=dict)
+    failures: List[ClaimFailure] = field(default_factory=list)
+
+    @property
+    def total_failures(self) -> int:
+        return sum(stats.failures for stats in self.labels)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (consumed by BENCH_guarantees)."""
+        payload = asdict(self)
+        payload["total_failures"] = self.total_failures
+        return payload
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def format_report(report: ScenarioReport) -> str:
+    """One human-readable block per scenario (used by the benchmark)."""
+    lines = [
+        f"scenario {report.scenario}: trials={report.trials} "
+        f"delta={report.delta} epsilon={report.epsilon} "
+        f"confidence={report.confidence}",
+        f"  rr_sets per trial: mean={report.rr_sets_mean:.1f} "
+        f"max={report.rr_sets_max}",
+    ]
+    for stats in report.labels:
+        lines.append(
+            f"  [{stats.label}] failures {stats.failures}/{stats.trials} "
+            f"rate={stats.failure_rate:.4f} "
+            f"CP-upper={stats.cp_upper:.4f} "
+            f"CI=({stats.cp_low:.4f}, {stats.cp_high:.4f})"
+        )
+    verdict = "PASS" if report.passed else "FAIL"
+    lines.append(
+        f"  verdict: {verdict} (max CP-upper {report.max_cp_upper:.4f} "
+        f"{'<=' if report.passed else '>'} delta {report.delta})"
+    )
+    return "\n".join(lines)
+
+
+def format_reports(reports: Sequence[ScenarioReport]) -> str:
+    return "\n".join(format_report(r) for r in reports)

@@ -1,11 +1,82 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Statistical tests derive their randomness from one base entropy so any
+failure is replayable: set ``REPRO_TEST_SEED=<base>`` (printed in the
+failure report) and rerun the failing node id.
+"""
 
 from __future__ import annotations
 
 import itertools
+import os
+import zlib
 
 import numpy as np
 import pytest
+
+try:  # pragma: no cover - exercised only when hypothesis is present
+    from hypothesis import HealthCheck, settings as hypothesis_settings
+
+    hypothesis_settings.register_profile(
+        "repro",
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hypothesis_settings.load_profile("repro")
+except ImportError:  # pragma: no cover
+    pass
+
+#: Env var that overrides the base entropy for statistical tests.
+REPRO_TEST_SEED_ENV = "REPRO_TEST_SEED"
+
+#: Default base entropy (the paper's SIGMOD year + month/day of v0).
+DEFAULT_TEST_SEED = 20180808
+
+#: Node-id -> (base, derived entropy) for tests that drew randomness
+#: this run; consumed by the failure-report hook below.
+_STAT_SEEDS_USED = {}
+
+
+def base_test_seed() -> int:
+    """The run's base entropy (``REPRO_TEST_SEED`` or the default)."""
+    return int(os.environ.get(REPRO_TEST_SEED_ENV, DEFAULT_TEST_SEED))
+
+
+@pytest.fixture
+def stat_entropy(request):
+    """Per-test deterministic entropy for SeedSequence derivation.
+
+    Spawned as ``SeedSequence([base, crc32(nodeid)])`` so every test
+    gets an independent stream while the whole suite is replayable from
+    the single ``REPRO_TEST_SEED`` base.
+    """
+    base = base_test_seed()
+    digest = zlib.crc32(request.node.nodeid.encode("utf-8"))
+    entropy = int(
+        np.random.SeedSequence([base, digest]).generate_state(1)[0]
+    )
+    _STAT_SEEDS_USED[request.node.nodeid] = (base, entropy)
+    return entropy
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Attach the replay seed to the report of any failed stat test."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        used = _STAT_SEEDS_USED.get(item.nodeid)
+        if used is not None:
+            base, entropy = used
+            report.sections.append(
+                (
+                    "statistical replay",
+                    f"randomness derived from {REPRO_TEST_SEED_ENV}={base} "
+                    f"(per-test entropy {entropy}); rerun this node id "
+                    f"with that env var set to replay the failure",
+                )
+            )
 
 from repro.graph.build import from_edge_list
 from repro.graph.generators import (

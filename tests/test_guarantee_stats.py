@@ -31,6 +31,7 @@ import pytest
 
 from repro.core.opimc import opim_c
 from repro.diffusion.spread import exact_spread_ic
+from repro.stats_harness import SCENARIOS, format_report, run_scenario
 
 from .conftest import brute_force_best_spread_ic
 
@@ -97,3 +98,78 @@ class TestGuaranteeFrequency:
         assert len(opt_set) == K
         assert opt >= exact_spread_ic(tiny_weighted_graph, [0, 1])
         assert exact_spread_ic(tiny_weighted_graph, [4]) >= 1.0
+
+
+class TestServePathGuarantees:
+    """Harness-driven acceptance of the serving layer's guarantees.
+
+    ``test_guarantee_holds_*`` above covers the cold single-query path
+    only; these trials cover what production traffic actually does —
+    warm-index restarts (claims riding on RR sets sampled by a previous
+    process) and ``adopt_collections`` sketch reuse across many ``k``.
+    The verdict is the harness's Clopper–Pearson criterion: the upper
+    confidence bound on every claim group's failure rate must stay
+    within ``delta``.
+    """
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenario_acceptance_200_trials(
+        self, tiny_weighted_graph, stat_entropy, name
+    ):
+        """Every serve-path scenario at the full acceptance trial
+        count (nightly ``-m slow`` tier)."""
+        report = run_scenario(
+            name,
+            tiny_weighted_graph,
+            trials=200,
+            entropy=stat_entropy,
+            epsilon=EPSILON,
+            delta=DELTA,
+        )
+        assert report.passed, format_report(report)
+
+    @pytest.mark.slow
+    def test_sadeh_stopping_acceptance_200_trials(
+        self, tiny_weighted_graph, stat_entropy
+    ):
+        """The early-stopping rule must keep the guarantee too."""
+        report = run_scenario(
+            "cold_opimc",
+            tiny_weighted_graph,
+            trials=200,
+            entropy=stat_entropy,
+            epsilon=EPSILON,
+            delta=DELTA,
+            stopping="sadeh",
+        )
+        assert report.passed, format_report(report)
+
+    def test_warm_index_smoke(self, tiny_weighted_graph, stat_entropy):
+        """Tier-1 warm-restart acceptance: save the sketch index,
+        restart a fresh engine from disk, answer, verify the claims."""
+        report = run_scenario(
+            "warm_index",
+            tiny_weighted_graph,
+            trials=20,
+            entropy=stat_entropy,
+            epsilon=EPSILON,
+            delta=DELTA,
+        )
+        assert report.passed, format_report(report)
+
+    def test_multi_k_smoke(self, tiny_weighted_graph, stat_entropy):
+        """Tier-1 adopted-sketch acceptance: one shared stream serving
+        k = 1, 2, 3 — each k's claim group must certify delta."""
+        report = run_scenario(
+            "multi_k",
+            tiny_weighted_graph,
+            trials=20,
+            entropy=stat_entropy,
+            epsilon=EPSILON,
+            delta=DELTA,
+            ks=(1, 2, 3),
+        )
+        assert report.passed, format_report(report)
+        labels = {stats.label for stats in report.labels}
+        assert labels == {"k=1", "k=2", "k=3"}
