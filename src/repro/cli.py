@@ -15,6 +15,10 @@ Commands
 ``serve``
     Start the long-lived seed-query server (``repro.serve``): load the
     graph once, keep the RR sketch warm, answer HTTP/JSON queries.
+``cluster``
+    Start the sharded multi-tenant serving tier
+    (``repro.serve.cluster``): an API front end routing jobs by graph
+    fingerprint to warm worker processes.
 """
 
 from __future__ import annotations
@@ -298,6 +302,64 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_pool_flag(serve)
     _add_observability_flags(serve)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="start the sharded multi-tenant serving tier "
+        "(front end + warm worker pool)",
+    )
+    cluster.add_argument(
+        "--dataset",
+        action="append",
+        default=None,
+        choices=dataset_names(),
+        help="dataset to preload and register (repeatable; each is "
+        "registered under its own name for the default tenant)",
+    )
+    cluster.add_argument("--model", default="IC", choices=["IC", "LT"])
+    cluster.add_argument("--scale", type=float, default=1.0)
+    cluster.add_argument("--seed", type=int, default=2018)
+    cluster.add_argument("--tenant", default="default")
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument("--port", type=int, default=8473)
+    cluster.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker process count == shard count; graphs are routed "
+        "to shards by content fingerprint",
+    )
+    cluster.add_argument(
+        "--mem-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="per-graph resident-sketch budget; at-budget graphs "
+        "reject new jobs with 503 + Retry-After (default 64 MiB)",
+    )
+    cluster.add_argument(
+        "--worker-mem-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="total budget per worker; cold engines are LRU-evicted "
+        "(checkpoint, then drop) to stay under it",
+    )
+    cluster.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="root of per-graph persistent index directories "
+        "(state_dir/tenant/name); enables warm restart after crashes",
+    )
+    cluster.add_argument("--queue-limit", type=int, default=64)
+    cluster.add_argument(
+        "--max-rr-sets",
+        type=int,
+        default=500_000,
+        help="hard ceiling on each graph's shared RR sketch",
+    )
+    _add_observability_flags(cluster)
 
     trace = sub.add_parser(
         "trace", help="inspect a JSONL trace export (docs/observability.md)"
@@ -594,6 +656,66 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.cluster import DEFAULT_MEM_BUDGET, ClusterFrontend
+
+    registry, recorder = _make_observability(args, stream=True)
+    if registry is not None:
+        registry.record(
+            "meta",
+            command="cluster",
+            workers=args.workers,
+            datasets=args.dataset or [],
+        )
+    mem_budget = (
+        args.mem_budget if args.mem_budget is not None else DEFAULT_MEM_BUDGET
+    )
+    graphs = [
+        (name, load_dataset(name, scale=args.scale))
+        for name in (args.dataset or [])
+    ]
+    front = ClusterFrontend(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        worker_mem_budget=args.worker_mem_budget,
+        queue_limit=args.queue_limit,
+        state_dir=args.state_dir,
+        registry=registry,
+    )
+
+    async def _run() -> None:
+        await front.start()
+        for name, graph in graphs:
+            description = front.register_graph(
+                graph,
+                name,
+                tenant=args.tenant,
+                model=args.model,
+                seed=args.seed,
+                mem_budget=mem_budget,
+                max_rr_sets=args.max_rr_sets,
+            )
+            print(
+                f"registered {description['graph_id']} (n={graph.n}, "
+                f"m={graph.m}) -> shard {description['shard']}"
+            )
+        print(
+            f"cluster front end on http://{args.host}:{front.port} "
+            f"({args.workers} workers); Ctrl-C drains and exits"
+        )
+        await front.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
+        pass
+    _finish_observability(args, registry, recorder)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.tracetool import (
         format_trace_summary,
@@ -672,6 +794,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_session(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "trace":

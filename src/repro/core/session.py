@@ -154,6 +154,24 @@ class OPIMSession:
         )
         return snapshot
 
+    @property
+    def certified_opt_lower(self) -> float:
+        """Best certified lower bound on ``OPT`` this session has seen.
+
+        Every snapshot's ``sigma_low`` is the Eq. 5 lower bound on the
+        spread of its greedy seed set — hence on ``sigma(S*) <= OPT``
+        — certified on the same high-probability event as that query's
+        alpha guarantee, so reusing it spends no extra failure budget
+        (the arXiv:1808.09363 caveat concerns reusing *RR sets*, not
+        the bound value).  The serving layer feeds this into
+        :func:`~repro.core.theta.theta_sadeh` so a warm sketch's
+        repeat queries start from a tight sample cap; ``0.0`` until
+        the first query.
+        """
+        return max(
+            (float(snap.sigma_low) for snap in self.history), default=0.0
+        )
+
     def guarantee_claims(self) -> List[Dict[str, Any]]:
         """Every guarantee this session has reported, as checkable claims.
 

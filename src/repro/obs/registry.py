@@ -341,20 +341,31 @@ class MetricsRegistry:
             self.sink.record(kind, **fields)
 
     # -- introspection --------------------------------------------------
+    # Snapshots hold the registry lock: create-or-get accessors may
+    # insert new metrics from other threads mid-iteration (e.g. a
+    # supervisor drain in an executor while the event loop serves
+    # /stats).
     def counter_values(self) -> Dict[str, int]:
-        return {name: c.value for name, c in self._counters.items()}
+        with self._lock:
+            counters = list(self._counters.items())
+        return {name: c.value for name, c in counters}
 
     def gauge_values(self) -> Dict[str, float]:
-        return {name: g.value for name, g in self._gauges.items()}
+        with self._lock:
+            gauges = list(self._gauges.items())
+        return {name: g.value for name, g in gauges}
 
     def histograms(self) -> Iterable[Histogram]:
         """Every histogram (all label streams), creation order."""
-        return list(self._histograms.values())
+        with self._lock:
+            return list(self._histograms.values())
 
     def histogram_values(self) -> Dict[str, dict]:
         """Snapshot keyed ``name`` or ``name{k=v,...}`` per label stream."""
         out: Dict[str, dict] = {}
-        for (name, label_items), hist in self._histograms.items():
+        with self._lock:
+            items = list(self._histograms.items())
+        for (name, label_items), hist in items:
             key = name
             if label_items:
                 inner = ",".join(f"{k}={v}" for k, v in label_items)
@@ -364,10 +375,12 @@ class MetricsRegistry:
 
     def summary(self) -> dict:
         """A JSON-serializable snapshot of every metric."""
+        with self._lock:
+            stats = list(self._stats.items())
         return {
             "counters": self.counter_values(),
             "gauges": self.gauge_values(),
-            "stats": {name: s.as_dict() for name, s in self._stats.items()},
+            "stats": {name: s.as_dict() for name, s in stats},
             "histograms": self.histogram_values(),
         }
 

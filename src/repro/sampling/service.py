@@ -615,6 +615,49 @@ class SamplingPool:
             "nodes_touched": self.nodes_touched,
         }
 
+    @classmethod
+    def from_state(
+        cls,
+        graph: DiGraph,
+        model: str,
+        state: Dict[str, Any],
+        *,
+        workers: int = 2,
+        fast: bool = True,
+        registry: Optional[object] = None,
+        **kwargs: Any,
+    ) -> "SamplingPool":
+        """Build a pool resuming the stream captured by :meth:`state`.
+
+        The handoff path for a respawned cluster worker: the dict
+        persisted in the sketch index carries the root seed and chunk
+        policy, so the new pool — possibly with a *different* worker
+        count, which the determinism contract allows — continues the
+        exact RR-set stream the crashed process would have produced.
+        """
+        if state.get("kind") != "pool":
+            raise ParameterError(
+                f"cannot hand off sampler state of kind {state.get('kind')!r} "
+                "to a SamplingPool"
+            )
+        pool = cls(
+            graph,
+            model,
+            workers=workers,
+            seed=int(state["seed"]),
+            fast=fast,
+            min_chunk=int(state["min_chunk"]),
+            target_chunks=int(state["target_chunks"]),
+            registry=registry,
+            **kwargs,
+        )
+        try:
+            pool.restore_state(state)
+        except BaseException:
+            pool.close()
+            raise
+        return pool
+
     def restore_state(self, state: Dict[str, Any]) -> None:
         """Resume the deterministic stream from a :meth:`state` dict.
 

@@ -16,10 +16,15 @@ Layers (each usable on its own):
 * :mod:`repro.serve.cache` — LRU result cache keyed by full query
   identity;
 * :mod:`repro.serve.server` / :mod:`repro.serve.http` — the asyncio
-  HTTP front end and its minimal client.
+  HTTP front end and its minimal client (shared plumbing in
+  :mod:`repro.serve.base`);
+* :mod:`repro.serve.cluster` — the sharded multi-tenant tier: an API
+  front end routing jobs by graph fingerprint to warm worker
+  processes, with per-graph memory budgets and crash recovery.
 """
 
 from repro.serve.cache import LRUCache, QueryKey, make_key
+from repro.serve.cluster import ClusterFrontend, GraphRegistry, GraphSpec
 from repro.serve.engine import SeedQueryEngine
 from repro.serve.http import ProtocolError, ServeClient
 from repro.serve.index import (
@@ -32,6 +37,9 @@ from repro.serve.index import (
 from repro.serve.server import SeedQueryServer
 
 __all__ = [
+    "ClusterFrontend",
+    "GraphRegistry",
+    "GraphSpec",
     "INDEX_FORMAT_VERSION",
     "LRUCache",
     "LoadedIndex",

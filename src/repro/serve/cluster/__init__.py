@@ -1,0 +1,44 @@
+"""repro.serve.cluster — sharded multi-tenant serving tier.
+
+A front-end/worker split of the single-process
+:class:`~repro.serve.server.SeedQueryServer`:
+
+* :class:`~repro.serve.cluster.frontend.ClusterFrontend` — the asyncio
+  API tier: tenant-scoped graph registration, job lifecycle endpoints,
+  admission control, crash-requeue.
+* :class:`~repro.serve.cluster.worker.WorkerSupervisor` and the worker
+  processes — one per shard, each holding a warm
+  :class:`~repro.serve.engine.SeedQueryEngine` per resident graph.
+* :class:`~repro.serve.cluster.registry.GraphRegistry` — graph ids,
+  fingerprint-hash shard routing, per-graph memory budgets.
+
+See ``docs/serving.md`` ("Sharded cluster tier") for the architecture
+and failure-mode walkthrough.
+"""
+
+from repro.serve.cluster.frontend import ClusterFrontend, ClusterJob
+from repro.serve.cluster.registry import (
+    DEFAULT_MEM_BUDGET,
+    GraphRegistry,
+    GraphSpec,
+    GraphStatus,
+    shard_for,
+)
+from repro.serve.cluster.worker import (
+    MEM_BUDGET_RETRY_AFTER,
+    ClusterError,
+    WorkerSupervisor,
+)
+
+__all__ = [
+    "ClusterError",
+    "ClusterFrontend",
+    "ClusterJob",
+    "DEFAULT_MEM_BUDGET",
+    "GraphRegistry",
+    "GraphSpec",
+    "GraphStatus",
+    "MEM_BUDGET_RETRY_AFTER",
+    "WorkerSupervisor",
+    "shard_for",
+]

@@ -1,0 +1,168 @@
+"""Tenant-scoped graph registry and fingerprint-hash shard routing.
+
+The cluster keeps many graphs resident at once; this module is the
+front end's book of record for them.  Each registered graph gets:
+
+* a **graph id** ``tenant/name`` (names are unique per tenant);
+* a **fingerprint** — the sha256 of the CSR arrays
+  (:func:`~repro.serve.index.graph_fingerprint`), the same hash that
+  keys the persistent sketch index;
+* a **shard** — ``int(fingerprint, 16) % workers``.  Routing by
+  content hash means a graph always lands on the same worker for a
+  fixed worker count, so its warm engine, its sampling pool, and its
+  on-disk index never migrate mid-flight;
+* a **memory budget** — the admission-control ceiling on its resident
+  sketch (``None`` = unlimited).
+
+The registry itself is plain bookkeeping on the event-loop thread; the
+specs it hands out are shipped to worker processes over their task
+queues (graphs pickle as CSR arrays), where the warm engines live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.serve.index import graph_fingerprint
+
+#: Default per-graph sketch budget: 64 MiB of RR-set arrays.
+DEFAULT_MEM_BUDGET = 64 * 1024 * 1024
+
+
+def shard_for(fingerprint: str, shards: int) -> int:
+    """Deterministic shard for a graph fingerprint (content-hash routing)."""
+    if shards < 1:
+        raise ParameterError(f"shards must be >= 1, got {shards}")
+    return int(fingerprint[:16], 16) % shards
+
+
+@dataclass
+class GraphSpec:
+    """Everything a worker needs to host one graph's warm engine."""
+
+    name: str
+    tenant: str
+    graph: DiGraph
+    model: str = "IC"
+    seed: int = 2018
+    sampler_workers: int = 1
+    step: int = 2000
+    max_rr_sets: int = 500_000
+    delta: Optional[float] = None
+    mem_budget: Optional[int] = DEFAULT_MEM_BUDGET
+    index_dir: Optional[str] = None
+    fingerprint: str = ""
+    shard: int = 0
+
+    @property
+    def graph_id(self) -> str:
+        return f"{self.tenant}/{self.name}"
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready summary (no graph payload)."""
+        return {
+            "name": self.name,
+            "tenant": self.tenant,
+            "graph_id": self.graph_id,
+            "n": self.graph.n,
+            "m": self.graph.m,
+            "model": self.model,
+            "seed": self.seed,
+            "fingerprint": self.fingerprint,
+            "shard": self.shard,
+            "mem_budget": self.mem_budget,
+            "max_rr_sets": self.max_rr_sets,
+        }
+
+
+@dataclass
+class GraphStatus:
+    """Front-end view of one graph's worker-side state.
+
+    Updated from worker messages; ``memory_bytes`` lags reality by at
+    most one job, which is exactly the granularity admission control
+    can act on anyway (the worker is serial per graph).
+    """
+
+    spec: GraphSpec
+    resident: bool = False
+    memory_bytes: int = 0
+    num_rr_sets: int = 0
+    jobs_done: int = 0
+    evictions: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def over_budget(self) -> bool:
+        budget = self.spec.mem_budget
+        return budget is not None and self.memory_bytes >= budget
+
+
+class GraphRegistry:
+    """All graphs the cluster front end knows, keyed by graph id."""
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ParameterError(f"shards must be >= 1, got {shards}")
+        self.shards = int(shards)
+        self._graphs: Dict[str, GraphStatus] = {}
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __contains__(self, graph_id: str) -> bool:
+        return graph_id in self._graphs
+
+    def register(self, spec: GraphSpec) -> GraphStatus:
+        """Fingerprint, shard, and record one graph; id must be new."""
+        if not spec.name or "/" in spec.name:
+            raise ParameterError(
+                f"graph name must be non-empty and slash-free, "
+                f"got {spec.name!r}"
+            )
+        if spec.graph_id in self._graphs:
+            raise ParameterError(
+                f"graph {spec.graph_id!r} is already registered"
+            )
+        if not spec.graph.weighted:
+            raise ParameterError(
+                f"graph {spec.name!r} has no edge probabilities; apply a "
+                "weighting scheme before registering"
+            )
+        spec.fingerprint = graph_fingerprint(spec.graph)
+        spec.shard = shard_for(spec.fingerprint, self.shards)
+        status = GraphStatus(spec=spec)
+        self._graphs[spec.graph_id] = status
+        return status
+
+    def get(self, graph_id: str) -> GraphStatus:
+        try:
+            return self._graphs[graph_id]
+        except KeyError:
+            raise ParameterError(f"unknown graph {graph_id!r}") from None
+
+    def lookup(self, tenant: str, name: str) -> Optional[GraphStatus]:
+        return self._graphs.get(f"{tenant}/{name}")
+
+    def by_tenant(self, tenant: str) -> List[GraphStatus]:
+        return [
+            status
+            for status in self._graphs.values()
+            if status.spec.tenant == tenant
+        ]
+
+    def by_shard(self, shard: int) -> List[GraphStatus]:
+        return [
+            status
+            for status in self._graphs.values()
+            if status.spec.shard == shard
+        ]
+
+    def all(self) -> List[GraphStatus]:
+        return list(self._graphs.values())
+
+    def total_memory(self) -> int:
+        return sum(status.memory_bytes for status in self._graphs.values())

@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.core.session import OPIMSession, SessionResult
+from repro.core.theta import theta_sadeh
 from repro.exceptions import ParameterError, StateError
 from repro.graph.digraph import DiGraph
 from repro.obs import resolve_registry
@@ -227,6 +228,38 @@ class SeedQueryEngine:
             )
         return float(alpha_target)
 
+    def _sadeh_cap(
+        self, session: OPIMSession, k: int, target: float
+    ) -> Optional[int]:
+        """Tight sample cap for a repeat query on a warm sketch.
+
+        From query two onward the session holds a certified lower
+        bound on ``OPT`` (:attr:`OPIMSession.certified_opt_lower`),
+        which raises the denominator floor of
+        :func:`~repro.core.theta.theta_sadeh` — so the engine can cap
+        how far :meth:`answer` is allowed to extend the stream without
+        weakening the guarantee.  Returns the cap in *total* RR sets
+        (both halves), or ``None`` when no certified bound exists yet
+        or the target does not correspond to a positive epsilon.
+        """
+        if session.queries_made == 0:
+            return None
+        opt_lower = session.certified_opt_lower
+        if opt_lower <= 0.0:
+            return None
+        eps_equiv = 1.0 - 1.0 / math.e - target
+        if eps_equiv <= 0.0:
+            return None
+        theta = theta_sadeh(
+            self.graph.n,
+            k,
+            eps_equiv,
+            session.next_query_delta(),
+            opt_lower=opt_lower,
+        )
+        # theta bounds each half of the stream; the budget counts both.
+        return 2 * int(math.ceil(theta))
+
     def answer(
         self,
         k: int,
@@ -255,6 +288,9 @@ class SeedQueryEngine:
             int(rr_budget), self.max_rr_sets
         )
         session = self._session(k)
+        theta_cap = self._sadeh_cap(session, k, target)
+        if theta_cap is not None:
+            cap = min(cap, theta_cap)
         sampled_before = self.num_rr_sets
         fill_before = float(getattr(self.sampler, "fill_seconds", 0.0))
         started = time.perf_counter()
@@ -293,6 +329,7 @@ class SeedQueryEngine:
             "sigma_low": float(snapshot.sigma_low),
             "sigma_up": float(snapshot.sigma_up),
             "sampled": int(sampled),
+            "theta_cap": theta_cap,
             "stop": result.stop.kind,
             "queries_made": session.queries_made,
             "engine_seconds": elapsed,
@@ -343,6 +380,37 @@ class SeedQueryEngine:
             "edges_examined": int(self.sampler.edges_examined),
             "loaded_from_index": self.loaded_from_index,
         }
+
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes of the shared sketch.
+
+        Counts both collection halves: the flat RR-node arrays (int32),
+        the inverted node→RR index (int64), and the offset arrays.
+        This is the accounting the cluster tier budgets against — an
+        estimate of the dominant term, not an ``getsizeof`` audit.
+        """
+        total = 0
+        for coll in (self.r1, self.r2):
+            # rr_nodes int32 + node_rrs int64 per sampled node entry,
+            # plus the two offset arrays (int64).
+            total += coll.total_size * (4 + 8)
+            total += (len(coll) + 1) * 8 + (coll.n + 1) * 8
+        return int(total)
+
+    def checkpoint(self) -> Optional[Dict[str, Any]]:
+        """Persist the sketch iff it has drifted past the saved index.
+
+        A no-op (returning ``None``) when the engine has no
+        ``index_dir`` or when nothing was sampled since the last
+        save/load — so eviction and graceful drain can call it
+        unconditionally without rewriting an unchanged index.
+        """
+        if self.index_dir is None:
+            return None
+        staleness = self.index_staleness()
+        if staleness["synced"] and staleness["stale_rr_sets"] == 0:
+            return None
+        return self.save_index()
 
     def index_staleness(self) -> Dict[str, Any]:
         """How far the in-memory sketch has drifted from the saved index.

@@ -27,9 +27,11 @@ MAX_BODY = 8 * 1024 * 1024
 
 STATUS_PHRASES = {
     200: "OK",
+    202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
@@ -133,11 +135,18 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
 
 
 def render_response(
-    status: int, payload: Dict[str, Any], keep_alive: bool = True
+    status: int,
+    payload: Dict[str, Any],
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
-    """Serialize a JSON response with Content-Length framing."""
+    """Serialize a JSON response with Content-Length framing.
+
+    ``extra_headers`` adds verbatim response headers — the admission-
+    control paths use it for ``Retry-After`` on 503 rejections.
+    """
     body = json.dumps(payload).encode("utf-8")
-    return _frame(status, body, "application/json", keep_alive)
+    return _frame(status, body, "application/json", keep_alive, extra_headers)
 
 
 def render_text_response(
@@ -145,21 +154,33 @@ def render_text_response(
     text: str,
     content_type: str = "text/plain; charset=utf-8",
     keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
     """Serialize a plain-text response (the ``/metrics`` exposition)."""
-    return _frame(status, text.encode("utf-8"), content_type, keep_alive)
+    return _frame(
+        status, text.encode("utf-8"), content_type, keep_alive, extra_headers
+    )
 
 
 def _frame(
-    status: int, body: bytes, content_type: str, keep_alive: bool
+    status: int,
+    body: bytes,
+    content_type: str,
+    keep_alive: bool,
+    extra_headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
     phrase = STATUS_PHRASES.get(status, "Unknown")
     connection = "keep-alive" if keep_alive else "close"
+    extra = "".join(
+        f"{name}: {value}\r\n"
+        for name, value in (extra_headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {phrase}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {connection}\r\n"
+        f"{extra}"
         "\r\n"
     )
     return head.encode("latin-1") + body
@@ -227,6 +248,22 @@ class ServeClient:
     ) -> Tuple[int, Dict[str, Any]]:
         await self._send(method, path, payload, headers)
         return await read_response(self._reader)
+
+    async def request_raw(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
+        """Like :meth:`request` but also returns the response headers.
+
+        Admission-control clients read ``Retry-After`` from them.
+        """
+        await self._send(method, path, payload, headers)
+        status, resp_headers, body = await read_raw_response(self._reader)
+        parsed = json.loads(body.decode("utf-8")) if body else {}
+        return status, resp_headers, parsed
 
     async def request_text(
         self,

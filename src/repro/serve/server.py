@@ -33,30 +33,28 @@ import signal
 import time
 import uuid
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Awaitable, Callable, Dict, Optional, Tuple, Union
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
 
-from repro.core.opim import BOUND_VARIANTS
 from repro.exceptions import ParameterError, ReproError
-from repro.obs import prometheus_text, resolve_registry
+from repro.obs import prometheus_text
 from repro.obs.export import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.serve.base import (
+    DispatchResult,
+    JsonHTTPServer,
+    Payload,
+    parse_query_params,
+)
 from repro.serve.cache import LRUCache, QueryKey, make_key
 from repro.serve.engine import SeedQueryEngine
-from repro.serve.http import (
-    ProtocolError,
-    Request,
-    TextResponse,
-    read_request,
-    render_response,
-    render_text_response,
-)
+from repro.serve.http import ProtocolError, Request, TextResponse
 
 DEFAULT_PORT = 8471
 
-#: A dispatch result: JSON payload dict or verbatim text.
-Payload = Union[Dict[str, Any], TextResponse]
+#: Hint clients wait this long before retrying a 503 rejection.
+RETRY_AFTER_SECONDS = "1"
 
 
-class SeedQueryServer:
+class SeedQueryServer(JsonHTTPServer):
     """HTTP/JSON front end over a :class:`SeedQueryEngine`.
 
     Parameters
@@ -98,15 +96,15 @@ class SeedQueryServer:
             raise ParameterError(f"queue_limit must be >= 1, got {queue_limit}")
         if request_timeout <= 0 or drain_timeout < 0:
             raise ParameterError("timeouts must be positive")
+        super().__init__(
+            host=host,
+            port=port,
+            registry=registry if registry is not None else engine.obs,
+        )
         self.engine = engine
-        self.host = host
-        self._requested_port = port
         self.request_timeout = float(request_timeout)
         self.drain_timeout = float(drain_timeout)
         self.own_engine = bool(own_engine)
-        self.obs = resolve_registry(
-            registry if registry is not None else engine.obs
-        )
         self.cache = LRUCache(cache_size, registry=self.obs)
         self.queue_limit = int(queue_limit)
         self._queue: Optional[asyncio.Queue] = None
@@ -114,41 +112,25 @@ class SeedQueryServer:
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="serve-engine"
         )
-        self._server: Optional[asyncio.base_events.Server] = None
-        self._bound_port: Optional[int] = None
         self._worker: Optional[asyncio.Task] = None
-        self._draining = False
-        self._closed = False
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    @property
-    def port(self) -> int:
-        """The actually bound port (resolves ``port=0``)."""
-        if self._bound_port is None:
-            return self._requested_port
-        return self._bound_port
-
     async def start(self) -> None:
         """Bind the listening socket and start the engine worker."""
         self._queue = asyncio.Queue(maxsize=self.queue_limit)
         self._worker = asyncio.create_task(
             self._worker_loop(), name="serve-engine-worker"
         )
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self._requested_port
-        )
-        self._bound_port = self._server.sockets[0].getsockname()[1]
+        await self._start_listener()
 
     async def close(self, drain: bool = True) -> None:
         """Graceful shutdown: stop accepting, drain, release the engine."""
         if self._closed:
             return
         self._draining = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        await self._stop_listener()
         if drain and self._queue is not None and not self._queue.empty():
             try:
                 await asyncio.wait_for(self._queue.join(), self.drain_timeout)
@@ -228,52 +210,9 @@ class SeedQueryServer:
         return future
 
     # ------------------------------------------------------------------
-    # HTTP handling
+    # HTTP handling (connection loop inherited from JsonHTTPServer)
     # ------------------------------------------------------------------
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        try:
-            while True:
-                try:
-                    request = await read_request(reader)
-                except ProtocolError as exc:
-                    writer.write(
-                        render_response(
-                            400, {"error": str(exc)}, keep_alive=False
-                        )
-                    )
-                    await writer.drain()
-                    break
-                if request is None:
-                    break
-                status, payload = await self._dispatch(request)
-                if isinstance(payload, TextResponse):
-                    writer.write(
-                        render_text_response(
-                            status,
-                            payload.text,
-                            payload.content_type,
-                            request.keep_alive,
-                        )
-                    )
-                else:
-                    writer.write(
-                        render_response(status, payload, request.keep_alive)
-                    )
-                await writer.drain()
-                if not request.keep_alive:
-                    break
-        except (ConnectionError, OSError):  # pragma: no cover - client vanished
-            pass
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):  # pragma: no cover
-                pass
-
-    async def _dispatch(self, request: Request) -> Tuple[int, Payload]:
+    async def _dispatch(self, request: Request) -> DispatchResult:
         """Route one request under a per-request trace context.
 
         Every request gets a ``trace_id`` — honored from an
@@ -300,6 +239,8 @@ class SeedQueryServer:
             ).observe(elapsed)
             if isinstance(payload, dict):
                 payload.setdefault("trace_id", trace_id)
+        if status == 503:
+            return status, payload, {"Retry-After": RETRY_AFTER_SECONDS}
         return status, payload
 
     async def _route(
@@ -375,37 +316,19 @@ class SeedQueryServer:
     async def _handle_query(
         self, request: Request, trace_id: str
     ) -> Tuple[int, Dict[str, Any]]:
-        params = request.json()
         self.obs.count("serve.queries")
-        known = {"k", "bound", "alpha_target", "epsilon", "rr_budget"}
-        unknown = set(params) - known
-        if unknown:
-            raise ParameterError(f"unknown query fields: {sorted(unknown)}")
-        try:
-            k = int(params["k"])
-        except KeyError:
-            raise ParameterError("missing required field: k")
-        except (TypeError, ValueError):
-            raise ParameterError(f"k must be an integer, got {params['k']!r}")
-        bound = str(params.get("bound", "greedy"))
-        if bound not in BOUND_VARIANTS:
-            raise ParameterError(
-                f"bound must be one of {BOUND_VARIANTS}, got {bound!r}"
-            )
-        alpha_target = params.get("alpha_target")
-        epsilon = params.get("epsilon")
-        rr_budget = params.get("rr_budget")
-        target = self.engine.resolve_target(
-            None if alpha_target is None else float(alpha_target),
-            None if epsilon is None else float(epsilon),
-        )
+        query = parse_query_params(request.json())
+        k = query["k"]
+        bound = query["bound"]
+        target = query["target"]
+        rr_budget = query["rr_budget"]
         key = make_key(
             self.engine.graph_hash,
             self.engine.model,
             k,
             bound,
             target,
-            None if rr_budget is None else int(rr_budget),
+            rr_budget,
         )
 
         cached = self.cache.get(key)
@@ -425,7 +348,7 @@ class SeedQueryServer:
                 k,
                 bound=bound,
                 alpha_target=target,
-                rr_budget=None if rr_budget is None else int(rr_budget),
+                rr_budget=rr_budget,
                 trace_id=trace_id,
             ),
         )

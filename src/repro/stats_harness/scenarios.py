@@ -19,6 +19,12 @@ guarantees that pattern emitted as claim groups:
   by the serial sampler vs. the shared-memory ``SamplingPool`` (whose
   chunk-seeded stream is a different RR-set ordering, the thing the
   harness must show does not change the guarantee).
+* ``cluster_path`` — the full sharded tier: trials go through the
+  :class:`~repro.serve.cluster.frontend.ClusterFrontend` HTTP API into
+  a worker process, then evict + requery so the checked claims ride a
+  worker engine warm-restarted from the persistent index.  The
+  guarantee must match ``warm_index`` — the cluster adds transport and
+  process boundaries, never statistics.
 
 A trial never asserts anything itself — it reports claims; the runner
 checks them against the exact oracle and aggregates failure rates.
@@ -26,6 +32,7 @@ checks them against the exact oracle and aggregates failure rates.
 
 from __future__ import annotations
 
+import asyncio
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -216,6 +223,89 @@ def run_serial_stream(ctx: TrialContext) -> TrialResult:
     return _run_stream_session(ctx, None)
 
 
+async def _cluster_trial(ctx: TrialContext) -> TrialResult:
+    from repro.serve.cluster import ClusterFrontend
+    from repro.serve.http import ServeClient
+
+    front = ClusterFrontend(
+        port=0, workers=2, state_dir=ctx.index_dir, drain_timeout=60.0
+    )
+    await front.start()
+    client: Optional[ServeClient] = None
+    headers = {"X-Tenant": "stats"}
+    try:
+        front.register_graph(
+            ctx.graph,
+            "trial",
+            tenant="stats",
+            seed=ctx.seed,
+            delta=ctx.delta,
+            step=ctx.step,
+            max_rr_sets=ctx.rr_budget,
+        )
+        client = await ServeClient.connect(front.host, front.port)
+
+        async def run_job() -> Dict[str, Any]:
+            status, _, body = await client.request_raw(
+                "POST",
+                "/jobs",
+                payload={
+                    "graph": "trial",
+                    "k": ctx.k,
+                    "epsilon": ctx.epsilon,
+                    "rr_budget": ctx.rr_budget,
+                },
+                headers=headers,
+            )
+            assert status == 202, f"submit failed: {status} {body}"
+            job_id = body["job_id"]
+            status, _, body = await client.request_raw(
+                "GET", f"/jobs/{job_id}/result?wait=120", headers=headers
+            )
+            assert status == 200, f"job failed: {status} {body}"
+            return body
+
+        await run_job()
+        status, _, body = await client.request_raw(
+            "POST", "/graphs/trial/evict", headers=headers
+        )
+        assert status == 200, f"evict failed: {status} {body}"
+        warm = await run_job()
+    finally:
+        if client is not None:
+            await client.close()
+        await front.close(drain=True)
+    assert warm["engine"]["loaded_from_index"], (
+        "worker engine did not warm-start from the persistent index"
+    )
+    groups = []
+    for k_text, claims in warm["claims"].items():
+        k = int(k_text)  # JSON object keys arrive as strings
+        groups.append(
+            ClaimGroup(
+                label=f"k={k}",
+                delta=ctx.delta,
+                claims=tuple(
+                    Claim(
+                        seeds=tuple(claim["seeds"]),
+                        factor=claim["alpha"],
+                        source=f"cluster:k={k}:query-{claim['query']}",
+                    )
+                    for claim in claims
+                ),
+            )
+        )
+    return TrialResult(
+        groups=tuple(groups),
+        rr_sets=int(warm["engine"]["sets_generated"]),
+    )
+
+
+def run_cluster_path(ctx: TrialContext) -> TrialResult:
+    assert ctx.index_dir is not None, "cluster_path needs an index_dir"
+    return asyncio.run(_cluster_trial(ctx))
+
+
 def run_pool_stream(ctx: TrialContext) -> TrialResult:
     assert ctx.pool is not None, "pool_stream needs a shared SamplingPool"
     # Trials share one pool: each trial adopts fresh collections and
@@ -258,6 +348,12 @@ SCENARIOS: Dict[str, Scenario] = {
             "session loop on the shared-memory SamplingPool stream",
             run_pool_stream,
             needs_pool=True,
+        ),
+        Scenario(
+            "cluster_path",
+            "HTTP front end -> worker process -> evict -> warm requery",
+            run_cluster_path,
+            needs_index_dir=True,
         ),
     )
 }

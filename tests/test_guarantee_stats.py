@@ -158,6 +158,35 @@ class TestServePathGuarantees:
         )
         assert report.passed, format_report(report)
 
+    def test_cluster_path_smoke(self, tiny_weighted_graph, stat_entropy):
+        """Tier-1 sharded-tier acceptance: trials go through the HTTP
+        front end into a worker process, evict, then requery a warm
+        engine restored from the persistent index.  The per-label
+        Clopper–Pearson verdict must match ``warm_index`` — same label
+        set, same acceptance criterion — because the cluster only adds
+        transport and process boundaries, never statistics."""
+        cluster = run_scenario(
+            "cluster_path",
+            tiny_weighted_graph,
+            trials=20,
+            entropy=stat_entropy,
+            epsilon=EPSILON,
+            delta=DELTA,
+        )
+        assert cluster.passed, format_report(cluster)
+        warm = run_scenario(
+            "warm_index",
+            tiny_weighted_graph,
+            trials=20,
+            entropy=stat_entropy,
+            epsilon=EPSILON,
+            delta=DELTA,
+        )
+        assert warm.passed, format_report(warm)
+        assert {stats.label for stats in cluster.labels} == {
+            stats.label for stats in warm.labels
+        }
+
     def test_multi_k_smoke(self, tiny_weighted_graph, stat_entropy):
         """Tier-1 adopted-sketch acceptance: one shared stream serving
         k = 1, 2, 3 — each k's claim group must certify delta."""

@@ -714,6 +714,157 @@ class TestObservabilityEndpoints:
 
 
 # ----------------------------------------------------------------------
+# Certified opt_lower feeding theta_sadeh on repeat queries
+# ----------------------------------------------------------------------
+class TestSadehCap:
+    def test_first_query_has_no_cap(self, engine):
+        first = engine.answer(4, epsilon=0.3)
+        assert first["theta_cap"] is None
+
+    def test_repeat_query_caps_with_certified_opt_lower(self, engine):
+        import math as _math
+
+        from repro.core.theta import theta_sadeh
+
+        first = engine.answer(4, epsilon=0.3)
+        assert first["sigma_low"] > 0
+        session = engine._session(4)
+        assert session.certified_opt_lower == pytest.approx(
+            max(snap.sigma_low for snap in session.history)
+        )
+        # The cap the next answer() must apply: theta_sadeh under the
+        # next delta/2^i slice, with the certified OPT floor raised to
+        # the best sigma_low seen — doubled because theta bounds each
+        # collection half and the budget counts both.
+        expected = 2 * int(
+            _math.ceil(
+                theta_sadeh(
+                    engine.graph.n,
+                    4,
+                    0.3,
+                    session.next_query_delta(),
+                    opt_lower=session.certified_opt_lower,
+                )
+            )
+        )
+        again = engine.answer(4, epsilon=0.3)
+        assert again["theta_cap"] == expected
+        assert again["satisfied"]
+        # A certified floor only ever tightens the generic cap.
+        assert expected <= 2 * int(
+            _math.ceil(
+                theta_sadeh(engine.graph.n, 4, 0.3, session.delta / 4.0)
+            )
+        )
+
+    def test_alpha_target_above_conventional_level_disables_cap(self, engine):
+        engine.answer(4, alpha_target=0.62)
+        # 0.64 > 1 - 1/e: no positive epsilon equivalent, so the Sadeh
+        # bound does not apply and the cap must stay off rather than
+        # silently weakening the guarantee.
+        again = engine.answer(4, alpha_target=0.64, rr_budget=2000)
+        assert again["theta_cap"] is None
+
+    def test_session_certified_opt_lower_starts_at_zero(self, medium_graph):
+        from repro.core.session import OPIMSession
+
+        with OPIMSession(medium_graph, "IC", k=3, delta=0.1, seed=5) as s:
+            assert s.certified_opt_lower == 0.0
+            s.extend(600)
+            s.query()
+            assert s.certified_opt_lower == s.history[0].sigma_low
+            s.extend(600)
+            s.query()
+            assert s.certified_opt_lower == max(
+                snap.sigma_low for snap in s.history
+            )
+
+
+# ----------------------------------------------------------------------
+# Multi-process warm-restart oracle (the cluster extension of
+# test_warm_start_continues_the_stream)
+# ----------------------------------------------------------------------
+class TestClusterDeterminism:
+    def test_crash_requeued_job_matches_uninterrupted_reference(
+        self, medium_graph, tmp_path
+    ):
+        """Kill a worker mid-job; the requeued job's warm-restarted
+        engine must return answers bitwise-identical to an
+        uninterrupted single-process engine.
+
+        The determinism anchor is the job-boundary checkpoint: the
+        crash discards the partially extended in-memory stream, and
+        the respawned worker resumes from the last completed job's
+        persisted stream position — exactly where the reference engine
+        stood after its first answer.
+        """
+        from repro.serve.cluster import ClusterFrontend
+
+        # Reference: one uninterrupted engine, two queries.
+        with SeedQueryEngine(
+            medium_graph, "IC", seed=7, step=400, delta=0.2
+        ) as ref:
+            ref_first = ref.answer(4, epsilon=0.3, rr_budget=6000)
+            ref_second = ref.answer(6, epsilon=0.25, rr_budget=9000)
+
+        async def scenario():
+            front = ClusterFrontend(
+                port=0,
+                workers=2,
+                state_dir=tmp_path,
+                fault_injection=True,
+            )
+            await front.start()
+            client = await ServeClient.connect(front.host, front.port)
+            headers = {"X-Tenant": "t"}
+            try:
+                front.register_graph(
+                    medium_graph, "g", tenant="t", seed=7, step=400,
+                    delta=0.2,
+                )
+
+                async def job(payload):
+                    status, _, body = await client.request_raw(
+                        "POST", "/jobs", payload=payload, headers=headers
+                    )
+                    assert status == 202, body
+                    status, _, body = await client.request_raw(
+                        "GET",
+                        f"/jobs/{body['job_id']}/result?wait=120",
+                        headers=headers,
+                    )
+                    assert status == 200, body
+                    return body
+
+                first = await job(
+                    {"graph": "g", "k": 4, "epsilon": 0.3,
+                     "rr_budget": 6000}
+                )
+                # The second job crashes the worker after it has
+                # extended the stream partway — past the checkpoint,
+                # before the answer.
+                second = await job(
+                    {"graph": "g", "k": 6, "epsilon": 0.25,
+                     "rr_budget": 9000, "inject_crash": True}
+                )
+                return first, second, front.stats()
+            finally:
+                await client.close()
+                await front.close(drain=True)
+
+        first, second, stats = run(scenario())
+        assert second["requeues"] == 1
+        assert stats["restarts"] == 1
+        assert second["engine"]["loaded_from_index"]
+        for got, want in ((first, ref_first), (second, ref_second)):
+            assert got["response"]["seeds"] == want["seeds"]
+            assert got["response"]["alpha"] == want["alpha"]
+            assert got["response"]["num_rr_sets"] == want["num_rr_sets"]
+            assert got["response"]["sigma_low"] == want["sigma_low"]
+            assert got["response"]["sigma_up"] == want["sigma_up"]
+
+
+# ----------------------------------------------------------------------
 # Guards on the shared-sketch plumbing in core
 # ----------------------------------------------------------------------
 class TestAdoptCollections:

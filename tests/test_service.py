@@ -157,6 +157,33 @@ class TestDeterminism:
             b = _sets(pool.new_collection(100))
         assert not _identical(a, b)
 
+    def test_from_state_hands_off_the_stream(self, small_graph):
+        """``from_state`` resumes another pool's stream position in a
+        fresh process's pool — the cluster worker-respawn handoff —
+        and the continuation is bitwise-identical to never handing
+        off, even across a different worker count."""
+        with SamplingPool(small_graph, "IC", workers=2, seed=42) as pool:
+            reference = pool.new_collection()
+            pool.fill(reference, 100)
+            state = pool.state()
+            pool.fill(reference, 120)
+        with SamplingPool.from_state(
+            small_graph, "IC", state, workers=4
+        ) as resumed:
+            # Rebuild the first 100 independently, then continue the
+            # stream from the handed-off position.
+            with SamplingPool(small_graph, "IC", workers=2, seed=42) as p0:
+                continued = p0.new_collection()
+                p0.fill(continued, 100)
+            resumed.fill(continued, 120)
+        assert _identical(_sets(reference), _sets(continued))
+
+    def test_from_state_rejects_foreign_kind(self, small_graph):
+        with pytest.raises(ParameterError, match="kind"):
+            SamplingPool.from_state(
+                small_graph, "IC", {"kind": "serial", "seed": 1}
+            )
+
 
 class TestCrashRecovery:
     def test_output_identical_under_injected_crashes(self, small_graph):
