@@ -23,7 +23,7 @@ from typing import Any, Dict, List, Optional
 from repro.bounds.delta_ledger import DeltaLedger
 from repro.core.opim import OnlineOPIM
 from repro.core.results import OnlineSnapshot
-from repro.exceptions import ParameterError
+from repro.exceptions import ParameterError, StateError
 from repro.graph.digraph import DiGraph
 from repro.utils.rng import SeedLike
 
@@ -86,6 +86,9 @@ class OPIMSession:
         )
         self.queries_made = 0
         self.history: List[OnlineSnapshot] = []
+        # Certified OPT lower bound carried over from a checkpointed
+        # predecessor session (see :meth:`restore_schedule`).
+        self._restored_opt_lower = 0.0
         # Runtime mirror of the schedule's union bound: every query's
         # slice is recorded so the joint guarantee is auditable (and,
         # under REPRO_DELTA_STRICT, asserted) at run time.
@@ -132,6 +135,40 @@ class OPIMSession:
         """Failure budget the next query will use (``delta / 2^(i)``)."""
         return self.delta / (2.0 ** (self.queries_made + 1))
 
+    def restore_schedule(self, queries_made: int, opt_lower: float = 0.0) -> None:
+        """Resume the ``delta / 2^i`` schedule of a checkpointed session.
+
+        A warm restart (crash recovery, eviction reload, process
+        restart over a persistent sketch) continues the *same* logical
+        session: the restored stream already answered ``queries_made``
+        queries, whose ``delta / 2^i`` slices are spent.  Replaying
+        that position — rather than starting the schedule over — keeps
+        the joint ``1 - delta`` budget honest across restarts and
+        makes a recovered repeat query bitwise-identical to the
+        uninterrupted run (same slice, same
+        :attr:`certified_opt_lower`-derived sample cap).
+
+        Only a fresh session (no queries taken) can be restored; the
+        restored queries' slices are charged to the ledger but their
+        snapshots are not reconstructed, so :attr:`history` and
+        :meth:`guarantee_claims` cover post-restore queries only.
+        """
+        if self.queries_made or self.history:
+            raise StateError(
+                "restore_schedule requires a fresh session; this one has "
+                f"already made {self.queries_made} queries"
+            )
+        if queries_made < 0:
+            raise ParameterError(
+                f"queries_made must be non-negative, got {queries_made}"
+            )
+        for i in range(1, int(queries_made) + 1):
+            self.ledger.spend(
+                self.delta / (2.0 ** i), label=f"restored-query-{i}"
+            )
+        self.queries_made = int(queries_made)
+        self._restored_opt_lower = max(0.0, float(opt_lower))
+
     def query(self, bound: Optional[str] = None) -> OnlineSnapshot:
         """Query under the simultaneous-guarantee schedule.
 
@@ -166,11 +203,13 @@ class OPIMSession:
         the bound value).  The serving layer feeds this into
         :func:`~repro.core.theta.theta_sadeh` so a warm sketch's
         repeat queries start from a tight sample cap; ``0.0`` until
-        the first query.
+        the first query.  Includes the bound carried over by
+        :meth:`restore_schedule`.
         """
-        return max(
+        best = max(
             (float(snap.sigma_low) for snap in self.history), default=0.0
         )
+        return max(best, self._restored_opt_lower)
 
     def guarantee_claims(self) -> List[Dict[str, Any]]:
         """Every guarantee this session has reported, as checkable claims.

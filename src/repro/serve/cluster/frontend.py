@@ -7,11 +7,13 @@ graph registry, the job table, and the admission decisions:
 * ``POST /graphs`` / ``GET /graphs`` — tenant-scoped registration
   (``X-Tenant`` header, default ``"default"``); each graph is routed
   to a shard by its content fingerprint and stays there.
-* ``POST /jobs`` → 202 + job id; ``GET /jobs/{id}`` for status;
-  ``GET /jobs/{id}/result`` (optionally ``?wait=seconds``) for the
-  answer.  Jobs for different shards run concurrently; jobs for one
-  graph run serially on its worker, which is the whole
-  synchronization story.
+* ``POST /jobs`` → 202 + an unguessable job id; ``GET /jobs/{id}``
+  for status; ``GET /jobs/{id}/result`` (optionally ``?wait=seconds``)
+  for the answer.  Job reads are tenant-scoped like everything else:
+  another tenant's job id is a 404.  Terminal jobs stay readable for
+  the last ``completed_jobs_limit`` finishes, then age out.  Jobs for
+  different shards run concurrently; jobs for one graph run serially
+  on its worker, which is the whole synchronization story.
 * **Admission control**: a request is refused with 503 +
   ``Retry-After`` when the front end is draining, when the global job
   table already holds ``queue_limit`` unfinished jobs, or when the
@@ -32,13 +34,13 @@ single tree.
 from __future__ import annotations
 
 import asyncio
-import itertools
 import signal
 import time
 import uuid
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.exceptions import ParameterError, ReproError
 from repro.graph.digraph import DiGraph
@@ -127,6 +129,12 @@ class ClusterFrontend(JsonHTTPServer):
         ``None`` disables worker-level eviction.
     queue_limit:
         Global ceiling on unfinished jobs — the backpressure knob.
+    completed_jobs_limit:
+        How many *terminal* jobs (and their result payloads) to keep
+        readable after they finish; the oldest are evicted beyond it,
+        so the job table is bounded by
+        ``queue_limit + completed_jobs_limit`` no matter how long the
+        front end runs.  An evicted job id reads as 404.
     state_dir:
         Root of per-graph persistent index directories
         (``state_dir/tenant/name``).  ``None`` = no persistence, which
@@ -142,6 +150,7 @@ class ClusterFrontend(JsonHTTPServer):
         workers: int = 2,
         worker_mem_budget: Optional[int] = None,
         queue_limit: int = 64,
+        completed_jobs_limit: int = 256,
         drain_timeout: float = 30.0,
         state_dir: Optional[Any] = None,
         registry: Optional[object] = None,
@@ -150,6 +159,10 @@ class ClusterFrontend(JsonHTTPServer):
     ) -> None:
         if queue_limit < 1:
             raise ParameterError(f"queue_limit must be >= 1, got {queue_limit}")
+        if completed_jobs_limit < 1:
+            raise ParameterError(
+                f"completed_jobs_limit must be >= 1, got {completed_jobs_limit}"
+            )
         if drain_timeout < 0:
             raise ParameterError(
                 f"drain_timeout must be non-negative, got {drain_timeout}"
@@ -157,6 +170,7 @@ class ClusterFrontend(JsonHTTPServer):
         super().__init__(host=host, port=port, registry=registry)
         self.workers = int(workers)
         self.queue_limit = int(queue_limit)
+        self.completed_jobs_limit = int(completed_jobs_limit)
         self.drain_timeout = float(drain_timeout)
         self.state_dir = Path(state_dir) if state_dir is not None else None
         self.fault_injection = bool(fault_injection)
@@ -168,10 +182,12 @@ class ClusterFrontend(JsonHTTPServer):
             registry=self.obs,
         )
         self._jobs: Dict[str, ClusterJob] = {}
-        self._job_ids = itertools.count(1)
+        self._finished: Deque[str] = deque()
         self._pump: Optional[asyncio.Task] = None
         self._pump_stop = False
-        self._evict_waiters: Dict[str, Tuple[asyncio.Event, Dict[str, Any]]] = {}
+        self._evict_waiters: Dict[
+            str, List[Tuple[asyncio.Event, Dict[str, Any]]]
+        ] = {}
         self._cluster_error: Optional[str] = None
 
     # ------------------------------------------------------------------
@@ -311,11 +327,24 @@ class ClusterFrontend(JsonHTTPServer):
                 kind, worker_id, payload = message
                 self._handle_message(kind, worker_id, payload)
 
+    def _finish_job(self, job: ClusterJob, status: str) -> None:
+        """Move a job to a terminal state and prune the oldest ones.
+
+        Terminal jobs stay readable (idempotent result polls) for the
+        last ``completed_jobs_limit`` finishes only — beyond that the
+        oldest are dropped from the table so a long-running front end
+        does not accumulate result payloads forever.
+        """
+        job.finish(status)
+        self._finished.append(job.job_id)
+        while len(self._finished) > self.completed_jobs_limit:
+            self._jobs.pop(self._finished.popleft(), None)
+
     def _fail_cluster(self, error: str) -> None:
         self._cluster_error = error
         for job in self._pending_jobs():
             job.error = error
-            job.finish("failed")
+            self._finish_job(job, "failed")
 
     def _requeue_worker(self, worker_id: int) -> None:
         """Re-dispatch every unfinished job of a respawned worker.
@@ -337,24 +366,32 @@ class ClusterFrontend(JsonHTTPServer):
         if kind == "job_done":
             self._finish_job_done(payload)
         elif kind == "job_rejected":
+            # The worker's authoritative memory reading rides along:
+            # fold it into the registry so front-end admission starts
+            # refusing this graph without another worker round-trip.
+            graph_id = payload.get("graph")
+            if graph_id in self.registry and "memory_bytes" in payload:
+                status = self.registry.get(graph_id)
+                status.resident = True
+                status.memory_bytes = int(payload["memory_bytes"])
             job = self._jobs.get(payload["job_id"])
-            if job is not None:
+            if job is not None and job.status not in TERMINAL:
                 job.error = payload["reason"]
                 job.retry_after = str(payload.get("retry_after", "1"))
                 job.result = dict(payload)
-                job.finish("rejected")
+                self._finish_job(job, "rejected")
                 self.obs.count("cluster.jobs_rejected")
         elif kind == "job_failed":
             job = self._jobs.get(payload["job_id"])
-            if job is not None:
+            if job is not None and job.status not in TERMINAL:
                 job.error = payload.get("error", "worker failure")
-                job.finish("failed")
+                self._finish_job(job, "failed")
                 self.obs.count("cluster.jobs_failed")
         elif kind == "evicted":
             self._note_eviction(payload)
-            waiter = self._evict_waiters.pop(payload.get("graph", ""), None)
-            if waiter is not None:
-                event, box = waiter
+            for event, box in self._evict_waiters.pop(
+                payload.get("graph", ""), []
+            ):
                 box.update(payload)
                 event.set()
         elif kind == "worker_error":
@@ -397,7 +434,7 @@ class ClusterFrontend(JsonHTTPServer):
             "engine": info,
             "checkpointed": payload.get("checkpointed", False),
         }
-        job.finish("done")
+        self._finish_job(job, "done")
         self.obs.count("cluster.jobs_done")
         self.obs.histogram(
             "cluster.job_seconds", labels={"shard": str(job.shard)}
@@ -466,14 +503,14 @@ class ClusterFrontend(JsonHTTPServer):
                 and len(segments) == 2
                 and segments[0] == "jobs"
             ):
-                return self._job_status(segments)
+                return self._job_status(segments, tenant)
             if (
                 request.method == "GET"
                 and len(segments) == 3
                 and segments[0] == "jobs"
                 and segments[2] == "result"
             ):
-                return await self._job_result(segments, query)
+                return await self._job_result(segments, query, tenant)
             if self._draining:
                 return 503, {"error": "draining"}, QUEUE_RETRY_AFTER
             if self._cluster_error is not None:
@@ -604,14 +641,24 @@ class ClusterFrontend(JsonHTTPServer):
         graph_id = status.spec.graph_id
         event = asyncio.Event()
         box: Dict[str, Any] = {}
-        self._evict_waiters[graph_id] = (event, box)
+        # One waiter *list* per graph: concurrent evicts of the same
+        # graph all resolve on the next "evicted" acknowledgement
+        # instead of the last request clobbering the earlier waiters.
+        self._evict_waiters.setdefault(graph_id, []).append((event, box))
         self._supervisor.send(
             status.spec.shard, "evict", {"graph": graph_id}
         )
         try:
             await asyncio.wait_for(event.wait(), timeout=30.0)
         except asyncio.TimeoutError:
-            self._evict_waiters.pop(graph_id, None)
+            waiters = self._evict_waiters.get(graph_id)
+            if waiters is not None:
+                try:
+                    waiters.remove((event, box))
+                except ValueError:
+                    pass
+                if not waiters:
+                    self._evict_waiters.pop(graph_id, None)
             return 500, {"error": f"evict of {graph_id} timed out"}, "1"
         return 200, box, "1"
 
@@ -658,8 +705,10 @@ class ClusterFrontend(JsonHTTPServer):
                 },
                 "5",
             )
+        # Unguessable ids: job results carry tenant data, so ids must
+        # not be enumerable even though reads are tenant-checked too.
         job = ClusterJob(
-            job_id=f"job-{next(self._job_ids)}",
+            job_id=f"job-{uuid.uuid4().hex}",
             graph_id=status.spec.graph_id,
             shard=status.spec.shard,
             params={
@@ -677,18 +726,27 @@ class ClusterFrontend(JsonHTTPServer):
         self.obs.count("cluster.jobs_submitted")
         return 202, {**job.describe(), "pending_jobs": pending + 1}, "1"
 
+    def _job_for(self, job_id: str, tenant: str) -> Optional[ClusterJob]:
+        """The caller's job, or ``None`` when unknown *or* owned by a
+        different tenant — indistinguishable on purpose (404, not 403:
+        another tenant's job ids do not exist in this namespace)."""
+        job = self._jobs.get(job_id)
+        if job is None or job.tenant != tenant:
+            return None
+        return job
+
     def _job_status(
-        self, segments: Tuple[str, ...]
+        self, segments: Tuple[str, ...], tenant: str
     ) -> Tuple[int, Payload, str]:
-        job = self._jobs.get(segments[1])
+        job = self._job_for(segments[1], tenant)
         if job is None:
             return 404, {"error": f"unknown job {segments[1]}"}, "1"
         return 200, job.describe(), "1"
 
     async def _job_result(
-        self, segments: Tuple[str, ...], query: Dict[str, str]
+        self, segments: Tuple[str, ...], query: Dict[str, str], tenant: str
     ) -> Tuple[int, Payload, str]:
-        job = self._jobs.get(segments[1])
+        job = self._job_for(segments[1], tenant)
         if job is None:
             return 404, {"error": f"unknown job {segments[1]}"}, "1"
         wait = float(query.get("wait", 0.0))

@@ -34,9 +34,11 @@ extension of the PR 4 warm-restart oracle).
 
 Memory story: each graph carries its own budget (admission control —
 a job on an at-budget graph is rejected with ``mem_budget`` and the
-front end maps that to 503 + ``Retry-After``), and each worker carries
-a total budget under which cold engines are LRU-evicted (checkpoint to
-the index, then drop).
+front end maps that to 503 + ``Retry-After``; the check runs against
+the engine *after* residency, so an evicted-then-reloaded sketch is
+measured the same as one that never left memory), and each worker
+carries a total budget under which cold engines are LRU-evicted
+(checkpoint to the index, then drop).
 """
 
 from __future__ import annotations
@@ -195,11 +197,19 @@ class _WorkerHost:
         trace_id = task.get("trace_id")
         spec = self.specs[graph_id]
         budget = spec["mem_budget"]
-        resident = self.engines.get(graph_id)
+        # Authoritative budget check, *after* the engine is resident:
+        # a warm reload from the persistent index counts the same as a
+        # sketch that never left memory, so evict/reload cycles cannot
+        # launder an over-budget graph past admission control.  An
+        # *empty* engine is exempt — its fixed overhead (offset
+        # arrays) is not sketch growth, and rejecting it would brick
+        # any graph whose budget is below that floor before it ever
+        # served a job.
+        engine = self._engine(graph_id)
         if (
             budget is not None
-            and resident is not None
-            and resident.memory_bytes() >= budget
+            and engine.num_rr_sets > 0
+            and engine.memory_bytes() >= budget
         ):
             self.send(
                 "job_rejected",
@@ -208,12 +218,11 @@ class _WorkerHost:
                     "graph": graph_id,
                     "reason": "mem_budget",
                     "retry_after": MEM_BUDGET_RETRY_AFTER,
-                    "memory_bytes": resident.memory_bytes(),
+                    "memory_bytes": engine.memory_bytes(),
                     "mem_budget": budget,
                 },
             )
             return
-        engine = self._engine(graph_id)
         if task.get("inject_crash"):
             # Fault injection (tests/bench only — the front end gates
             # it): do real partial work so the crash discards a

@@ -37,7 +37,12 @@ from repro.obs import resolve_registry
 from repro.sampling.collection import RRCollection
 from repro.sampling.generator import RRSampler
 from repro.sampling.service import SamplingPool
-from repro.serve.index import graph_fingerprint, load_index, save_index
+from repro.serve.index import (
+    graph_fingerprint,
+    load_index,
+    save_index,
+    save_manifest,
+)
 
 PathLike = Union[str, Path]
 
@@ -127,11 +132,15 @@ class SeedQueryEngine:
         self.r1 = RRCollection(graph.n)
         self.r2 = RRCollection(graph.n)
         self._sessions: Dict[int, OPIMSession] = {}
+        # Per-k schedule positions loaded from an index but not yet
+        # claimed by a live session (see _session / load_index).
+        self._restored_sessions: Dict[int, Dict[str, Any]] = {}
         self._closed = False
         # Index-staleness tracking for /healthz: RR sets at the last
         # save/load and when that sync happened (monotonic clock).
         self._index_synced_rr_sets: Optional[int] = None
         self._index_synced_at: Optional[float] = None
+        self._index_synced_sessions: Optional[Dict[str, Any]] = None
         self.index_dir = Path(index_dir) if index_dir is not None else None
         self.loaded_from_index = False
         if (
@@ -184,6 +193,12 @@ class SeedQueryEngine:
                 sampler=self.sampler,
             )
             session.online.adopt_collections(self.r1, self.r2)
+            restored = self._restored_sessions.pop(k, None)
+            if restored is not None:
+                session.restore_schedule(
+                    int(restored.get("queries_made", 0)),
+                    float(restored.get("opt_lower", 0.0)),
+                )
             self._sessions[k] = session
         return session
 
@@ -397,19 +412,58 @@ class SeedQueryEngine:
             total += (len(coll) + 1) * 8 + (coll.n + 1) * 8
         return int(total)
 
+    def _session_schedule_state(self) -> Dict[str, Any]:
+        """Per-``k`` schedule positions, as stored in the manifest.
+
+        Covers live sessions that have made queries *and* positions
+        loaded from an index whose session was never re-created — so a
+        checkpoint written right after a warm start does not lose the
+        predecessor's schedule.
+        """
+        state: Dict[str, Any] = {
+            str(k): dict(v) for k, v in self._restored_sessions.items()
+        }
+        for k, session in self._sessions.items():
+            if session.queries_made:
+                state[str(k)] = {
+                    "queries_made": session.queries_made,
+                    "opt_lower": session.certified_opt_lower,
+                }
+        return state
+
     def checkpoint(self) -> Optional[Dict[str, Any]]:
         """Persist the sketch iff it has drifted past the saved index.
 
         A no-op (returning ``None``) when the engine has no
-        ``index_dir`` or when nothing was sampled since the last
-        save/load — so eviction and graceful drain can call it
-        unconditionally without rewriting an unchanged index.
+        ``index_dir`` or when neither the stream nor any per-``k``
+        schedule position moved since the last save/load — so eviction
+        and graceful drain can call it unconditionally without
+        rewriting an unchanged index.  A satisfied repeat query that
+        sampled nothing still advanced its session's ``delta / 2^i``
+        schedule, which is state the next warm start must see — but
+        since the RR arrays on disk are untouched, that case rewrites
+        only the manifest, keeping warm-path checkpoints cheap.
         """
         if self.index_dir is None:
             return None
         staleness = self.index_staleness()
         if staleness["synced"] and staleness["stale_rr_sets"] == 0:
-            return None
+            schedule = self._session_schedule_state()
+            if schedule == self._index_synced_sessions:
+                return None
+            manifest = save_manifest(
+                self.index_dir,
+                graph=self.graph,
+                model=self.model,
+                theta1=len(self.r1),
+                theta2=len(self.r2),
+                sampler_state=self._sampler_state(),
+                seed=self.seed,
+                extra={"sessions": schedule} if schedule else None,
+            )
+            self.obs.count("serve.manifest_saves")
+            self._mark_index_synced()
+            return manifest
         return self.save_index()
 
     def index_staleness(self) -> Dict[str, Any]:
@@ -431,6 +485,7 @@ class SeedQueryEngine:
     def _mark_index_synced(self) -> None:
         self._index_synced_rr_sets = self.num_rr_sets
         self._index_synced_at = time.monotonic()
+        self._index_synced_sessions = self._session_schedule_state()
 
     # ------------------------------------------------------------------
     # Index persistence
@@ -471,6 +526,7 @@ class SeedQueryEngine:
             raise ParameterError(
                 "no directory given and the engine has no index_dir"
             )
+        sessions = self._session_schedule_state()
         manifest = save_index(
             target,
             graph=self.graph,
@@ -479,6 +535,7 @@ class SeedQueryEngine:
             r2=self.r2,
             sampler_state=self._sampler_state(),
             seed=self.seed,
+            extra={"sessions": sessions} if sessions else None,
         )
         self.obs.count("serve.index_saves")
         self._mark_index_synced()
@@ -488,8 +545,12 @@ class SeedQueryEngine:
         """Warm-start from an on-disk sketch written by :meth:`save_index`.
 
         Replaces the shared collections with the loaded (mmapped)
-        halves, restores the sampler's stream position, and re-adopts
-        the collections into any per-``k`` session already created.
+        halves, restores the sampler's stream position *and* the saved
+        per-``k`` ``delta / 2^i`` schedule positions (so a repeat
+        query after the restart runs with the same failure-budget
+        slice and Sadeh sample cap as it would have uninterrupted),
+        and re-adopts the collections into any per-``k`` session
+        already created.
         """
         self._check_open()
         loaded = load_index(directory, self.graph, mmap=mmap)
@@ -507,6 +568,15 @@ class SeedQueryEngine:
         self._restore_sampler(dict(manifest["sampler_state"]))
         self.r1 = loaded.r1
         self.r2 = loaded.r2
+        # Resume the saved per-k delta/2^i schedule positions.  A k
+        # with a live session keeps that session's (newer) state; the
+        # rest are applied lazily when _session(k) first creates one.
+        saved_sessions = manifest.get("extra", {}).get("sessions", {})
+        self._restored_sessions = {
+            int(k): dict(v)
+            for k, v in saved_sessions.items()
+            if int(k) not in self._sessions
+        }
         for session in self._sessions.values():
             session.online.adopt_collections(self.r1, self.r2)
         self.obs.count("serve.index_loads")

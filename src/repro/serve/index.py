@@ -90,6 +90,45 @@ def _collection_from_arrays(
     return collection
 
 
+def save_manifest(
+    directory: PathLike,
+    graph: DiGraph,
+    model: str,
+    theta1: int,
+    theta2: int,
+    sampler_state: Dict[str, Any],
+    seed: int,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Write only the manifest of an index; returns it.
+
+    For callers whose ``.npy`` halves on disk already match
+    ``theta1``/``theta2`` and only manifest-borne state moved — e.g. a
+    satisfied repeat query advanced a session's ``delta / 2^i``
+    schedule position without sampling a single RR set.  Rewriting the
+    manifest alone keeps such checkpoints cheap on the serving path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest: Dict[str, Any] = {
+        "version": INDEX_FORMAT_VERSION,
+        "graph_hash": graph_fingerprint(graph),
+        "graph_name": graph.name,
+        "n": graph.n,
+        "m": graph.m,
+        "model": model.upper(),
+        "seed": int(seed),
+        "theta1": int(theta1),
+        "theta2": int(theta2),
+        "sampler_state": sampler_state,
+    }
+    if extra:
+        manifest["extra"] = extra
+    path = directory / MANIFEST_NAME
+    path.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
+    return manifest
+
+
 def save_index(
     directory: PathLike,
     graph: DiGraph,
@@ -115,23 +154,16 @@ def save_index(
         np.save(directory / f"{name}_nodes.npy", collection.rr_nodes)
         np.save(directory / f"{name}_offsets.npy", collection.rr_offsets)
         counts[name] = len(collection)
-    manifest: Dict[str, Any] = {
-        "version": INDEX_FORMAT_VERSION,
-        "graph_hash": graph_fingerprint(graph),
-        "graph_name": graph.name,
-        "n": graph.n,
-        "m": graph.m,
-        "model": model.upper(),
-        "seed": int(seed),
-        "theta1": counts["r1"],
-        "theta2": counts["r2"],
-        "sampler_state": sampler_state,
-    }
-    if extra:
-        manifest["extra"] = extra
-    path = directory / MANIFEST_NAME
-    path.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
-    return manifest
+    return save_manifest(
+        directory,
+        graph=graph,
+        model=model,
+        theta1=counts["r1"],
+        theta2=counts["r2"],
+        sampler_state=sampler_state,
+        seed=seed,
+        extra=extra,
+    )
 
 
 def load_index(

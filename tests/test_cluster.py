@@ -246,6 +246,93 @@ class TestJobLifecycle:
 
         run(scenario())
 
+    def test_job_reads_are_tenant_scoped(self, tmp_path):
+        """Job ids are unguessable and, even when known, another
+        tenant's job status/result read as 404 — job results carry
+        seeds and sigma bounds, so cross-tenant reads are data leaks.
+        """
+        async def scenario():
+            front = await _started_frontend(state_dir=tmp_path)
+            client = await ServeClient.connect(front.host, front.port)
+            acme = {"X-Tenant": "acme"}
+            beta = {"X-Tenant": "beta"}
+            try:
+                front.register_graph(make_graph(), "g", tenant="acme")
+                status, _, body = await client.request_raw(
+                    "POST", "/jobs",
+                    payload={"graph": "g", "k": 2, "epsilon": 0.3},
+                    headers=acme,
+                )
+                assert status == 202, body
+                job_id = body["job_id"]
+                # Not enumerable: a uuid payload, not a counter.
+                assert job_id.startswith("job-")
+                assert len(job_id) == len("job-") + 32
+                # The owner can read it; another tenant cannot, even
+                # with the exact id — and cannot tell it exists.
+                status, _, body = await client.request_raw(
+                    "GET", f"/jobs/{job_id}/result?wait=60", headers=acme
+                )
+                assert status == 200, body
+                for path in (f"/jobs/{job_id}", f"/jobs/{job_id}/result"):
+                    status, _, body = await client.request_raw(
+                        "GET", path, headers=beta
+                    )
+                    assert status == 404, body
+                    assert "unknown job" in body["error"]
+                    # The default tenant is a stranger too.
+                    status, _, body = await client.request_raw("GET", path)
+                    assert status == 404, body
+            finally:
+                await client.close()
+                await front.close(drain=True)
+
+        run(scenario())
+
+    def test_terminal_jobs_age_out_of_the_table(self, tmp_path):
+        async def scenario():
+            front = await _started_frontend(
+                state_dir=tmp_path, completed_jobs_limit=1
+            )
+            client = await ServeClient.connect(front.host, front.port)
+            headers = {"X-Tenant": "t"}
+            try:
+                front.register_graph(make_graph(), "g", tenant="t")
+                ids = []
+                for _ in range(2):
+                    status, _, body = await client.request_raw(
+                        "POST", "/jobs",
+                        payload={"graph": "g", "k": 2, "epsilon": 0.3},
+                        headers=headers,
+                    )
+                    assert status == 202, body
+                    ids.append(body["job_id"])
+                    status, _, body = await client.request_raw(
+                        "GET", f"/jobs/{body['job_id']}/result?wait=60",
+                        headers=headers,
+                    )
+                    assert status == 200, body
+                # Only the newest terminal job is still readable; the
+                # older one was pruned (bounded memory), reading as 404.
+                status, _, _ = await client.request_raw(
+                    "GET", f"/jobs/{ids[0]}", headers=headers
+                )
+                assert status == 404
+                status, _, _ = await client.request_raw(
+                    "GET", f"/jobs/{ids[1]}", headers=headers
+                )
+                assert status == 200
+                assert front.stats()["jobs"] == {"done": 1}
+            finally:
+                await client.close()
+                await front.close(drain=True)
+
+        run(scenario())
+
+    def test_completed_jobs_limit_validation(self):
+        with pytest.raises(ParameterError, match="completed_jobs_limit"):
+            ClusterFrontend(port=0, completed_jobs_limit=0)
+
 
 # ----------------------------------------------------------------------
 # Admission control + eviction
@@ -385,6 +472,80 @@ class TestAdmissionAndEviction:
                 assert warm["response"]["seeds"] == cold["response"]["seeds"]
             finally:
                 await client.close()
+                await front.close(drain=True)
+
+        run(scenario())
+
+    def test_evict_reload_cycle_cannot_bypass_mem_budget(self, tmp_path):
+        """The worker's budget check must also hold for a warm reload:
+        evicting an over-budget graph and re-querying it used to slip
+        past the resident-only check indefinitely."""
+        async def scenario():
+            front = await _started_frontend(state_dir=tmp_path)
+            client = await ServeClient.connect(front.host, front.port)
+            headers = {"X-Tenant": "t"}
+            try:
+                front.register_graph(
+                    make_graph(), "g", tenant="t", mem_budget=1024
+                )
+                status, _, body = await _submit_and_wait(client, "g", headers)
+                assert status == 200, body
+                assert body["engine"]["memory_bytes"] > 1024
+                status, _, body = await client.request_raw(
+                    "POST", "/graphs/g/evict", headers=headers
+                )
+                assert status == 200, body
+                # Front-end admission passes (last-known memory was
+                # reset by the eviction), but the worker re-measures
+                # the warm-loaded sketch and rejects authoritatively.
+                status, resp_headers, body = await _submit_and_wait(
+                    client, "g", headers
+                )
+                assert status == 503, body
+                assert body["error"] == "mem_budget"
+                assert resp_headers.get("retry-after") == "5"
+                # The rejection's memory reading reached the registry,
+                # so the next submit is refused at the front end.
+                status, _, body = await client.request_raw(
+                    "POST", "/jobs",
+                    payload={"graph": "g", "k": 2, "epsilon": 0.3},
+                    headers=headers,
+                )
+                assert status == 503, body
+                assert body["error"] == "mem_budget"
+            finally:
+                await client.close()
+                await front.close(drain=True)
+
+        run(scenario())
+
+    def test_concurrent_evicts_of_same_graph_all_resolve(self, tmp_path):
+        async def scenario():
+            front = await _started_frontend(state_dir=tmp_path)
+            first = await ServeClient.connect(front.host, front.port)
+            second = await ServeClient.connect(front.host, front.port)
+            headers = {"X-Tenant": "t"}
+            try:
+                front.register_graph(make_graph(), "g", tenant="t")
+                status, _, body = await _submit_and_wait(first, "g", headers)
+                assert status == 200, body
+                # Two evicts race on separate connections; both must
+                # resolve on the worker's acknowledgement (neither may
+                # hang on a clobbered waiter slot until timeout).
+                results = await asyncio.gather(
+                    first.request_raw(
+                        "POST", "/graphs/g/evict", headers=headers
+                    ),
+                    second.request_raw(
+                        "POST", "/graphs/g/evict", headers=headers
+                    ),
+                )
+                for status, _, body in results:
+                    assert status == 200, body
+                    assert body["graph"] == "t/g"
+            finally:
+                await first.close()
+                await second.close()
                 await front.close(drain=True)
 
         run(scenario())

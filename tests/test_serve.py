@@ -195,6 +195,71 @@ class TestEngine:
         assert resumed["seeds"] == expected["seeds"]
         assert resumed["alpha"] == expected["alpha"]
 
+    def test_warm_start_resumes_the_schedule_at_same_k(
+        self, medium_graph, tmp_path
+    ):
+        """A repeat query at the same ``k`` after a save/load boundary
+        must be bitwise-identical to the uninterrupted engine's repeat:
+        same ``delta / 2^i`` slice, same certified-OPT Sadeh cap, same
+        bounds.  That requires the per-k schedule position to travel
+        with the index."""
+        with SeedQueryEngine(
+            medium_graph, "IC", seed=7, step=400, delta=0.2
+        ) as ref:
+            ref.answer(4, epsilon=0.3, rr_budget=6000)
+            expected = ref.answer(4, epsilon=0.3, rr_budget=6000)
+        with SeedQueryEngine(
+            medium_graph, "IC", seed=7, step=400, delta=0.2,
+            index_dir=tmp_path,
+        ) as eng:
+            eng.answer(4, epsilon=0.3, rr_budget=6000)
+            manifest = eng.save_index()
+        assert manifest["extra"]["sessions"]["4"]["queries_made"] == 1
+        with SeedQueryEngine(
+            medium_graph, "IC", seed=7, step=400, delta=0.2,
+            index_dir=tmp_path,
+        ) as eng:
+            assert eng.loaded_from_index
+            warm = eng.answer(4, epsilon=0.3, rr_budget=6000)
+        for key in (
+            "seeds", "alpha", "num_rr_sets", "sigma_low", "sigma_up",
+            "theta_cap", "queries_made",
+        ):
+            assert warm[key] == expected[key], key
+
+    def test_checkpoint_fires_on_schedule_drift_alone(
+        self, medium_graph, tmp_path
+    ):
+        """A satisfied repeat query samples nothing but still advances
+        its session's schedule — the checkpoint must not skip it."""
+        with SeedQueryEngine(
+            medium_graph, "IC", seed=7, step=400, delta=0.2,
+            index_dir=tmp_path,
+        ) as eng:
+            eng.answer(4, epsilon=0.3, rr_budget=6000)
+            assert eng.checkpoint() is not None
+            assert eng.checkpoint() is None  # nothing moved
+            repeat = eng.answer(4, epsilon=0.3, rr_budget=6000)
+            assert repeat["sampled"] == 0
+            manifest = eng.checkpoint()
+            assert manifest is not None  # schedule moved, stream did not
+            assert manifest["extra"]["sessions"]["4"]["queries_made"] == 2
+
+    def test_restore_schedule_guards(self, medium_graph):
+        from repro.core.session import OPIMSession
+
+        session = OPIMSession(medium_graph, "IC", k=3, delta=0.2, seed=1)
+        with pytest.raises(ParameterError, match="non-negative"):
+            session.restore_schedule(-1)
+        session.restore_schedule(2, opt_lower=5.0)
+        assert session.queries_made == 2
+        assert session.certified_opt_lower == 5.0
+        assert session.next_query_delta() == pytest.approx(0.2 / 8)
+        assert session.ledger.spent == pytest.approx(0.2 / 2 + 0.2 / 4)
+        with pytest.raises(StateError, match="fresh"):
+            session.restore_schedule(1)
+        session.close()
+
     def test_resolve_target_validation(self):
         resolve = SeedQueryEngine.resolve_target
         assert resolve(0.5, None) == 0.5
@@ -862,6 +927,72 @@ class TestClusterDeterminism:
             assert got["response"]["num_rr_sets"] == want["num_rr_sets"]
             assert got["response"]["sigma_low"] == want["sigma_low"]
             assert got["response"]["sigma_up"] == want["sigma_up"]
+
+    def test_crash_requeued_repeat_query_at_same_k_matches_reference(
+        self, medium_graph, tmp_path
+    ):
+        """Crash recovery for a *repeat* query at an already-served
+        ``k``: the respawned engine must resume the per-k ``delta/2^i``
+        schedule (and the certified-OPT Sadeh cap) from the job-boundary
+        checkpoint, not restart it — otherwise the requeued run spends
+        a different failure slice than the uninterrupted reference.
+        """
+        from repro.serve.cluster import ClusterFrontend
+
+        params = {"k": 4, "epsilon": 0.3, "rr_budget": 6000}
+        with SeedQueryEngine(
+            medium_graph, "IC", seed=7, step=400, delta=0.2
+        ) as ref:
+            ref.answer(4, epsilon=0.3, rr_budget=6000)
+            ref_second = ref.answer(4, epsilon=0.3, rr_budget=6000)
+
+        async def scenario():
+            front = ClusterFrontend(
+                port=0,
+                workers=2,
+                state_dir=tmp_path,
+                fault_injection=True,
+            )
+            await front.start()
+            client = await ServeClient.connect(front.host, front.port)
+            headers = {"X-Tenant": "t"}
+            try:
+                front.register_graph(
+                    medium_graph, "g", tenant="t", seed=7, step=400,
+                    delta=0.2,
+                )
+
+                async def job(payload):
+                    status, _, body = await client.request_raw(
+                        "POST", "/jobs", payload=payload, headers=headers
+                    )
+                    assert status == 202, body
+                    status, _, body = await client.request_raw(
+                        "GET",
+                        f"/jobs/{body['job_id']}/result?wait=120",
+                        headers=headers,
+                    )
+                    assert status == 200, body
+                    return body
+
+                await job({"graph": "g", **params})
+                second = await job(
+                    {"graph": "g", **params, "inject_crash": True}
+                )
+                return second
+            finally:
+                await client.close()
+                await front.close(drain=True)
+
+        second = run(scenario())
+        assert second["requeues"] == 1
+        assert second["engine"]["loaded_from_index"]
+        response = second["response"]
+        for key in (
+            "seeds", "alpha", "num_rr_sets", "sigma_low", "sigma_up",
+            "theta_cap", "queries_made",
+        ):
+            assert response[key] == ref_second[key], key
 
 
 # ----------------------------------------------------------------------
