@@ -4,6 +4,12 @@ from repro.sampling.alias import AliasTable
 from repro.sampling.batch import BatchRRSampler
 from repro.sampling.collection import RRCollection
 from repro.sampling.generator import RRSampler
+from repro.sampling.hop import HopEstimator
+from repro.sampling.kernel import (
+    KernelRRSampler,
+    resolve_kernel,
+    sample_rr_sets_kernel,
+)
 from repro.sampling.rrset_ic import sample_rr_set_ic
 from repro.sampling.rrset_ic_uniform import UniformICSampler
 from repro.sampling.rrset_lt import LTAliasTables, sample_rr_set_lt
@@ -23,7 +29,11 @@ __all__ = [
     "RRCollection",
     "RRSampler",
     "BatchRRSampler",
+    "KernelRRSampler",
+    "HopEstimator",
     "SamplingPool",
+    "resolve_kernel",
+    "sample_rr_sets_kernel",
     "UniformICSampler",
     "chunk_schedule",
     "chunk_seed",

@@ -28,6 +28,7 @@ from repro.exceptions import ParameterError
 from repro.graph.digraph import DiGraph
 from repro.obs import resolve_registry
 from repro.sampling.collection import RRCollection
+from repro.sampling.kernel import resolve_kernel
 from repro.sampling.rrset_lt import LTAliasTables
 from repro.utils.rng import SeedLike, as_generator
 
@@ -169,6 +170,14 @@ class BatchRRSampler:
     Maintains an internal buffer refilled ``batch_size`` RR sets at a
     time, so ``sample_one`` / ``fill`` keep the scalar interface while
     the generation work runs vectorized.
+
+    *kernel* optionally routes generation through the frontier-batched
+    kernels of :mod:`repro.sampling.kernel` (``"python"`` /
+    ``"vectorized"`` / ``"numba"``), whose RNG-consumption contract is
+    frozen and identical across kernels.  ``None`` (the default) keeps
+    this class's original consumption order, so existing streams are
+    untouched; the two regimes are **not** bitwise-comparable to each
+    other.
     """
 
     def __init__(
@@ -178,6 +187,7 @@ class BatchRRSampler:
         seed: SeedLike = None,
         batch_size: int = 256,
         registry=None,
+        kernel: Optional[str] = None,
     ) -> None:
         model = model.upper()
         if model not in ("IC", "LT"):
@@ -190,6 +200,7 @@ class BatchRRSampler:
             )
         self.graph = graph
         self.model = model
+        self.kernel = resolve_kernel(kernel) if kernel is not None else None
         self.rng = as_generator(seed)
         self.batch_size = int(batch_size)
         self.edges_examined = 0
@@ -202,14 +213,28 @@ class BatchRRSampler:
             self._lt_tables = LTAliasTables(graph)
         self._buffer: List[np.ndarray] = []
 
+    def _generate(self, roots: np.ndarray) -> Tuple[List[np.ndarray], int]:
+        if self.kernel is not None:
+            from repro.sampling.kernel import sample_rr_sets_kernel
+
+            sets, edges, _levels = sample_rr_sets_kernel(
+                self.graph,
+                self.model,
+                roots,
+                self.rng,
+                kernel=self.kernel,
+                lt_tables=self._lt_tables,
+            )
+            return sets, edges
+        if self.model == "IC":
+            return sample_rr_sets_ic_batch(self.graph, roots, self.rng)
+        return sample_rr_sets_lt_batch(
+            self.graph, roots, self.rng, self._lt_tables
+        )
+
     def _refill(self, count: int) -> None:
         roots = self.rng.integers(0, self.graph.n, size=count)
-        if self.model == "IC":
-            sets, edges = sample_rr_sets_ic_batch(self.graph, roots, self.rng)
-        else:
-            sets, edges = sample_rr_sets_lt_batch(
-                self.graph, roots, self.rng, self._lt_tables
-            )
+        sets, edges = self._generate(roots)
         self.edges_examined += edges
         nodes = sum(s.shape[0] for s in sets)
         self.nodes_touched += nodes
@@ -224,14 +249,7 @@ class BatchRRSampler:
             # Explicit roots bypass the buffer (rare; used by tests).
             if not 0 <= root < self.graph.n:
                 raise ParameterError(f"root {root} out of range")
-            if self.model == "IC":
-                sets, edges = sample_rr_sets_ic_batch(
-                    self.graph, np.array([root], dtype=np.int64), self.rng
-                )
-            else:
-                sets, edges = sample_rr_sets_lt_batch(
-                    self.graph, np.array([root], dtype=np.int64), self.rng, self._lt_tables
-                )
+            sets, edges = self._generate(np.array([root], dtype=np.int64))
             self.edges_examined += edges
             self.sets_generated += 1
             return sets[0]

@@ -1,0 +1,820 @@
+"""Frontier-batched RR-sampling kernels with a fixed RNG contract.
+
+The scalar samplers (:mod:`repro.sampling.rrset_ic` and friends) pay
+Python-interpreter cost per BFS node; the legacy batched sampler
+(:mod:`repro.sampling.batch`) removes most of it but consumes
+randomness in its own order, so the two streams are not comparable.
+This module defines a third regime — the *kernel* — whose defining
+property is a **frozen RNG-consumption contract** with two
+interchangeable implementations:
+
+``kernel="python"``
+    A deliberately explicit, loop-based reference: the equivalence
+    oracle.  Slow, but every coin flip is visible.
+``kernel="vectorized"``
+    The production engine: it advances *all* in-flight RR sets of a
+    batch one frontier level at a time with numpy gather/scatter over
+    the CSR in-adjacency.  Bitwise-identical to ``"python"``.
+``kernel="numba"``
+    Optional: the same driver with the IC frontier expansion JIT
+    compiled.  Import-guarded and off by default; selecting it without
+    numba installed is a :class:`~repro.exceptions.ParameterError`.
+    Models other than IC fall back to the vectorized expansion.
+    By construction it is bitwise-identical to ``"vectorized"``.
+
+The RNG contract (per chunk sampler, seeded once)
+-------------------------------------------------
+1. Roots for a batch of ``b`` RR sets are drawn with **one** call
+   ``rng.integers(0, n, size=b)``.
+2. IC: each frontier level gathers the in-edges of every active
+   frontier node — sets in ascending set order, each set's frontier in
+   ascending node order, edges in CSR order — and draws **one** coin
+   array ``rng.random(total_edges)`` for the whole level.
+3. LT: each walk step draws three arrays from the chunk's generator:
+   continue coins for all active walks, then column coins and alias
+   accept coins for the surviving walks (walks stay in set order).
+4. Triggering: frontier nodes are expanded in the same (set, node)
+   order, one ``triggering_sets(node, rng)`` call per node.
+5. Nodes discovered within one level are appended per set in ascending
+   node id order (duplicates collapse to the first discovery).
+
+Every implementation must consume the generator in exactly this order,
+which is what makes the kernels interchangeable *per (chunk,
+set-index)*: swap the kernel under a :class:`~repro.sampling.service.
+SamplingPool` and every chunk — and therefore every manifest,
+warm-index restart, and crash-requeued stream — reproduces bitwise.
+``edges_examined`` (the gamma cost measure of Borgs et al.'s online
+analysis) is likewise identical across kernels: IC charges each
+expanded node its in-degree, LT charges one edge per surviving walk
+step, and triggering charges the in-degree worst case, exactly as the
+scalar samplers do.
+
+Selection is explicit (``kernel=`` arguments) or ambient through the
+``REPRO_KERNEL`` environment variable, which
+:func:`resolve_kernel` consults when no explicit choice is given;
+unset means "legacy samplers, streams unchanged".
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ParameterError, StateError
+from repro.graph.digraph import DiGraph
+from repro.obs import resolve_registry
+from repro.sampling.collection import RRCollection
+from repro.sampling.rrset_lt import LTAliasTables
+from repro.sampling.rrset_triggering import TriggeringSetSampler
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "KERNELS",
+    "ENV_VAR",
+    "AUTO_KERNEL",
+    "HAVE_NUMBA",
+    "resolve_kernel",
+    "sample_rr_sets_kernel",
+    "sample_rr_sets_ic_kernel",
+    "sample_rr_sets_lt_kernel",
+    "sample_rr_sets_triggering_kernel",
+    "KernelRRSampler",
+]
+
+#: Recognized kernel names (`None` elsewhere means "legacy samplers").
+KERNELS = ("python", "vectorized", "numba")
+
+#: Environment variable consulted by :func:`resolve_kernel`.
+ENV_VAR = "REPRO_KERNEL"
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the common case in CI
+    _numba = None
+    HAVE_NUMBA = False
+
+
+#: Sentinel meaning "consult ``$REPRO_KERNEL``" (the default at every
+#: entry point); contrast with ``None``, which pins the legacy samplers
+#: regardless of the environment (what a legacy manifest restores as).
+AUTO_KERNEL = "auto"
+
+
+def resolve_kernel(kernel: Optional[str] = AUTO_KERNEL) -> Optional[str]:
+    """Normalize a kernel choice.
+
+    ``"auto"`` (the default) falls back to ``$REPRO_KERNEL``; ``None``
+    — and an unset/empty environment variable under ``"auto"`` —
+    resolves to ``None``, the legacy samplers, leaving every existing
+    stream bitwise untouched.  An unknown name, or requesting
+    ``"numba"`` without numba importable, raises
+    :class:`ParameterError`.
+    """
+    if kernel == AUTO_KERNEL:
+        kernel = os.environ.get(ENV_VAR) or None
+    if kernel is None:
+        return None
+    kernel = str(kernel).lower()
+    if kernel not in KERNELS:
+        raise ParameterError(
+            f"kernel must be one of {KERNELS} (or None for the legacy "
+            f"samplers), got {kernel!r}"
+        )
+    if kernel == "numba" and not HAVE_NUMBA:
+        raise ParameterError(
+            "kernel='numba' requested but numba is not installed; "
+            "use 'vectorized' (bitwise-identical stream)"
+        )
+    return kernel
+
+
+def _require_kernel(kernel: str) -> str:
+    resolved = resolve_kernel(kernel)
+    if resolved is None:
+        raise ParameterError(
+            "a concrete kernel name is required here; resolve_kernel "
+            "returned None (legacy samplers)"
+        )
+    return resolved
+
+
+# ----------------------------------------------------------------------
+# Shared assembly helper
+# ----------------------------------------------------------------------
+def _assemble(
+    batch: int,
+    sample_chunks: List[np.ndarray],
+    node_chunks: List[np.ndarray],
+) -> List[np.ndarray]:
+    """Split flat (set, node) level records into per-set arrays.
+
+    Stable-sorts by set id, so each RR set keeps its insertion order:
+    root first, then each level's fresh nodes in ascending id order —
+    the layout the RNG contract fixes.
+    """
+    samples = np.concatenate(sample_chunks)
+    nodes = np.concatenate(node_chunks)
+    order = np.argsort(samples, kind="stable")
+    samples = samples[order]
+    nodes = nodes[order]
+    counts = np.bincount(samples, minlength=batch)
+    offsets = np.zeros(batch + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return [
+        nodes[offsets[i] : offsets[i + 1]].astype(np.int32)
+        for i in range(batch)
+    ]
+
+
+# ----------------------------------------------------------------------
+# IC kernels
+# ----------------------------------------------------------------------
+def _ic_python(
+    graph: DiGraph, roots: np.ndarray, rng: np.random.Generator
+) -> Tuple[List[np.ndarray], int, int]:
+    """Loop-based IC reference — the oracle the fast kernels must match.
+
+    Consumes exactly one ``rng.random(total)`` array per level (contract
+    item 2) but walks it edge by edge in explicit Python.
+    """
+    n = graph.n
+    offsets = graph.in_offsets
+    sources = graph.in_sources
+    probs = graph.in_probs
+    batch = roots.shape[0]
+    visited: List[set] = [{int(r)} for r in roots]
+    rr_sets: List[List[int]] = [[int(r)] for r in roots]
+    frontier: List[List[int]] = [[int(r)] for r in roots]
+    edges_examined = 0
+    levels = 0
+    while any(frontier):
+        levels += 1
+        order: List[Tuple[int, int]] = [
+            (s, u) for s in range(batch) for u in frontier[s]
+        ]
+        total = sum(int(offsets[u + 1] - offsets[u]) for _, u in order)
+        edges_examined += total
+        if total == 0:
+            break
+        coins = rng.random(total)
+        pos = 0
+        fresh: List[set] = [set() for _ in range(batch)]
+        for s, u in order:
+            lo, hi = int(offsets[u]), int(offsets[u + 1])
+            for e in range(lo, hi):
+                if coins[pos] < probs[e]:
+                    w = int(sources[e])
+                    if w not in visited[s]:
+                        fresh[s].add(w)
+                pos += 1
+        for s in range(batch):
+            level_nodes = sorted(fresh[s])
+            visited[s].update(level_nodes)
+            rr_sets[s].extend(level_nodes)
+            frontier[s] = level_nodes
+    sets = [np.asarray(nodes, dtype=np.int32) for nodes in rr_sets]
+    _ = n  # the universe size is implicit in the visited sets
+    return sets, edges_examined, levels
+
+
+def _ic_expand_numpy(
+    offsets: np.ndarray,
+    sources: np.ndarray,
+    probs: np.ndarray,
+    frontier_sets: np.ndarray,
+    frontier_nodes: np.ndarray,
+    coins: np.ndarray,
+    visited: np.ndarray,
+    n: int,
+) -> np.ndarray:
+    """One vectorized IC level: gathered edges -> sorted fresh codes."""
+    starts = offsets[frontier_nodes]
+    lengths = offsets[frontier_nodes + 1] - starts
+    cum = np.cumsum(lengths)
+    index = np.arange(coins.shape[0], dtype=np.int64) + np.repeat(
+        starts - np.concatenate(([0], cum[:-1])), lengths
+    )
+    live = coins < probs[index]
+    if not live.any():
+        return np.empty(0, dtype=np.int64)
+    live_sets = np.repeat(frontier_sets, lengths)[live]
+    live_nodes = sources[index][live].astype(np.int64)
+    unvisited = ~visited[live_sets, live_nodes]
+    if not unvisited.any():
+        return np.empty(0, dtype=np.int64)
+    return np.unique(live_sets[unvisited] * np.int64(n) + live_nodes[unvisited])
+
+
+if HAVE_NUMBA:  # pragma: no cover - requires optional numba
+
+    @_numba.njit(cache=True)
+    def _ic_expand_jit(  # type: ignore[misc]
+        offsets, sources, probs, frontier_sets, frontier_nodes, coins, visited, n
+    ):
+        """JIT twin of :func:`_ic_expand_numpy`.
+
+        Marks visited during the scan (first discovery wins) and sorts
+        the collected codes, which equals ``np.unique`` over the fresh
+        hits — the same sorted-per-level contract.
+        """
+        fresh = np.empty(coins.shape[0], dtype=np.int64)
+        count = 0
+        pos = 0
+        for i in range(frontier_nodes.shape[0]):
+            u = frontier_nodes[i]
+            s = frontier_sets[i]
+            for e in range(offsets[u], offsets[u + 1]):
+                if coins[pos] < probs[e]:
+                    w = sources[e]
+                    if not visited[s, w]:
+                        visited[s, w] = True
+                        fresh[count] = s * n + w
+                        count += 1
+                pos += 1
+        out = fresh[:count]
+        out.sort()
+        return out
+
+
+def _ic_fast(
+    graph: DiGraph,
+    roots: np.ndarray,
+    rng: np.random.Generator,
+    kernel: str,
+) -> Tuple[List[np.ndarray], int, int]:
+    """Frontier-batched IC expansion (vectorized or numba inner step)."""
+    n = graph.n
+    offsets = graph.in_offsets
+    sources = graph.in_sources
+    probs = graph.in_probs
+    batch = roots.shape[0]
+    use_jit = kernel == "numba" and HAVE_NUMBA
+
+    visited = np.zeros((batch, n), dtype=bool)
+    frontier_sets = np.arange(batch, dtype=np.int64)
+    frontier_nodes = roots.astype(np.int64)
+    visited[frontier_sets, frontier_nodes] = True
+    sample_chunks = [frontier_sets]
+    node_chunks = [frontier_nodes]
+    edges_examined = 0
+    levels = 0
+
+    while frontier_nodes.size:
+        levels += 1
+        total = int(
+            (offsets[frontier_nodes + 1] - offsets[frontier_nodes]).sum()
+        )
+        edges_examined += total
+        if total == 0:
+            break
+        coins = rng.random(total)
+        if use_jit:  # pragma: no cover - requires optional numba
+            codes = _ic_expand_jit(
+                offsets, sources, probs, frontier_sets, frontier_nodes,
+                coins, visited, n,
+            )
+        else:
+            codes = _ic_expand_numpy(
+                offsets, sources, probs, frontier_sets, frontier_nodes,
+                coins, visited, n,
+            )
+        if codes.size == 0:
+            break
+        frontier_sets = codes // n
+        frontier_nodes = codes % n
+        if not use_jit:
+            visited[frontier_sets, frontier_nodes] = True
+        sample_chunks.append(frontier_sets)
+        node_chunks.append(frontier_nodes)
+
+    return _assemble(batch, sample_chunks, node_chunks), edges_examined, levels
+
+
+def sample_rr_sets_ic_kernel(
+    graph: DiGraph,
+    roots: np.ndarray,
+    rng: np.random.Generator,
+    kernel: str = "vectorized",
+) -> Tuple[List[np.ndarray], int, int]:
+    """Sample one IC RR set per root under the kernel RNG contract.
+
+    Returns ``(rr_sets, edges_examined, levels)``; ``rr_sets[i]``
+    starts with ``roots[i]``.  All kernels are bitwise-interchangeable
+    for the same generator state.
+    """
+    kernel = _require_kernel(kernel)
+    roots = np.asarray(roots, dtype=np.int64)
+    if roots.shape[0] == 0:
+        return [], 0, 0
+    if kernel == "python":
+        return _ic_python(graph, roots, rng)
+    return _ic_fast(graph, roots, rng, kernel)
+
+
+# ----------------------------------------------------------------------
+# LT kernels
+# ----------------------------------------------------------------------
+def _lt_python(
+    graph: DiGraph,
+    roots: np.ndarray,
+    rng: np.random.Generator,
+    tables: LTAliasTables,
+) -> Tuple[List[np.ndarray], int, int]:
+    """Loop-based LT reference: lock-step reverse walks."""
+    offsets = graph.in_offsets
+    sources = graph.in_sources
+    continue_prob = tables.continue_prob
+    accept = tables.accept
+    alias = tables.alias
+    batch = roots.shape[0]
+    visited: List[set] = [{int(r)} for r in roots]
+    rr_sets: List[List[int]] = [[int(r)] for r in roots]
+    walks: List[Tuple[int, int]] = [(s, int(roots[s])) for s in range(batch)]
+    edges_examined = 0
+    steps = 0
+    while walks:
+        steps += 1
+        cont = rng.random(len(walks))
+        survivors = [
+            (s, u)
+            for (s, u), coin in zip(walks, cont)
+            if coin < continue_prob[u]
+        ]
+        if not survivors:
+            break
+        edges_examined += len(survivors)
+        col_coins = rng.random(len(survivors))
+        acc_coins = rng.random(len(survivors))
+        walks = []
+        for (s, u), col_coin, acc_coin in zip(survivors, col_coins, acc_coins):
+            lo, hi = int(offsets[u]), int(offsets[u + 1])
+            column = int(col_coin * (hi - lo))
+            if acc_coin >= accept[lo + column]:
+                column = int(alias[lo + column])
+            w = int(sources[lo + column])
+            if w in visited[s]:
+                continue  # the walk closed a cycle and stops
+            visited[s].add(w)
+            rr_sets[s].append(w)
+            walks.append((s, w))
+        if not walks:
+            break
+    sets = [np.asarray(nodes, dtype=np.int32) for nodes in rr_sets]
+    return sets, edges_examined, steps
+
+
+def _lt_fast(
+    graph: DiGraph,
+    roots: np.ndarray,
+    rng: np.random.Generator,
+    tables: LTAliasTables,
+) -> Tuple[List[np.ndarray], int, int]:
+    """Lock-step LT walks with vectorized alias sampling."""
+    n = graph.n
+    offsets = graph.in_offsets
+    sources = graph.in_sources
+    continue_prob = tables.continue_prob
+    accept = tables.accept
+    alias = tables.alias
+    batch = roots.shape[0]
+
+    visited = np.zeros((batch, n), dtype=bool)
+    walk_sets = np.arange(batch, dtype=np.int64)
+    walk_nodes = roots.astype(np.int64)
+    visited[walk_sets, walk_nodes] = True
+    sample_chunks = [walk_sets]
+    node_chunks = [walk_nodes]
+    edges_examined = 0
+    steps = 0
+
+    while walk_nodes.size:
+        steps += 1
+        alive = rng.random(walk_nodes.size) < continue_prob[walk_nodes]
+        walk_sets = walk_sets[alive]
+        walk_nodes = walk_nodes[alive]
+        if walk_nodes.size == 0:
+            break
+        edges_examined += int(walk_nodes.size)
+        lo = offsets[walk_nodes]
+        degree = offsets[walk_nodes + 1] - lo
+        columns = (rng.random(walk_nodes.size) * degree).astype(np.int64)
+        slots = lo + columns
+        reject = rng.random(walk_nodes.size) >= accept[slots]
+        columns = np.where(reject, alias[slots], columns)
+        next_nodes = sources[lo + columns].astype(np.int64)
+        fresh = ~visited[walk_sets, next_nodes]
+        walk_sets = walk_sets[fresh]
+        walk_nodes = next_nodes[fresh]
+        if walk_nodes.size == 0:
+            break
+        visited[walk_sets, walk_nodes] = True
+        sample_chunks.append(walk_sets)
+        node_chunks.append(walk_nodes)
+
+    return _assemble(batch, sample_chunks, node_chunks), edges_examined, steps
+
+
+def sample_rr_sets_lt_kernel(
+    graph: DiGraph,
+    roots: np.ndarray,
+    rng: np.random.Generator,
+    tables: LTAliasTables,
+    kernel: str = "vectorized",
+) -> Tuple[List[np.ndarray], int, int]:
+    """Sample one LT RR set per root under the kernel RNG contract.
+
+    Returns ``(rr_sets, edges_examined, steps)``.  The column draw uses
+    ``floor(coin * degree)`` (contract item 3), so the stream differs
+    from the scalar sampler's ``Generator.integers`` — but is identical
+    across kernels.
+    """
+    kernel = _require_kernel(kernel)
+    roots = np.asarray(roots, dtype=np.int64)
+    if roots.shape[0] == 0:
+        return [], 0, 0
+    if kernel == "python":
+        return _lt_python(graph, roots, rng, tables)
+    return _lt_fast(graph, roots, rng, tables)
+
+
+# ----------------------------------------------------------------------
+# Triggering kernels
+# ----------------------------------------------------------------------
+def sample_rr_sets_triggering_kernel(
+    graph: DiGraph,
+    roots: np.ndarray,
+    rng: np.random.Generator,
+    triggering_sets: TriggeringSetSampler,
+    kernel: str = "vectorized",
+) -> Tuple[List[np.ndarray], int, int]:
+    """Sample one triggering-model RR set per root, level-synchronously.
+
+    The per-node triggering callable is inherently scalar, so both
+    kernels call it once per expanded frontier node in the contract's
+    (set, node) order; ``"vectorized"`` batches only the bookkeeping
+    (dedup, visited marking).  ``edges_examined`` charges each expanded
+    node its in-degree, matching
+    :func:`repro.sampling.rrset_triggering.sample_rr_set_triggering`.
+    """
+    kernel = _require_kernel(kernel)
+    roots = np.asarray(roots, dtype=np.int64)
+    batch = roots.shape[0]
+    if batch == 0:
+        return [], 0, 0
+    n = graph.n
+    in_degrees = np.diff(graph.in_offsets)
+    edges_examined = 0
+    levels = 0
+
+    if kernel == "python":
+        visited: List[set] = [{int(r)} for r in roots]
+        rr_sets: List[List[int]] = [[int(r)] for r in roots]
+        frontier: List[List[int]] = [[int(r)] for r in roots]
+        while any(frontier):
+            levels += 1
+            fresh: List[set] = [set() for _ in range(batch)]
+            for s in range(batch):
+                for u in frontier[s]:
+                    edges_examined += int(in_degrees[u])
+                    for w in triggering_sets(u, rng):
+                        w = int(w)
+                        if w not in visited[s]:
+                            fresh[s].add(w)
+            for s in range(batch):
+                level_nodes = sorted(fresh[s])
+                visited[s].update(level_nodes)
+                rr_sets[s].extend(level_nodes)
+                frontier[s] = level_nodes
+        return (
+            [np.asarray(nodes, dtype=np.int32) for nodes in rr_sets],
+            edges_examined,
+            levels,
+        )
+
+    visited_matrix = np.zeros((batch, n), dtype=bool)
+    frontier_sets = np.arange(batch, dtype=np.int64)
+    frontier_nodes = roots.astype(np.int64)
+    visited_matrix[frontier_sets, frontier_nodes] = True
+    sample_chunks = [frontier_sets]
+    node_chunks = [frontier_nodes]
+    while frontier_nodes.size:
+        levels += 1
+        edges_examined += int(in_degrees[frontier_nodes].sum())
+        trigger_chunks: List[np.ndarray] = []
+        trigger_sets: List[np.ndarray] = []
+        for s, u in zip(frontier_sets, frontier_nodes):
+            triggers = np.asarray(
+                triggering_sets(int(u), rng), dtype=np.int64
+            )
+            if triggers.size:
+                trigger_chunks.append(triggers)
+                trigger_sets.append(np.full(triggers.size, s, dtype=np.int64))
+        if not trigger_chunks:
+            break
+        hit_nodes = np.concatenate(trigger_chunks)
+        hit_sets = np.concatenate(trigger_sets)
+        unvisited = ~visited_matrix[hit_sets, hit_nodes]
+        if not unvisited.any():
+            break
+        codes = np.unique(
+            hit_sets[unvisited] * np.int64(n) + hit_nodes[unvisited]
+        )
+        frontier_sets = codes // n
+        frontier_nodes = codes % n
+        visited_matrix[frontier_sets, frontier_nodes] = True
+        sample_chunks.append(frontier_sets)
+        node_chunks.append(frontier_nodes)
+
+    return (
+        _assemble(batch, sample_chunks, node_chunks),
+        edges_examined,
+        levels,
+    )
+
+
+# ----------------------------------------------------------------------
+# Unified dispatch
+# ----------------------------------------------------------------------
+def sample_rr_sets_kernel(
+    graph: DiGraph,
+    model: str,
+    roots: np.ndarray,
+    rng: np.random.Generator,
+    kernel: str = "vectorized",
+    lt_tables: Optional[LTAliasTables] = None,
+    triggering_sets: Optional[TriggeringSetSampler] = None,
+) -> Tuple[List[np.ndarray], int, int]:
+    """Model dispatch over the kernel samplers (one RR set per root)."""
+    model = model.upper()
+    if model == "IC":
+        return sample_rr_sets_ic_kernel(graph, roots, rng, kernel)
+    if model == "LT":
+        if lt_tables is None:
+            lt_tables = LTAliasTables(graph)
+        return sample_rr_sets_lt_kernel(graph, roots, rng, lt_tables, kernel)
+    if model == "TRIGGERING":
+        if triggering_sets is None:
+            raise ParameterError(
+                "model='TRIGGERING' requires a triggering_sets callable"
+            )
+        return sample_rr_sets_triggering_kernel(
+            graph, roots, rng, triggering_sets, kernel
+        )
+    raise ParameterError(
+        f"model must be 'IC', 'LT' or 'TRIGGERING', got {model!r}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Sampler facade
+# ----------------------------------------------------------------------
+class KernelRRSampler:
+    """Streaming RR-set sampler backed by a frontier-batched kernel.
+
+    Implements the sampler duck type used across the codebase
+    (``fill`` / ``sample_one`` / ``new_collection`` / counters), so it
+    can replace :class:`~repro.sampling.generator.RRSampler` inside
+    :func:`~repro.sampling.service.generate_chunk` chunks, OPIM
+    sessions, and the serve engine.
+
+    Determinism: the stream is a pure function of ``(seed, sequence of
+    fill/sample_one calls)``.  ``fill`` generates exactly the shortfall
+    in one batched kernel call, so a chunk sampler (one ``fill`` per
+    chunk, as :class:`~repro.sampling.service.SamplingPool` issues
+    them) consumes randomness as a pure function of the chunk count —
+    the per-(chunk, set-index) contract the pool's manifests and
+    crash-requeue determinism rely on.
+
+    The ``buffered`` property reports RR sets generated but not yet
+    handed out (only ``sample_one`` can leave a remainder); stream
+    state must not be captured while it is nonzero.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        model: str,
+        seed: SeedLike = None,
+        kernel: str = "vectorized",
+        batch_size: int = 256,
+        registry: Optional[object] = None,
+        triggering_sets: Optional[TriggeringSetSampler] = None,
+    ) -> None:
+        model = model.upper()
+        if model not in ("IC", "LT", "TRIGGERING"):
+            raise ParameterError(
+                f"model must be 'IC', 'LT' or 'TRIGGERING', got {model!r}"
+            )
+        if model == "TRIGGERING" and triggering_sets is None:
+            raise ParameterError(
+                "model='TRIGGERING' requires a triggering_sets callable"
+            )
+        if model != "TRIGGERING" and not graph.weighted:
+            raise ParameterError(
+                "graph has no edge probabilities; apply a weighting scheme first"
+            )
+        if batch_size < 1:
+            raise ParameterError(f"batch_size must be >= 1, got {batch_size}")
+        self.graph = graph
+        self.model = model
+        self.kernel = _require_kernel(kernel)
+        self.rng = as_generator(seed)
+        self.batch_size = int(batch_size)
+        self.triggering_sets = triggering_sets
+        self.edges_examined = 0
+        self.sets_generated = 0
+        self.nodes_touched = 0
+        self.levels_advanced = 0
+        self.universe_weight = float(graph.n)
+        self.fill_seconds = 0.0
+        self.obs = resolve_registry(registry)
+        self._lt_tables: Optional[LTAliasTables] = None
+        if model == "LT":
+            self._lt_tables = LTAliasTables(graph)
+        self._buffer: List[np.ndarray] = []
+
+    @property
+    def buffered(self) -> int:
+        """RR sets generated but not yet handed out."""
+        return len(self._buffer)
+
+    def _generate(
+        self, roots: np.ndarray
+    ) -> Tuple[List[np.ndarray], int, int]:
+        return sample_rr_sets_kernel(
+            self.graph,
+            self.model,
+            roots,
+            self.rng,
+            kernel=self.kernel,
+            lt_tables=self._lt_tables,
+            triggering_sets=self.triggering_sets,
+        )
+
+    def _refill(self, count: int) -> None:
+        roots = self.rng.integers(0, self.graph.n, size=count)
+        with self.obs.trace("kernel/refill"):
+            sets, edges, levels = self._generate(roots)
+        self.edges_examined += edges
+        self.levels_advanced += levels
+        nodes = sum(s.shape[0] for s in sets)
+        self.nodes_touched += nodes
+        obs = self.obs
+        obs.count("sampling.rr_sets", len(sets))
+        obs.count("sampling.edges", edges)
+        obs.count("sampling.nodes", nodes)
+        obs.count("kernel.batches")
+        obs.count("kernel.levels", levels)
+        self._buffer.extend(reversed(sets))
+
+    def sample_one(self, root: Optional[int] = None) -> np.ndarray:
+        """Sample one RR set; the root is uniform random when omitted."""
+        if root is not None:
+            if not 0 <= root < self.graph.n:
+                raise ParameterError(
+                    f"root {root} out of range [0, {self.graph.n})"
+                )
+            sets, edges, levels = self._generate(
+                np.array([root], dtype=np.int64)
+            )
+            self.edges_examined += edges
+            self.levels_advanced += levels
+            self.sets_generated += 1
+            self.nodes_touched += sets[0].shape[0]
+            return sets[0]
+        if not self._buffer:
+            self._refill(self.batch_size)
+        self.sets_generated += 1
+        nodes = self._buffer.pop()
+        return nodes
+
+    def fill(self, collection: RRCollection, count: int) -> None:
+        """Append *count* fresh RR sets to *collection*.
+
+        Generates exactly the shortfall in one kernel batch, so chunked
+        use (one ``fill`` per chunk) leaves no buffered remainder.
+        """
+        if count < 0:
+            raise ParameterError(f"count must be non-negative, got {count}")
+        if collection.n != self.graph.n:
+            raise ParameterError(
+                "collection node universe does not match the sampler's graph"
+            )
+        started = time.perf_counter()
+        needed = count - len(self._buffer)
+        if needed > 0:
+            self._refill(needed)
+        for _ in range(count):
+            collection.append(self._buffer.pop())
+            self.sets_generated += 1
+        self.fill_seconds += time.perf_counter() - started
+
+    def new_collection(self, count: int = 0) -> RRCollection:
+        """Create a collection over this graph, optionally pre-filled."""
+        collection = RRCollection(self.graph.n)
+        if count:
+            self.fill(collection, count)
+        return collection
+
+    # -- resumable stream state ----------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """Snapshot of the stream position (for warm-index manifests)."""
+        if self._buffer:
+            raise StateError(
+                f"cannot capture kernel sampler state with "
+                f"{len(self._buffer)} buffered RR sets"
+            )
+        return {
+            "kind": "serial-kernel",
+            "kernel": self.kernel,
+            "rng_state": self.rng.bit_generator.state,
+            "sets_generated": int(self.sets_generated),
+            "edges_examined": int(self.edges_examined),
+            "nodes_touched": int(self.nodes_touched),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Resume the stream captured by :meth:`state`."""
+        if state.get("kind") != "serial-kernel":
+            raise ParameterError(
+                f"cannot restore sampler state of kind {state.get('kind')!r} "
+                "into a KernelRRSampler"
+            )
+        if state.get("kernel") != self.kernel:
+            raise ParameterError(
+                f"index was sampled with kernel {state.get('kernel')!r} but "
+                f"the sampler runs {self.kernel!r}; use the matching kernel "
+                "to keep the stream deterministic"
+            )
+        if self.sets_generated or self._buffer:
+            raise ParameterError(
+                "cannot restore sampling state into a sampler that has "
+                "already generated RR sets"
+            )
+        self.rng.bit_generator.state = state["rng_state"]
+        self.sets_generated = int(state["sets_generated"])
+        self.edges_examined = int(state["edges_examined"])
+        self.nodes_touched = int(state["nodes_touched"])
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelRRSampler(graph={self.graph.name!r}, "
+            f"model={self.model!r}, kernel={self.kernel!r})"
+        )
+
+
+def fill_reference(
+    sets_a: Sequence[np.ndarray], sets_b: Sequence[np.ndarray]
+) -> bool:
+    """True when two RR collections are bitwise-identical (order too)."""
+    if len(sets_a) != len(sets_b):
+        return False
+    return all(
+        a.shape == b.shape and bool(np.array_equal(a, b))
+        for a, b in zip(sets_a, sets_b)
+    )

@@ -13,7 +13,7 @@ preallocated queue, so no O(n) clearing happens between samples.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -39,7 +39,7 @@ def sample_rr_set_ic(
     graph: DiGraph,
     root: int,
     rng: np.random.Generator,
-    scratch: Scratch = None,
+    scratch: Optional[Scratch] = None,
     stats=None,
 ) -> Tuple[np.ndarray, int]:
     """Sample one IC-model RR set rooted at *root*.

@@ -14,7 +14,7 @@ in the paper's Appendix A, after an O(n + m) preprocessing pass.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -76,7 +76,7 @@ def sample_rr_set_lt(
     root: int,
     rng: np.random.Generator,
     tables: LTAliasTables,
-    scratch: Scratch = None,
+    scratch: Optional[Scratch] = None,
     stats=None,
 ) -> Tuple[np.ndarray, int]:
     """Sample one LT-model RR set rooted at *root*.

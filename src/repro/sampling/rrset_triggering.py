@@ -28,7 +28,7 @@ Provided triggering-set samplers:
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -113,7 +113,7 @@ def sample_rr_set_triggering(
     root: int,
     rng: np.random.Generator,
     triggering_sets: TriggeringSetSampler,
-    scratch: Scratch = None,
+    scratch: Optional[Scratch] = None,
     stats=None,
 ) -> Tuple[np.ndarray, int]:
     """Sample one RR set under the triggering model given by

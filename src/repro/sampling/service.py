@@ -57,6 +57,7 @@ from repro.exceptions import ParameterError, ServiceError
 from repro.graph.digraph import DiGraph
 from repro.obs import resolve_registry
 from repro.sampling.collection import RRCollection
+from repro.sampling.kernel import AUTO_KERNEL, resolve_kernel
 from repro.utils.rng import SeedLike, fresh_entropy
 
 __all__ = [
@@ -133,7 +134,12 @@ def chunk_seed(root_seed: int, chunk_index: int) -> int:
 
 
 def generate_chunk(
-    graph: DiGraph, model: str, fast: bool, seed: int, count: int
+    graph: DiGraph,
+    model: str,
+    fast: bool,
+    seed: int,
+    count: int,
+    kernel: Optional[str] = AUTO_KERNEL,
 ) -> Tuple[np.ndarray, np.ndarray, int, int]:
     """Generate one chunk of *count* RR sets with a fresh chunk sampler.
 
@@ -141,11 +147,22 @@ def generate_chunk(
     where ``flat_nodes[offsets[i]:offsets[i+1]]`` is the *i*-th RR set.
     Pure given its arguments: the parent (``workers=1``), a pool
     worker, and a crash-recovery re-issue all produce identical bytes.
+
+    *kernel* selects the frontier-batched kernel of
+    :mod:`repro.sampling.kernel` (overriding *fast*); the default
+    ``"auto"`` consults ``$REPRO_KERNEL`` — the same resolution the
+    pool performs, so a direct call and a pool chunk always agree.
+    ``None`` pins the legacy samplers.
     """
-    if fast:
+    kernel = resolve_kernel(kernel)
+    if kernel is not None:
+        from repro.sampling.kernel import KernelRRSampler
+
+        sampler: Any = KernelRRSampler(graph, model, seed=seed, kernel=kernel)
+    elif fast:
         from repro.sampling.batch import BatchRRSampler
 
-        sampler: Any = BatchRRSampler(graph, model, seed=seed)
+        sampler = BatchRRSampler(graph, model, seed=seed)
     else:
         from repro.sampling.generator import RRSampler
 
@@ -249,6 +266,7 @@ def _service_worker(
     spec: Dict[str, Any],
     model: str,
     fast: bool,
+    kernel: Optional[str],
     task_queue: Any,
     result_queue: Any,
 ) -> None:
@@ -279,7 +297,7 @@ def _service_worker(
             started = time.perf_counter()
             try:
                 flat, offsets, edges, nodes = generate_chunk(
-                    graph, model, fast, seed, count
+                    graph, model, fast, seed, count, kernel=kernel
                 )
             except BaseException:
                 result_queue.put(
@@ -343,6 +361,13 @@ class SamplingPool:
     fast:
         Use the vectorized :class:`~repro.sampling.batch.BatchRRSampler`
         inside each chunk.
+    kernel:
+        Frontier-batched kernel for chunk generation (see
+        :mod:`repro.sampling.kernel`); overrides *fast* when set.  The
+        default ``"auto"`` consults ``$REPRO_KERNEL``; ``None`` pins
+        the legacy samplers.  Part of the determinism contract: the
+        resolved value is recorded in :meth:`state` and must match on
+        restore.
     min_chunk, target_chunks:
         Chunk policy (see :func:`chunk_schedule`).  Both are part of
         the determinism contract: change them and the stream changes.
@@ -378,6 +403,7 @@ class SamplingPool:
         workers: int = 2,
         seed: SeedLike = None,
         fast: bool = True,
+        kernel: Optional[str] = AUTO_KERNEL,
         min_chunk: int = DEFAULT_MIN_CHUNK,
         target_chunks: int = DEFAULT_TARGET_CHUNKS,
         registry: Optional[object] = None,
@@ -407,6 +433,7 @@ class SamplingPool:
         self.model = model
         self.workers = int(workers)
         self.fast = bool(fast)
+        self.kernel = resolve_kernel(kernel)
         self.min_chunk = int(min_chunk)
         self.target_chunks = int(target_chunks)
         self.max_restarts = int(max_restarts)
@@ -484,6 +511,7 @@ class SamplingPool:
                 self._spec,
                 self.model,
                 self.fast,
+                self.kernel,
                 task_queue,
                 self._result_queue,
             ),
@@ -607,6 +635,7 @@ class SamplingPool:
         return {
             "kind": "pool",
             "seed": self.seed,
+            "kernel": self.kernel,
             "min_chunk": self.min_chunk,
             "target_chunks": self.target_chunks,
             "next_chunk": self._next_chunk,
@@ -646,6 +675,9 @@ class SamplingPool:
             workers=workers,
             seed=int(state["seed"]),
             fast=fast,
+            # A state captured before the kernel switch existed pins the
+            # legacy samplers (None), regardless of $REPRO_KERNEL.
+            kernel=state.get("kernel"),
             min_chunk=int(state["min_chunk"]),
             target_chunks=int(state["target_chunks"]),
             registry=registry,
@@ -673,6 +705,13 @@ class SamplingPool:
                     f"{state[field]} at capture but the pool has "
                     f"{getattr(self, field)}"
                 )
+        if state.get("kernel") != self.kernel:
+            raise ParameterError(
+                f"cannot restore sampling state: kernel was "
+                f"{state.get('kernel')!r} at capture but the pool runs "
+                f"{self.kernel!r}; use the matching kernel to keep the "
+                "stream deterministic"
+            )
         if self._next_chunk != 0 or self.sets_generated != 0:
             raise ParameterError(
                 "cannot restore sampling state into a pool that has "
@@ -692,7 +731,8 @@ class SamplingPool:
         for index, seed, chunk in tasks:
             started = time.perf_counter()
             results[index] = generate_chunk(
-                self.graph, self.model, self.fast, seed, chunk
+                self.graph, self.model, self.fast, seed, chunk,
+                kernel=self.kernel,
             )
             elapsed = time.perf_counter() - started
             self._observe_chunk(elapsed)

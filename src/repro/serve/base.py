@@ -25,6 +25,7 @@ from typing import Any, Dict, Optional, Tuple, Union
 from repro.core.opim import BOUND_VARIANTS
 from repro.exceptions import ParameterError
 from repro.obs import resolve_registry
+from repro.sampling.hop import DEFAULT_HOPS
 from repro.serve.engine import SeedQueryEngine
 from repro.serve.http import (
     ProtocolError,
@@ -84,6 +85,49 @@ def parse_query_params(
         "target": target,
         "rr_budget": None if rr_budget is None else int(rr_budget),
     }
+
+
+def parse_hop_params(
+    params: Dict[str, Any], extra_fields: Tuple[str, ...] = ()
+) -> Dict[str, Any]:
+    """Validate a ``precision="hop"`` preview-query request body.
+
+    Returns ``{"k", "seeds", "hops"}`` with exactly one of ``k`` /
+    ``seeds`` set: ``k`` asks for a hop-scored seed preview, ``seeds``
+    for a what-if spread evaluation of the given node list.  Used by
+    the single-engine server and the cluster front end alike, so the
+    no-guarantee fast path has one request shape.
+    """
+    known = {"precision", "k", "seeds", "hops"}
+    known.update(extra_fields)
+    unknown = set(params) - known
+    if unknown:
+        raise ParameterError(f"unknown hop-query fields: {sorted(unknown)}")
+    k = params.get("k")
+    seeds = params.get("seeds")
+    if (k is None) == (seeds is None):
+        raise ParameterError(
+            "hop queries take exactly one of k (seed preview) and "
+            "seeds (what-if evaluation)"
+        )
+    if k is not None:
+        try:
+            k = int(k)
+        except (TypeError, ValueError):
+            raise ParameterError(f"k must be an integer, got {k!r}")
+    if seeds is not None:
+        if not isinstance(seeds, (list, tuple)) or not seeds:
+            raise ParameterError("seeds must be a non-empty list of node ids")
+        try:
+            seeds = [int(s) for s in seeds]
+        except (TypeError, ValueError):
+            raise ParameterError(f"seeds must be integers, got {seeds!r}")
+    hops = params.get("hops", DEFAULT_HOPS)
+    try:
+        hops = int(hops)
+    except (TypeError, ValueError):
+        raise ParameterError(f"hops must be an integer, got {hops!r}")
+    return {"k": k, "seeds": seeds, "hops": hops}
 
 
 def split_path(path: str) -> Tuple[Tuple[str, ...], Dict[str, str]]:

@@ -53,6 +53,39 @@ def make_key(
     )
 
 
+def make_hop_key(
+    graph_hash: str,
+    model: str,
+    hops: int,
+    k: Optional[int] = None,
+    seeds: Optional[Any] = None,
+) -> QueryKey:
+    """Cache key for a ``precision="hop"`` preview query.
+
+    Hop answers are deterministic functions of ``(graph, model, hops,
+    k | seeds)``, so they cache like exact answers.  The ``bound``
+    slot encodes the query flavour (and, for what-if evaluation, the
+    seed list itself) so hop keys can never collide with exact-query
+    keys of the same ``k``.
+    """
+    if seeds is not None:
+        spec = "hop:" + ",".join(str(int(s)) for s in seeds)
+        k_value = len(list(seeds))
+    else:
+        if k is None:
+            raise ParameterError("make_hop_key needs k or seeds")
+        spec = "hop"
+        k_value = int(k)
+    return QueryKey(
+        graph_hash=graph_hash,
+        model=model,
+        k=k_value,
+        bound=spec,
+        target=float(int(hops)),
+        rr_budget=None,
+    )
+
+
 class LRUCache:
     """A plain LRU mapping with hit/miss accounting.
 

@@ -50,6 +50,7 @@ from repro.serve.base import (
     DispatchResult,
     JsonHTTPServer,
     Payload,
+    parse_hop_params,
     parse_query_params,
     split_path,
 )
@@ -665,10 +666,32 @@ class ClusterFrontend(JsonHTTPServer):
     def _handle_submit(
         self, request: Request, tenant: str, trace_id: str
     ) -> Tuple[int, Payload, str]:
-        params = parse_query_params(
-            request.json(), extra_fields=("graph", "inject_crash")
-        )
         body = request.json()
+        precision = body.get("precision") if isinstance(body, dict) else None
+        if precision is not None and precision != "hop":
+            raise ParameterError(
+                f"precision must be 'hop' when given, got {precision!r}"
+            )
+        if precision == "hop":
+            hop = parse_hop_params(
+                body, extra_fields=("graph", "inject_crash")
+            )
+            job_params: Dict[str, Any] = {
+                "precision": "hop",
+                "k": hop["k"],
+                "seeds": hop["seeds"],
+                "hops": hop["hops"],
+            }
+        else:
+            params = parse_query_params(
+                body, extra_fields=("graph", "inject_crash")
+            )
+            job_params = {
+                "k": params["k"],
+                "bound": params["bound"],
+                "alpha_target": params["target"],
+                "rr_budget": params["rr_budget"],
+            }
         graph_name = body.get("graph")
         if not graph_name:
             raise ParameterError("missing required field: graph")
@@ -711,12 +734,7 @@ class ClusterFrontend(JsonHTTPServer):
             job_id=f"job-{uuid.uuid4().hex}",
             graph_id=status.spec.graph_id,
             shard=status.spec.shard,
-            params={
-                "k": params["k"],
-                "bound": params["bound"],
-                "alpha_target": params["target"],
-                "rr_budget": params["rr_budget"],
-            },
+            params=job_params,
             trace_id=trace_id,
             tenant=tenant,
             inject_crash=inject_crash,

@@ -52,6 +52,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import ParameterError, ReproError, StateError
 from repro.obs import MetricsRegistry, resolve_registry
+from repro.sampling.hop import DEFAULT_HOPS
 from repro.obs.recorder import TraceRecorder
 from repro.serve.cluster.registry import GraphSpec
 from repro.serve.engine import SeedQueryEngine
@@ -237,7 +238,15 @@ class _WorkerHost:
         try:
             with self.obs.trace_context(trace_id):
                 with self.obs.trace("cluster/worker_job"):
-                    response = engine.answer(trace_id=trace_id, **params)
+                    if params.get("precision") == "hop":
+                        response = engine.answer_hop(
+                            k=params.get("k"),
+                            seeds=params.get("seeds"),
+                            hops=params.get("hops", DEFAULT_HOPS),
+                            trace_id=trace_id,
+                        )
+                    else:
+                        response = engine.answer(trace_id=trace_id, **params)
         except (ParameterError, StateError) as exc:
             self.send(
                 "job_failed",

@@ -36,6 +36,8 @@ from repro.graph.digraph import DiGraph
 from repro.obs import resolve_registry
 from repro.sampling.collection import RRCollection
 from repro.sampling.generator import RRSampler
+from repro.sampling.hop import DEFAULT_HOPS, HopEstimator
+from repro.sampling.kernel import AUTO_KERNEL, KernelRRSampler, resolve_kernel
 from repro.sampling.service import SamplingPool
 from repro.serve.index import (
     graph_fingerprint,
@@ -70,6 +72,15 @@ class SeedQueryEngine:
         ``> 1`` streams through a warm
         :class:`~repro.sampling.service.SamplingPool`; otherwise a
         serial :class:`~repro.sampling.generator.RRSampler` is used.
+    kernel:
+        Frontier-batched sampling kernel (see
+        :mod:`repro.sampling.kernel`).  The default ``"auto"``
+        consults ``$REPRO_KERNEL``; ``None`` pins the legacy samplers.
+        With a kernel selected, ``workers=1`` runs a serial
+        :class:`~repro.sampling.kernel.KernelRRSampler` and pools pass
+        the kernel into every chunk.  The resolved choice is part of
+        the stream's identity: it is recorded in saved indexes and
+        must match on warm start.
     delta:
         Total failure budget *per k* (default ``1/n``); each per-``k``
         session schedules its queries under ``delta / 2^i``.
@@ -99,6 +110,7 @@ class SeedQueryEngine:
         model: str = "IC",
         seed: int = 2018,
         workers: Optional[int] = None,
+        kernel: Optional[str] = AUTO_KERNEL,
         delta: Optional[float] = None,
         index_dir: Optional[PathLike] = None,
         step: int = DEFAULT_STEP,
@@ -120,15 +132,22 @@ class SeedQueryEngine:
         self.on_answer = on_answer
         self.graph_hash = graph_fingerprint(graph)
         self.workers = int(workers) if workers is not None else 1
+        self.kernel = resolve_kernel(kernel)
         if self.workers > 1:
             self.sampler: Any = SamplingPool(
                 graph, self.model, workers=self.workers,
-                seed=self.seed, registry=self.obs,
+                seed=self.seed, kernel=self.kernel, registry=self.obs,
+            )
+        elif self.kernel is not None:
+            self.sampler = KernelRRSampler(
+                graph, self.model, seed=self.seed, kernel=self.kernel,
+                registry=self.obs,
             )
         else:
             self.sampler = RRSampler(
                 graph, self.model, seed=self.seed, registry=self.obs
             )
+        self._hop: Optional[HopEstimator] = None
         self.r1 = RRCollection(graph.n)
         self.r2 = RRCollection(graph.n)
         self._sessions: Dict[int, OPIMSession] = {}
@@ -355,6 +374,60 @@ class SeedQueryEngine:
             self.on_answer(response)
         return response
 
+    def answer_hop(
+        self,
+        k: Optional[int] = None,
+        seeds: Optional[List[int]] = None,
+        hops: int = DEFAULT_HOPS,
+        trace_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Answer a ``precision="hop"`` preview query — no guarantee.
+
+        The deterministic hop-bounded approximation of
+        :class:`~repro.sampling.hop.HopEstimator` (arXiv:1705.10442)
+        answers in microseconds without touching the RR stream: pass
+        ``k`` for a cheap seed-set preview, or ``seeds`` for a what-if
+        spread evaluation of a user-supplied set.  Exactly one of the
+        two must be given.
+
+        The response carries ``"guarantee": False`` and
+        ``"no_guarantee": True`` — hop answers never enter the
+        ``delta / 2^i`` schedule and must not be read as
+        ``(1-1/e-eps, 1-delta)`` certified.
+        """
+        self._check_open()
+        if (k is None) == (seeds is None):
+            raise ParameterError("provide exactly one of k and seeds")
+        started = time.perf_counter()
+        with self.obs.trace_context(trace_id), self.obs.trace("serve/hop"):
+            if self._hop is None:
+                self._hop = HopEstimator(self.graph)
+            if k is not None:
+                chosen, sigma = self._hop.select(int(k), hops=hops)
+            else:
+                assert seeds is not None
+                chosen = [int(s) for s in seeds]
+                sigma = self._hop.spread(chosen, hops=hops)
+        elapsed = time.perf_counter() - started
+        self.obs.count("serve.hop_queries")
+        self.obs.observe("serve.hop_seconds", elapsed)
+        response = {
+            "precision": "hop",
+            "guarantee": False,
+            "no_guarantee": True,
+            "hops": int(hops),
+            "k": len(chosen),
+            "seeds": chosen,
+            "sigma_hop": float(sigma),
+            "sigma_hop_fraction": float(sigma) / self.graph.n,
+            "what_if": k is None,
+            "sampled": 0,
+            "engine_seconds": elapsed,
+        }
+        if self.on_answer is not None:
+            self.on_answer(response)
+        return response
+
     def guarantee_claims(self) -> Dict[int, List[Dict[str, Any]]]:
         """All guarantees the engine has emitted, grouped by ``k``.
 
@@ -380,6 +453,7 @@ class SeedQueryEngine:
             "model": self.model,
             "seed": self.seed,
             "workers": self.workers,
+            "kernel": self.kernel,
             "delta": self.delta,
             "num_rr_sets": self.num_rr_sets,
             "theta1": len(self.r1),
@@ -491,7 +565,7 @@ class SeedQueryEngine:
     # Index persistence
     # ------------------------------------------------------------------
     def _sampler_state(self) -> Dict[str, Any]:
-        if isinstance(self.sampler, SamplingPool):
+        if isinstance(self.sampler, (SamplingPool, KernelRRSampler)):
             return self.sampler.state()
         return {
             "kind": "serial",
@@ -503,14 +577,20 @@ class SeedQueryEngine:
 
     def _restore_sampler(self, state: Dict[str, Any]) -> None:
         kind = state.get("kind")
-        expected = "pool" if isinstance(self.sampler, SamplingPool) else "serial"
+        if isinstance(self.sampler, SamplingPool):
+            expected = "pool"
+        elif isinstance(self.sampler, KernelRRSampler):
+            expected = "serial-kernel"
+        else:
+            expected = "serial"
         if kind != expected:
             raise ParameterError(
                 f"index was sampled with a {kind!r} sampler but the engine "
                 f"runs {expected!r}; start the engine with the matching "
-                "workers configuration to keep the stream deterministic"
+                "workers/kernel configuration to keep the stream "
+                "deterministic"
             )
-        if isinstance(self.sampler, SamplingPool):
+        if isinstance(self.sampler, (SamplingPool, KernelRRSampler)):
             self.sampler.restore_state(state)
         else:
             self.sampler.rng.bit_generator.state = state["rng_state"]

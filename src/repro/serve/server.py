@@ -42,9 +42,10 @@ from repro.serve.base import (
     DispatchResult,
     JsonHTTPServer,
     Payload,
+    parse_hop_params,
     parse_query_params,
 )
-from repro.serve.cache import LRUCache, QueryKey, make_key
+from repro.serve.cache import LRUCache, QueryKey, make_hop_key, make_key
 from repro.serve.engine import SeedQueryEngine
 from repro.serve.http import ProtocolError, Request, TextResponse
 
@@ -317,7 +318,15 @@ class SeedQueryServer(JsonHTTPServer):
         self, request: Request, trace_id: str
     ) -> Tuple[int, Dict[str, Any]]:
         self.obs.count("serve.queries")
-        query = parse_query_params(request.json())
+        body = request.json()
+        precision = body.get("precision") if isinstance(body, dict) else None
+        if precision is not None:
+            if precision != "hop":
+                raise ParameterError(
+                    f"precision must be 'hop' when given, got {precision!r}"
+                )
+            return await self._handle_hop_query(body, trace_id)
+        query = parse_query_params(body)
         k = query["k"]
         bound = query["bound"]
         target = query["target"]
@@ -349,6 +358,47 @@ class SeedQueryServer(JsonHTTPServer):
                 bound=bound,
                 alpha_target=target,
                 rr_budget=rr_budget,
+                trace_id=trace_id,
+            ),
+        )
+        response = await self._await_job(future)
+        return 200, {**response, "cached": False, "coalesced": False}
+
+    async def _handle_hop_query(
+        self, body: Dict[str, Any], trace_id: str
+    ) -> Tuple[int, Dict[str, Any]]:
+        """``precision="hop"``: the no-guarantee preview fast path.
+
+        Hop answers are deterministic, so they share the LRU cache and
+        in-flight coalescing with exact queries (under hop-flavoured
+        keys that cannot collide with exact ones).  The engine work is
+        microseconds, but it still runs on the engine thread: the
+        estimator caches per-hop score tables on the engine, and the
+        single-thread funnel is the engine's synchronization story.
+        """
+        hop = parse_hop_params(body)
+        key = make_hop_key(
+            self.engine.graph_hash,
+            self.engine.model,
+            hop["hops"],
+            k=hop["k"],
+            seeds=hop["seeds"],
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return 200, {**cached, "cached": True, "coalesced": False}
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.obs.count("serve.coalesced")
+            response = await self._await_job(inflight)
+            return 200, {**response, "cached": False, "coalesced": True}
+        engine = self.engine
+        future = self._submit(
+            key,
+            lambda: engine.answer_hop(
+                k=hop["k"],
+                seeds=hop["seeds"],
+                hops=hop["hops"],
                 trace_id=trace_id,
             ),
         )
@@ -418,6 +468,8 @@ def _query_outcome(status: int, payload: Payload) -> str:
         return "cached"
     if payload.get("coalesced"):
         return "coalesced"
+    if payload.get("precision") == "hop":
+        return "hop"
     if payload.get("sampled", 0) > 0:
         return "cold"
     return "warm"

@@ -159,6 +159,78 @@ class TestJobLifecycle:
 
         run(scenario())
 
+    def test_hop_jobs_route_to_the_guarantee_free_path(self, tmp_path):
+        async def scenario():
+            front = await _started_frontend(state_dir=tmp_path)
+            client = await ServeClient.connect(front.host, front.port)
+            headers = {"X-Tenant": "acme"}
+            try:
+                front.register_graph(
+                    make_graph(), "g", tenant="acme", seed=11, delta=0.2
+                )
+                status, _, body = await client.request_raw(
+                    "POST",
+                    "/jobs",
+                    payload={"graph": "g", "precision": "hop", "k": 3},
+                    headers=headers,
+                )
+                assert status == 202, body
+                status, _, result = await client.request_raw(
+                    "GET",
+                    f"/jobs/{body['job_id']}/result?wait=60",
+                    headers=headers,
+                )
+                assert status == 200
+                response = result["response"]
+                assert response["precision"] == "hop"
+                assert response["no_guarantee"] is True
+                assert response["guarantee"] is False
+                assert response["sampled"] == 0
+                assert len(response["seeds"]) == 3
+                # What-if spelling: evaluate the returned seeds.
+                status, _, body = await client.request_raw(
+                    "POST",
+                    "/jobs",
+                    payload={
+                        "graph": "g",
+                        "precision": "hop",
+                        "seeds": response["seeds"],
+                    },
+                    headers=headers,
+                )
+                assert status == 202, body
+                status, _, what_if = await client.request_raw(
+                    "GET",
+                    f"/jobs/{body['job_id']}/result?wait=60",
+                    headers=headers,
+                )
+                assert status == 200
+                assert what_if["response"]["what_if"] is True
+                assert what_if["response"]["sigma_hop"] == pytest.approx(
+                    response["sigma_hop"]
+                )
+                # Malformed hop submissions fail fast at the front end.
+                status, _, body = await client.request_raw(
+                    "POST",
+                    "/jobs",
+                    payload={"graph": "g", "precision": "hop", "k": 3,
+                             "seeds": [0]},
+                    headers=headers,
+                )
+                assert status == 400 and "exactly one" in body["error"]
+                status, _, body = await client.request_raw(
+                    "POST",
+                    "/jobs",
+                    payload={"graph": "g", "precision": "exactly", "k": 3},
+                    headers=headers,
+                )
+                assert status == 400, body
+            finally:
+                await client.close()
+                await front.close(drain=True)
+
+        run(scenario())
+
     def test_unknown_job_and_graph_are_404(self, tmp_path):
         async def scenario():
             front = await _started_frontend(state_dir=tmp_path)

@@ -1,8 +1,8 @@
 """Execute the fenced ``python`` blocks of the user-facing docs.
 
 Documentation snippets rot the moment nobody runs them.  This test
-extracts every ```` ```python ```` fence from ``docs/usage.md`` and
-``docs/tutorial.md`` and executes the blocks of each document in
+extracts every ```` ```python ```` fence from ``docs/usage.md``,
+``docs/tutorial.md``, and ``docs/performance.md`` and executes the blocks of each document in
 order, sharing one namespace per document — exactly how a reader would
 run them in one Python session.
 
@@ -29,7 +29,7 @@ from pathlib import Path
 import pytest
 
 DOCS_DIR = Path(__file__).parent.parent / "docs"
-DOCUMENTS = ("usage.md", "tutorial.md")
+DOCUMENTS = ("usage.md", "tutorial.md", "performance.md")
 
 NO_RUN_MARKER = "# doc: no-run"
 

@@ -301,6 +301,158 @@ class TestEngine:
 
 
 # ----------------------------------------------------------------------
+# Vectorized kernel behind the engine
+# ----------------------------------------------------------------------
+class TestKernelEngine:
+    def test_kernel_engines_match_python_kernel_bitwise(self, medium_graph):
+        """The serve path is kernel-agnostic: an engine on the
+        vectorized kernel answers bitwise-identically to one on the
+        python reference kernel (same frozen RNG contract)."""
+        answers = []
+        for kernel in ("python", "vectorized"):
+            with SeedQueryEngine(
+                medium_graph, "IC", seed=7, step=400, kernel=kernel
+            ) as eng:
+                answers.append(eng.answer(4, alpha_target=0.2))
+        for key in ("seeds", "alpha", "num_rr_sets", "sigma_low"):
+            assert answers[0][key] == answers[1][key], key
+
+    def test_warm_start_continues_the_kernel_stream(
+        self, medium_graph, tmp_path
+    ):
+        """Warm-index restart with ``kernel="vectorized"``: the manifest
+        records the serial-kernel sampler state and the reloaded engine
+        continues the stream bitwise-identically to an uninterrupted
+        engine issuing the same extend/answer sequence."""
+        with SeedQueryEngine(
+            medium_graph, "IC", seed=7, step=400, kernel="vectorized"
+        ) as ref:
+            ref.answer(4, alpha_target=0.2)
+            ref.extend(400)
+            expected = ref.answer(6, alpha_target=0.25)
+        with SeedQueryEngine(
+            medium_graph, "IC", seed=7, step=400, kernel="vectorized",
+            index_dir=tmp_path,
+        ) as eng:
+            eng.answer(4, alpha_target=0.2)
+            eng.save_index()
+        with SeedQueryEngine(
+            medium_graph, "IC", seed=7, step=400, kernel="vectorized",
+            index_dir=tmp_path,
+        ) as eng:
+            assert eng.loaded_from_index
+            warm = eng.answer(4, alpha_target=0.2)
+            assert warm["sampled"] == 0
+            eng.extend(400)
+            resumed = eng.answer(6, alpha_target=0.25)
+        assert resumed["seeds"] == expected["seeds"]
+        assert resumed["alpha"] == expected["alpha"]
+        assert resumed["num_rr_sets"] == expected["num_rr_sets"]
+
+    def test_kernel_index_refused_by_legacy_engine(
+        self, medium_graph, tmp_path
+    ):
+        """A serial-kernel index must not restore into a legacy serial
+        engine (or vice versa) — the streams differ, so silently
+        accepting it would fork the deterministic replay."""
+        with SeedQueryEngine(
+            medium_graph, "IC", seed=42, kernel="vectorized"
+        ) as eng:
+            eng.extend(100)
+            eng.save_index(tmp_path)
+        with SeedQueryEngine(medium_graph, "IC", seed=42, kernel=None) as eng:
+            with pytest.raises(ParameterError, match="deterministic"):
+                eng.load_index(tmp_path)
+
+    def test_pool_engine_records_kernel_in_stats(self, medium_graph):
+        with SeedQueryEngine(
+            medium_graph, "IC", seed=1, workers=2, kernel="vectorized"
+        ) as eng:
+            eng.answer(3, alpha_target=0.2)
+            assert eng.stats()["kernel"] == "vectorized"
+
+
+# ----------------------------------------------------------------------
+# Hop-based fast path
+# ----------------------------------------------------------------------
+class TestHopServe:
+    def test_answer_hop_selects_seeds_without_sampling(self, engine):
+        result = engine.answer_hop(k=4)
+        assert result["precision"] == "hop"
+        assert result["guarantee"] is False
+        assert result["no_guarantee"] is True
+        assert result["sampled"] == 0
+        assert len(result["seeds"]) == 4
+        assert result["sigma_hop"] > 0
+        assert 0.0 < result["sigma_hop_fraction"] <= 1.0
+        assert engine.num_rr_sets == 0  # no RR work happened
+
+    def test_answer_hop_what_if_evaluates_given_seeds(self, engine):
+        chosen = engine.answer_hop(k=3)["seeds"]
+        what_if = engine.answer_hop(seeds=chosen)
+        assert what_if["what_if"] is True
+        assert what_if["seeds"] == chosen
+        assert what_if["sigma_hop"] == pytest.approx(
+            engine.answer_hop(k=3)["sigma_hop"]
+        )
+
+    def test_answer_hop_requires_exactly_one_of_k_and_seeds(self, engine):
+        with pytest.raises(ParameterError, match="exactly one"):
+            engine.answer_hop()
+        with pytest.raises(ParameterError, match="exactly one"):
+            engine.answer_hop(k=3, seeds=[0, 1])
+
+    def test_hop_query_over_http_is_cacheable(self, engine):
+        async def scenario():
+            server = await _started_server(engine)
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            payload = {"precision": "hop", "k": 4}
+            status, first = await client.request("POST", "/query", payload)
+            assert status == 200
+            assert first["no_guarantee"] is True
+            assert first["guarantee"] is False
+            assert not first["cached"]
+            status, second = await client.request("POST", "/query", payload)
+            assert status == 200
+            assert second["cached"]
+            assert second["seeds"] == first["seeds"]
+            # what-if spelling with explicit seeds occupies its own
+            # cache line.
+            status, what_if = await client.request(
+                "POST", "/query",
+                {"precision": "hop", "seeds": first["seeds"]},
+            )
+            assert status == 200
+            assert not what_if["cached"]
+            assert what_if["what_if"] is True
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_hop_query_rejects_bad_params(self, engine):
+        async def scenario():
+            server = await _started_server(engine)
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            for payload in (
+                {"precision": "exactly"},
+                {"precision": "hop"},
+                {"precision": "hop", "k": 3, "seeds": [0]},
+                {"precision": "hop", "k": 3, "hops": 0},
+                {"precision": "hop", "seeds": []},
+            ):
+                status, body = await client.request(
+                    "POST", "/query", payload
+                )
+                assert status == 400, payload
+                assert "error" in body
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
 # Cache
 # ----------------------------------------------------------------------
 class TestCache:
